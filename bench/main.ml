@@ -1,0 +1,178 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   plus the ablations from DESIGN.md, and runs bechamel
+   micro-benchmarks of the core kernels.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, quick profile
+     dune exec bench/main.exe -- fig1         -- one experiment
+     dune exec bench/main.exe -- table1-full  -- paper-scale budgets
+     dune exec bench/main.exe -- micro        -- bechamel kernels *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let fig1 () =
+  section "Figure 1 (generated glitch width vs gate knobs)";
+  print_string (Ser_repro.Fig12.render (Ser_repro.Fig12.fig1 ()))
+
+let fig2 () =
+  section "Figure 2 (propagated glitch width vs gate knobs)";
+  print_string (Ser_repro.Fig12.render (Ser_repro.Fig12.fig2 ()))
+
+let fig3 ?(vectors = 5) () =
+  section "Figure 3 (ASERTA vs golden transient, per-gate unreliability)";
+  print_string (Ser_repro.Fig3.render (Ser_repro.Fig3.run ~vectors ()))
+
+let table1 ?(effort = Ser_repro.Table1.Quick) ?(with_golden = false) ?only () =
+  section "Table 1 (SERTOPT optimization results)";
+  print_string
+    (Ser_repro.Table1.render (Ser_repro.Table1.run ~effort ~with_golden ?only ()))
+
+let runtime () =
+  section "Runtime comparison (Section 5)";
+  print_string (Ser_repro.Runtime.render (Ser_repro.Runtime.run ()))
+
+let alternatives () =
+  section "Extension: hardening alternatives (TMR / CED vs SERTOPT)";
+  print_string (Ser_repro.Alternatives.render (Ser_repro.Alternatives.run ()))
+
+let variation () =
+  section "Extension: process-variation robustness";
+  print_string (Ser_repro.Variation.render (Ser_repro.Variation.run ()))
+
+let ser_rate () =
+  section "Extension: charge-spectrum SER (FIT)";
+  print_string (Ser_repro.Rate_study.render (Ser_repro.Rate_study.run ()))
+
+let pipeline () =
+  section "Extension: pipeline trends (frequency & super-pipelining)";
+  print_string (Ser_repro.Pipeline_study.render (Ser_repro.Pipeline_study.run ()))
+
+let ablations () =
+  section "Ablation: Eq-2 successor split";
+  print_string (Ser_repro.Ablation.pi_split ());
+  section "Ablation: sample glitch widths";
+  print_string (Ser_repro.Ablation.sample_count ());
+  section "Ablation: optimizer composition";
+  print_string (Ser_repro.Ablation.optimizer_variants ());
+  section "Ablation: P_ij vector convergence";
+  print_string (Ser_repro.Ablation.vector_convergence ());
+  section "Ablation: injected charge";
+  print_string (Ser_repro.Ablation.charge_sweep ());
+  section "Ablation: masking backend";
+  print_string (Ser_repro.Ablation.masking_backend ());
+  section "Ablation: glitch propagation model";
+  print_string (Ser_repro.Ablation.glitch_model ())
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks of the kernels                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel)";
+  let c432 = Ser_circuits.Iscas.load "c432" in
+  let lib = Ser_cell.Library.create () in
+  let asg = Ser_sta.Assignment.uniform lib c432 in
+  let cfg = { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 500 } in
+  let masking = Aserta.Analysis.compute_masking cfg c432 in
+  let timing = Ser_sta.Timing.analyze lib asg in
+  let rng = Ser_rng.Rng.create 99 in
+  let t_matrix, _ =
+    let paths = Ser_sta.Paths.k_worst_paths asg timing ~k:32 in
+    Ser_sta.Paths.topology_matrix asg paths
+  in
+  let vec =
+    Array.init t_matrix.Ser_linalg.Matrix.cols (fun i ->
+        float_of_int (i mod 7) -. 3.)
+  in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"eq1-glitch-propagate" (Staged.stage (fun () ->
+          ignore (Aserta.Glitch.propagate ~delay:20. ~width:35.)));
+      Test.make ~name:"sta-c432" (Staged.stage (fun () ->
+          ignore (Ser_sta.Timing.analyze lib asg)));
+      Test.make ~name:"aserta-electrical-c432" (Staged.stage (fun () ->
+          ignore (Aserta.Analysis.run_electrical cfg lib asg masking)));
+      Test.make ~name:"fault-sim-62-vectors-c432" (Staged.stage (fun () ->
+          ignore
+            (Ser_logicsim.Probs.path_probabilities ~rng ~vectors:62 c432)));
+      Test.make ~name:"nullspace-projection-32paths" (Staged.stage (fun () ->
+          ignore (Ser_linalg.Matrix.project_onto_nullspace t_matrix vec)));
+      Test.make ~name:"logic-sim-62-vectors-c432" (Staged.stage (fun () ->
+          ignore (Ser_logicsim.Bitsim.random_batch rng c432 ~n_patterns:62)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    ols;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-40s %14.1f ns/run\n%!" name est)
+    (List.sort compare !rows)
+
+let all () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  table1 ();
+  runtime ();
+  ablations ();
+  alternatives ();
+  variation ();
+  ser_rate ();
+  pipeline ();
+  micro ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] -> all ()
+  | [ "fig1" ] -> fig1 ()
+  | [ "fig2" ] -> fig2 ()
+  | [ "fig3" ] -> fig3 ~vectors:10 ()
+  | [ "table1" ] -> table1 ()
+  | [ "table1-golden" ] -> table1 ~with_golden:true ()
+  | [ "table1-full" ] -> table1 ~effort:Ser_repro.Table1.Full ()
+  | "table1" :: names -> table1 ~only:names ()
+  | [ "runtime" ] -> runtime ()
+  | [ "ablations" ] -> ablations ()
+  | [ "ablation-pi" ] -> print_string (Ser_repro.Ablation.pi_split ())
+  | [ "ablation-samples" ] -> print_string (Ser_repro.Ablation.sample_count ())
+  | [ "ablation-opt" ] -> print_string (Ser_repro.Ablation.optimizer_variants ())
+  | [ "ablation-vectors" ] ->
+    print_string (Ser_repro.Ablation.vector_convergence ())
+  | [ "ablation-charge" ] -> print_string (Ser_repro.Ablation.charge_sweep ())
+  | [ "ablation-masking" ] -> print_string (Ser_repro.Ablation.masking_backend ())
+  | [ "ablation-model" ] -> print_string (Ser_repro.Ablation.glitch_model ())
+  | [ "alternatives" ] -> alternatives ()
+  | [ "variation" ] -> variation ()
+  | [ "ser-rate" ] -> ser_rate ()
+  | [ "pipeline" ] -> pipeline ()
+  | [ "micro" ] -> micro ()
+  | other ->
+    Printf.eprintf
+      "unknown bench target %s\n\
+       targets: all fig1 fig2 fig3 table1 [circuits...] table1-golden \
+       table1-full runtime ablations \
+       ablation-{pi,samples,opt,vectors,charge,masking,model} \
+       alternatives variation ser-rate pipeline micro\n"
+      (String.concat " " other);
+    exit 2

@@ -1,0 +1,586 @@
+(* sertool: command-line front end for the ASERTA/SERTOPT library.
+
+   Circuits are named either by benchmark name (c17, c432, ... -- the
+   synthetic ISCAS'85-alikes) or by a path to an ISCAS .bench file. *)
+
+(* user-facing failures (bad file, unknown name) become clean cmdliner
+   errors instead of "internal error" traces *)
+let wrap f =
+  try f () with
+  | Failure msg -> `Error (false, msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+let load_circuit spec =
+  if Sys.file_exists spec then
+    let parse =
+      if Filename.check_suffix spec ".v" then
+        Ser_netlist.Verilog_format.parse_file
+      else Ser_netlist.Bench_format.parse_file
+    in
+    match parse spec with
+    | Ok c -> c
+    | Error msg -> failwith (Printf.sprintf "%s: %s" spec msg)
+  else if List.mem spec Ser_circuits.Iscas.names then
+    Ser_circuits.Iscas.load spec
+  else
+    failwith
+      (Printf.sprintf
+         "unknown circuit %S (not a file; known benchmarks: %s)" spec
+         (String.concat ", " Ser_circuits.Iscas.names))
+
+let make_library vdds vths =
+  let axes =
+    Ser_cell.Library.restrict
+      ?vdds:(if vdds = [] then None else Some vdds)
+      ?vths:(if vths = [] then None else Some vths)
+      Ser_cell.Library.default_axes
+  in
+  Ser_cell.Library.create ~axes ()
+
+(* ------------------------------------------------------------------ *)
+
+let info_cmd spec =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  Format.printf "%s:@.%a@." c.Ser_netlist.Circuit.name
+    Ser_netlist.Circuit.pp_stats
+    (Ser_netlist.Circuit.stats c);
+  `Ok ()
+
+let generate_cmd name seed format output =
+  wrap @@ fun () ->
+  if not (List.mem name Ser_circuits.Iscas.names) then
+    `Error (false, Printf.sprintf "unknown benchmark %S" name)
+  else begin
+    let c = Ser_circuits.Iscas.load ~seed name in
+    let render =
+      match format with
+      | "bench" -> Ser_netlist.Bench_format.to_string
+      | "verilog" -> Ser_netlist.Verilog_format.to_string
+      | "dot" -> Ser_netlist.Dot_export.to_dot ?annotation:None
+      | other -> failwith (Printf.sprintf "unknown format %S" other)
+    in
+    (match output with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (render c);
+      close_out oc;
+      Printf.printf "wrote %s (%d gates)\n" path
+        (Ser_netlist.Circuit.gate_count c)
+    | None -> print_string (render c));
+    `Ok ()
+  end
+
+let analyze_cmd spec vectors charge top vdds vths json dot =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library vdds vths in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let config =
+    { Aserta.Analysis.default_config with
+      Aserta.Analysis.vectors; charge }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Aserta.Analysis.run ~config lib asg in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "circuit %s: %d gates, critical delay %.1f ps\n"
+    c.Ser_netlist.Circuit.name
+    (Ser_netlist.Circuit.gate_count c)
+    r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay;
+  Printf.printf "total unreliability U = %.1f  (%d vectors, %.1f fC, %.2f s)\n\n"
+    r.Aserta.Analysis.total vectors charge dt;
+  let idx = Array.init (Array.length r.Aserta.Analysis.unreliability) Fun.id in
+  Array.sort
+    (fun a b ->
+      compare r.Aserta.Analysis.unreliability.(b) r.Aserta.Analysis.unreliability.(a))
+    idx;
+  Printf.printf "top %d softest gates:\n" top;
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left; Ser_util.Ascii_table.Left ]
+      [ "gate"; "cell"; "U_i"; "w_gen (ps)"; "share" ]
+  in
+  Array.iteri
+    (fun k id ->
+      if k < top && r.Aserta.Analysis.unreliability.(id) > 0. then
+        Ser_util.Ascii_table.add_row tbl
+          [
+            (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name;
+            Ser_device.Cell_params.to_string (Ser_sta.Assignment.get asg id);
+            Printf.sprintf "%.1f" r.Aserta.Analysis.unreliability.(id);
+            Printf.sprintf "%.1f" r.Aserta.Analysis.gen_width.(id);
+            Printf.sprintf "%.1f%%"
+              (100. *. r.Aserta.Analysis.unreliability.(id)
+              /. r.Aserta.Analysis.total);
+          ])
+    idx;
+  Ser_util.Ascii_table.print tbl;
+  (match json with
+  | Some path ->
+    Ser_repro.Report.write path (Ser_repro.Report.analysis_to_json asg r);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match dot with
+  | Some path ->
+    let u_max =
+      Array.fold_left Float.max 1e-12 r.Aserta.Analysis.unreliability
+    in
+    let annotation =
+      {
+        Ser_netlist.Dot_export.label =
+          (fun id ->
+            if Ser_netlist.Circuit.is_input c id then None
+            else Some (Printf.sprintf "U=%.1f" r.Aserta.Analysis.unreliability.(id)));
+        heat = (fun id -> r.Aserta.Analysis.unreliability.(id) /. u_max);
+      }
+    in
+    Ser_netlist.Dot_export.write_dot ~annotation path c;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  `Ok ()
+
+let optimize_cmd spec vectors evals greedy vdds vths output json =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library vdds vths in
+  let baseline = Sertopt.Optimizer.size_for_speed lib c in
+  let cfg =
+    {
+      Sertopt.Optimizer.default_config with
+      Sertopt.Optimizer.aserta =
+        { Aserta.Analysis.default_config with Aserta.Analysis.vectors };
+      max_evals = evals;
+      greedy_passes = greedy;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Sertopt.Optimizer.optimize ~config:cfg lib baseline in
+  let dt = Unix.gettimeofday () -. t0 in
+  let b = r.Sertopt.Optimizer.baseline_metrics in
+  let o = r.Sertopt.Optimizer.optimized_metrics in
+  let rat = Sertopt.Cost.ratios ~baseline:b o in
+  Printf.printf "unreliability: %.1f -> %.1f  (decrease %.1f%%)\n"
+    b.Sertopt.Cost.unreliability o.Sertopt.Cost.unreliability
+    (100. *. Sertopt.Optimizer.unreliability_reduction r);
+  Printf.printf "area %.2fX  energy %.2fX  delay %.2fX  (%d cost evals, %.1f s)\n"
+    rat.Sertopt.Cost.area rat.Sertopt.Cost.energy rat.Sertopt.Cost.delay
+    r.Sertopt.Optimizer.evals dt;
+  Format.printf "%a@."
+    Sertopt.Optimizer.pp_knob_summary
+    (Sertopt.Optimizer.knob_summary r);
+  (match output with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc "# optimized cell assignment for %s\n"
+      c.Ser_netlist.Circuit.name;
+    Ser_sta.Assignment.fold_gates r.Sertopt.Optimizer.optimized ~init:()
+      ~f:(fun () id cell ->
+        Printf.fprintf oc "%s: %s\n"
+          (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name
+          (Ser_device.Cell_params.to_string cell));
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  (match json with
+  | Some path ->
+    Ser_repro.Report.write path (Ser_repro.Report.optimization_to_json r);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  `Ok ()
+
+let rate_cmd spec vectors clock q_slope top =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library [] [] in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let config =
+    { Aserta.Analysis.default_config with Aserta.Analysis.vectors }
+  in
+  let analysis = Aserta.Analysis.run ~config lib asg in
+  let spectrum =
+    { Aserta.Ser_rate.default_spectrum with Aserta.Ser_rate.q_slope }
+  in
+  let r = Aserta.Ser_rate.run ~spectrum ?clock_period:clock lib asg analysis in
+  Printf.printf
+    "%s: SER = %.2f FIT (synthetic flux normalisation)\n\
+     clock %.0f ps, exponential charge spectrum with Qs = %.1f fC\n\n"
+    c.Ser_netlist.Circuit.name r.Aserta.Ser_rate.total
+    r.Aserta.Ser_rate.clock_period q_slope;
+  let idx = Array.init (Array.length r.Aserta.Ser_rate.per_gate) Fun.id in
+  Array.sort
+    (fun a b -> compare r.Aserta.Ser_rate.per_gate.(b) r.Aserta.Ser_rate.per_gate.(a))
+    idx;
+  Printf.printf "top %d contributors:\n" top;
+  Array.iteri
+    (fun k id ->
+      if k < top && r.Aserta.Ser_rate.per_gate.(id) > 0. then
+        Printf.printf "  %-12s %8.3f FIT (%.1f%%)\n"
+          (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name
+          r.Aserta.Ser_rate.per_gate.(id)
+          (100. *. r.Aserta.Ser_rate.per_gate.(id) /. r.Aserta.Ser_rate.total))
+    idx;
+  `Ok ()
+
+let harden_cmd spec method_ fraction output =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let hardened =
+    match method_ with
+    | "tmr" -> Ser_harden.Transforms.tmr c
+    | "ced" -> Ser_harden.Transforms.duplicate_with_compare c
+    | "ptmr" ->
+      let lib = make_library [] [] in
+      let asg = Ser_sta.Assignment.uniform lib c in
+      let cfg =
+        { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 3000 }
+      in
+      let analysis = Aserta.Analysis.run ~config:cfg lib asg in
+      let protect = Ser_harden.Transforms.softest_gates analysis ~fraction in
+      Ser_harden.Transforms.selective_tmr c ~protect
+    | other -> failwith (Printf.sprintf "unknown method %S (tmr|ptmr|ced)" other)
+  in
+  Printf.printf "%s: %d gates -> %s: %d gates (%.2fX)\n" c.Ser_netlist.Circuit.name
+    (Ser_netlist.Circuit.gate_count c)
+    hardened.Ser_netlist.Circuit.name
+    (Ser_netlist.Circuit.gate_count hardened)
+    (float_of_int (Ser_netlist.Circuit.gate_count hardened)
+    /. float_of_int (Ser_netlist.Circuit.gate_count c));
+  (match output with
+  | Some path ->
+    Ser_netlist.Bench_format.write_file path hardened;
+    Printf.printf "wrote %s\n" path
+  | None -> print_string (Ser_netlist.Bench_format.to_string hardened));
+  `Ok ()
+
+let pipeline_cmd spec stages clock =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library [] [] in
+  let slices =
+    if stages = 1 then [ c ]
+    else Ser_pipeline.Pipeline.split_by_levels c ~stages
+  in
+  let p = Ser_pipeline.Pipeline.create ~lib slices in
+  let aserta =
+    { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 2000 }
+  in
+  let r = Ser_pipeline.Pipeline.analyze ~aserta ~lib ?clock_period:clock p in
+  Printf.printf
+    "%s as a %d-stage pipeline: clock %.0f ps (min %.0f ps), %d flip-flops\n"
+    c.Ser_netlist.Circuit.name stages r.Ser_pipeline.Pipeline.clock_period
+    r.Ser_pipeline.Pipeline.min_period
+    (Ser_pipeline.Pipeline.flipflop_count p);
+  List.iter
+    (fun (sn, v) -> Printf.printf "  %-24s SER %10.2f\n" sn v)
+    r.Ser_pipeline.Pipeline.stage_ser;
+  Printf.printf "  %-24s SER %10.2f\n" "flip-flops" r.Ser_pipeline.Pipeline.ff_ser;
+  Printf.printf "  %-24s SER %10.2f\n" "total" r.Ser_pipeline.Pipeline.total;
+  `Ok ()
+
+let timing_cmd spec n_paths vdds vths =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library vdds vths in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let t = Ser_sta.Timing.analyze lib asg in
+  Printf.printf "%s: critical delay %.1f ps across %d gates (depth %d)\n\n"
+    c.Ser_netlist.Circuit.name t.Ser_sta.Timing.critical_delay
+    (Ser_netlist.Circuit.gate_count c)
+    (Ser_netlist.Circuit.depth c);
+  let paths = Ser_sta.Paths.k_worst_paths asg t ~k:n_paths in
+  Array.iteri
+    (fun rank path ->
+      Printf.printf "path %d: delay %.1f ps\n" (rank + 1)
+        (Ser_sta.Paths.path_delay t path);
+      Array.iter
+        (fun id ->
+          let nd = Ser_netlist.Circuit.node c id in
+          if nd.Ser_netlist.Circuit.kind = Ser_netlist.Gate.Input then
+            Printf.printf "  %-12s (input)                      arrival %8.1f\n"
+              nd.Ser_netlist.Circuit.name t.Ser_sta.Timing.arrival.(id)
+          else
+            Printf.printf "  %-12s %-28s delay %6.1f  arrival %8.1f  slack %6.1f\n"
+              nd.Ser_netlist.Circuit.name
+              (Ser_device.Cell_params.to_string (Ser_sta.Assignment.get asg id))
+              t.Ser_sta.Timing.delays.(id)
+              t.Ser_sta.Timing.arrival.(id)
+              t.Ser_sta.Timing.slack.(id))
+        path;
+      print_newline ())
+    paths;
+  `Ok ()
+
+let export_deck_cmd spec strike vector charge output =
+  wrap @@ fun () ->
+  let c = load_circuit spec in
+  let lib = make_library [] [] in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let strike_id =
+    match Ser_netlist.Circuit.find_by_name c strike with
+    | Some id -> id
+    | None -> failwith (Printf.sprintf "no gate named %S" strike)
+  in
+  let n_in = Array.length c.Ser_netlist.Circuit.inputs in
+  let input_values =
+    match vector with
+    | Some bits ->
+      if String.length bits <> n_in then
+        failwith (Printf.sprintf "vector needs %d bits" n_in);
+      Array.init n_in (fun i -> bits.[i] = '1')
+    | None ->
+      let rng = Ser_rng.Rng.create 1 in
+      Array.init n_in (fun _ -> Ser_rng.Rng.bool rng)
+  in
+  let config =
+    { Ser_spice.Circuit_sim.default_config with Ser_spice.Circuit_sim.charge }
+  in
+  Ser_spice.Deck_export.write_strike_deck ~config output c
+    ~assignment:(Ser_sta.Assignment.get asg) ~input_values ~strike:strike_id;
+  Printf.printf "wrote %s (strike on %s)\n" output strike;
+  `Ok ()
+
+let export_lib_cmd kind fanin output =
+  wrap @@ fun () ->
+  match Ser_netlist.Gate.of_string kind with
+  | None | Some Ser_netlist.Gate.Input ->
+    `Error (false, Printf.sprintf "unknown gate kind %S" kind)
+  | Some k ->
+    let lib = Ser_cell.Library.create () in
+    let cells = Ser_cell.Library.variants lib k fanin in
+    Ser_cell.Liberty_export.write output lib ~cells;
+    Printf.printf "wrote %s (%d cells)\n" output (List.length cells);
+    `Ok ()
+
+let characterize_cmd kind fanin size length vdd vth =
+  wrap @@ fun () ->
+  match Ser_netlist.Gate.of_string kind with
+  | None | Some Ser_netlist.Gate.Input ->
+    `Error (false, Printf.sprintf "unknown gate kind %S" kind)
+  | Some k ->
+    let p = Ser_device.Cell_params.v ~size ~length ~vdd ~vth k fanin in
+    Printf.printf "cell %s\n" (Ser_device.Cell_params.to_string p);
+    Printf.printf "  input cap   : %.3f fF\n" (Ser_device.Gate_model.input_cap p);
+    Printf.printf "  output cap  : %.3f fF\n" (Ser_device.Gate_model.output_cap p);
+    Printf.printf "  area        : %.2f (min-inverter units)\n"
+      (Ser_device.Gate_model.area p);
+    Printf.printf "  leakage     : %.4f uW\n"
+      (1000. *. Ser_device.Gate_model.leakage_power p);
+    let cload = 4. *. Ser_device.Gate_model.input_cap p in
+    let d_a = Ser_device.Gate_model.delay p ~input_ramp:20. ~cload in
+    let d_t, r_t = Ser_spice.Char.delay_and_ramp p ~cload ~input_ramp:20. in
+    Printf.printf "  FO4 delay   : %.2f ps analytic, %.2f ps transient (ramp %.1f ps)\n"
+      d_a d_t r_t;
+    let w_a =
+      Ser_device.Gate_model.generated_glitch_width p
+        ~node_cap:(cload +. Ser_device.Gate_model.output_cap p)
+        ~charge:16. ~output_low:true
+    in
+    let w_t =
+      Ser_spice.Char.generated_glitch_width p ~cload ~charge:16. ~output_low:true
+    in
+    Printf.printf "  glitch @16fC: %.1f ps analytic, %.1f ps transient\n" w_a w_t;
+    `Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+         ~doc:"Benchmark name (c17, c432, ...) or .bench file path.")
+
+let vdds_arg =
+  Arg.(value & opt (list float) [] & info [ "vdds" ] ~docv:"V,..."
+         ~doc:"Supply-voltage menu (default 0.8,1.0,1.2).")
+
+let vths_arg =
+  Arg.(value & opt (list float) [] & info [ "vths" ] ~docv:"V,..."
+         ~doc:"Threshold-voltage menu (default 0.1,0.2,0.3).")
+
+let info_t =
+  Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics")
+    Term.(ret (const info_cmd $ circuit_arg))
+
+let generate_t =
+  let bench_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark name.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let format =
+    Arg.(value & opt string "bench" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: bench, verilog or dot.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Emit a benchmark circuit (.bench, Verilog or Graphviz)")
+    Term.(ret (const generate_cmd $ bench_name $ seed $ format $ output))
+
+let analyze_t =
+  let vectors =
+    Arg.(value & opt int 10_000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
+  in
+  let charge =
+    Arg.(value & opt float 16. & info [ "charge" ] ~doc:"Injected charge, fC.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Softest gates to list.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Export the full report as JSON.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Export the circuit as Graphviz with unreliability heat.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"ASERTA soft-error tolerance analysis")
+    Term.(ret (const analyze_cmd $ circuit_arg $ vectors $ charge $ top
+               $ vdds_arg $ vths_arg $ json $ dot))
+
+let optimize_t =
+  let vectors =
+    Arg.(value & opt int 4000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
+  in
+  let evals =
+    Arg.(value & opt int 120 & info [ "evals" ] ~doc:"Nullspace-search cost evaluations.")
+  in
+  let greedy =
+    Arg.(value & opt int 2 & info [ "greedy" ] ~doc:"Greedy refinement passes.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Dump the optimized cell assignment.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Export the optimization report as JSON.")
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
+    Term.(ret (const optimize_cmd $ circuit_arg $ vectors $ evals $ greedy
+               $ vdds_arg $ vths_arg $ output $ json))
+
+let export_deck_t =
+  let strike =
+    Arg.(required & opt (some string) None & info [ "strike" ] ~docv:"GATE"
+           ~doc:"Name of the struck gate.")
+  in
+  let vector =
+    Arg.(value & opt (some string) None & info [ "vector" ] ~docv:"BITS"
+           ~doc:"Input vector as a 0/1 string (random if omitted).")
+  in
+  let charge =
+    Arg.(value & opt float 16. & info [ "charge" ] ~doc:"Injected charge, fC.")
+  in
+  let output =
+    Arg.(value & opt string "strike.sp" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output SPICE deck.")
+  in
+  Cmd.v
+    (Cmd.info "export-deck"
+       ~doc:"Emit a standalone SPICE deck for one strike scenario \
+             (cross-validation in ngspice/HSPICE)")
+    Term.(ret (const export_deck_cmd $ circuit_arg $ strike $ vector $ charge
+               $ output))
+
+let characterize_t =
+  let kind =
+    Arg.(value & opt string "NAND" & info [ "kind" ] ~doc:"Gate kind.")
+  in
+  let fanin = Arg.(value & opt int 2 & info [ "fanin" ] ~doc:"Fan-in.") in
+  let size = Arg.(value & opt float 1.0 & info [ "size" ] ~doc:"Size multiplier.") in
+  let length = Arg.(value & opt float 70. & info [ "length" ] ~doc:"Channel length, nm.") in
+  let vdd = Arg.(value & opt float 1.0 & info [ "vdd" ] ~doc:"Supply, V.") in
+  let vth = Arg.(value & opt float 0.2 & info [ "vth" ] ~doc:"Threshold, V.") in
+  Cmd.v (Cmd.info "characterize" ~doc:"Electrically characterise one cell")
+    Term.(ret (const characterize_cmd $ kind $ fanin $ size $ length $ vdd $ vth))
+
+let rate_t =
+  let vectors =
+    Arg.(value & opt int 4000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
+  in
+  let clock =
+    Arg.(value & opt (some float) None & info [ "clock" ] ~docv:"PS"
+           ~doc:"Clock period (default 1.2x critical delay).")
+  in
+  let q_slope =
+    Arg.(value & opt float 6. & info [ "q-slope" ]
+           ~doc:"Charge-collection slope of the spectrum, fC.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Contributors to list.")
+  in
+  Cmd.v
+    (Cmd.info "rate"
+       ~doc:"Soft-error rate (FIT) over a particle charge spectrum")
+    Term.(ret (const rate_cmd $ circuit_arg $ vectors $ clock $ q_slope $ top))
+
+let harden_t =
+  let method_ =
+    Arg.(value & opt string "tmr" & info [ "method" ] ~docv:"M"
+           ~doc:"Hardening transform: tmr, ptmr (partial, softest gates) or ced.")
+  in
+  let fraction =
+    Arg.(value & opt float 0.2 & info [ "fraction" ]
+           ~doc:"Gate fraction protected by ptmr.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the hardened netlist (.bench) to a file.")
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:"Apply a classical structural hardening transform (TMR, partial \
+             TMR, duplication+CED)")
+    Term.(ret (const harden_cmd $ circuit_arg $ method_ $ fraction $ output))
+
+let pipeline_t =
+  let stages =
+    Arg.(value & opt int 2 & info [ "stages" ] ~doc:"Pipeline depth.")
+  in
+  let clock =
+    Arg.(value & opt (some float) None & info [ "clock" ] ~docv:"PS"
+           ~doc:"Clock period in ps (default: minimum feasible).")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Slice a circuit into pipeline stages and report the system SER")
+    Term.(ret (const pipeline_cmd $ circuit_arg $ stages $ clock))
+
+let timing_t =
+  let n_paths =
+    Arg.(value & opt int 3 & info [ "paths" ] ~doc:"Worst paths to report.")
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc:"Static timing report with the K worst paths")
+    Term.(ret (const timing_cmd $ circuit_arg $ n_paths $ vdds_arg $ vths_arg))
+
+let export_lib_t =
+  let kind =
+    Arg.(value & opt string "NAND" & info [ "kind" ] ~doc:"Gate kind.")
+  in
+  let fanin = Arg.(value & opt int 2 & info [ "fanin" ] ~doc:"Fan-in.") in
+  let output =
+    Arg.(value & opt string "ser70.lib" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output Liberty file.")
+  in
+  Cmd.v
+    (Cmd.info "export-lib"
+       ~doc:"Dump the characterised cell variants of one logic function \
+             as a Liberty (.lib) file")
+    Term.(ret (const export_lib_cmd $ kind $ fanin $ output))
+
+let main =
+  Cmd.group
+    (Cmd.info "sertool" ~version:"1.0.0"
+       ~doc:"Soft-error tolerance analysis (ASERTA) and optimization (SERTOPT) \
+             of combinational nanometer circuits")
+    [ info_t; generate_t; analyze_t; optimize_t; rate_t; timing_t; pipeline_t;
+      harden_t; characterize_t; export_deck_t; export_lib_t ]
+
+let () = exit (Cmd.eval main)

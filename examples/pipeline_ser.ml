@@ -1,0 +1,36 @@
+(* Pipeline SER walkthrough: slice a benchmark into pipeline stages and
+   watch the two introduction-section effects — higher clock rates and
+   deeper pipelines both raise the soft-error rate.
+
+     dune exec examples/pipeline_ser.exe [circuit] *)
+
+module Pipeline = Ser_pipeline.Pipeline
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "c880" in
+  let c = Ser_circuits.Iscas.load name in
+  let lib = Ser_cell.Library.create () in
+  let aserta =
+    { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 1500 }
+  in
+  Printf.printf "pipelining %s (%d gates, depth %d)\n\n" name
+    (Ser_netlist.Circuit.gate_count c)
+    (Ser_netlist.Circuit.depth c);
+  List.iter
+    (fun k ->
+      let slices = Pipeline.split_by_levels c ~stages:k in
+      let p = Pipeline.create ~lib slices in
+      let r = Pipeline.analyze ~aserta ~lib p in
+      Printf.printf
+        "%d stage(s): min period %6.0f ps (%.2f GHz), %3d flip-flops, SER %8.2f\n"
+        k r.Pipeline.min_period
+        (1000. /. r.Pipeline.min_period)
+        (Pipeline.flipflop_count p) r.Pipeline.total;
+      List.iter
+        (fun (sn, v) -> Printf.printf "    %-22s %8.2f\n" sn v)
+        r.Pipeline.stage_ser)
+    [ 1; 2; 4 ];
+  Printf.printf
+    "\nthe throughput of deeper pipelines is paid for in soft-error rate:\n\
+     every strike lands closer to a latch (less masking) and the faster\n\
+     clock captures a larger fraction of the surviving glitches\n"

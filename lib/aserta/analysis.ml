@@ -1,0 +1,262 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Probs = Ser_logicsim.Probs
+module Library = Ser_cell.Library
+module Assignment = Ser_sta.Assignment
+module Timing = Ser_sta.Timing
+module Lut = Ser_table.Lut
+
+type pi_split = Normalized | Naive
+
+type masking_backend = Monte_carlo | Analytic_masking
+
+type config = {
+  vectors : int;
+  seed : int;
+  charge : float;
+  n_samples : int;
+  max_sample_width : float;
+  split : pi_split;
+  masking_backend : masking_backend;
+  pi_probs : float array option;
+  env : Timing.env;
+}
+
+let default_config =
+  {
+    vectors = 10_000;
+    seed = 42;
+    charge = 16.;
+    n_samples = 10;
+    max_sample_width = 800.;
+    split = Normalized;
+    masking_backend = Monte_carlo;
+    pi_probs = None;
+    env = Timing.default_env;
+  }
+
+type masking = {
+  probs : float array;
+  path_probs : Probs.path_probs;
+}
+
+type t = {
+  config : config;
+  circuit : Circuit.t;
+  masking : masking;
+  timing : Timing.t;
+  gen_width : float array;
+  expected_width : float array array;
+  unreliability : float array;
+  total : float;
+  samples : float array;
+  tables : float array array array;
+}
+
+let sample_widths config =
+  if config.n_samples < 2 then invalid_arg "Analysis.sample_widths: need >= 2";
+  (* geometric grid from a few ps up to the "very wide" sample *)
+  Ser_util.Floatx.logspace 2. config.max_sample_width config.n_samples
+
+let compute_masking ?domains config (c : Circuit.t) =
+  let probs = Probs.signal_probabilities ?pi_probs:config.pi_probs c in
+  let path_probs =
+    match config.masking_backend with
+    | Monte_carlo ->
+      let rng = Ser_rng.Rng.create config.seed in
+      Probs.path_probabilities ?domains ?pi_probs:config.pi_probs ~rng
+        ~vectors:config.vectors c
+    | Analytic_masking -> Probs.path_probabilities_analytic ~probs c
+  in
+  { probs; path_probs }
+
+(* Unique successor ids of a node (fanout lists one entry per pin). *)
+let successors (c : Circuit.t) id =
+  let nd = Circuit.node c id in
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      if not (Hashtbl.mem seen r) then begin
+        Hashtbl.replace seen r ();
+        out := r :: !out
+      end)
+    nd.fanout;
+  List.rev !out
+
+let pi_weight (c : Circuit.t) masking ~gate ~succ ~po =
+  let p = masking.path_probs.Probs.p in
+  let denom =
+    List.fold_left
+      (fun acc s ->
+        acc
+        +. Probs.sensitization_to_driver c ~probs:masking.probs ~gate:s
+             ~driver:gate
+           *. p.(s).(po))
+      0. (successors c gate)
+  in
+  if denom <= 0. then 0.
+  else
+    Probs.sensitization_to_driver c ~probs:masking.probs ~gate:succ ~driver:gate
+    *. p.(gate).(po) /. denom
+
+let run_electrical config lib asg masking =
+  let c = Assignment.circuit asg in
+  let n = Circuit.node_count c in
+  let n_pos = Array.length c.outputs in
+  let timing = Timing.analyze ~env:config.env lib asg in
+  let ws = sample_widths config in
+  let n_samples = Array.length ws in
+  let p = masking.path_probs.Probs.p in
+  (* expected output width tables per gate: WS.(id).(po).(k) *)
+  let table = Array.make n [||] in
+  let po_pos = Array.make n (-1) in
+  Array.iteri (fun pos id -> po_pos.(id) <- pos) c.outputs;
+  for id = n - 1 downto 0 do
+    if not (Circuit.is_input c id) then begin
+      let t = Array.make_matrix n_pos n_samples 0. in
+      if po_pos.(id) >= 0 then begin
+        (* step (ii): a primary-output gate passes glitches straight to
+           its own latch and, per the paper, to no other output *)
+        let row = t.(po_pos.(id)) in
+        Array.blit ws 0 row 0 n_samples
+      end
+      else begin
+        (* step (iii): blend successors' expected widths with pi_isj.
+           The Eq-1 attenuation and the interpolation bracket of the
+           attenuated width in the sample grid depend only on the
+           successor and the sample, so they are hoisted out of the
+           per-output loop (the hot loop of SERTOPT's inner cost). *)
+        let succs = Array.of_list (successors c id) in
+        let n_succ = Array.length succs in
+        let sens =
+          Array.map
+            (fun s ->
+              Probs.sensitization_to_driver c ~probs:masking.probs ~gate:s
+                ~driver:id)
+            succs
+        in
+        (* per successor and sample: interpolation bracket of the
+           attenuated width, or -1 when fully attenuated *)
+        let lo = Array.make_matrix n_succ n_samples (-1) in
+        let fr = Array.make_matrix n_succ n_samples 0. in
+        for si = 0 to n_succ - 1 do
+          let ds = timing.Timing.delays.(succs.(si)) in
+          for k = 0 to n_samples - 1 do
+            let wo = Glitch.propagate ~delay:ds ~width:ws.(k) in
+            if wo > 0. then begin
+              let b = Ser_util.Floatx.binary_search_bracket ws wo in
+              let woc =
+                Ser_util.Floatx.clamp ~lo:ws.(0) ~hi:ws.(n_samples - 1) wo
+              in
+              lo.(si).(k) <- b;
+              fr.(si).(k) <- Ser_util.Floatx.inv_lerp ws.(b) ws.(b + 1) woc
+            end
+          done
+        done;
+        for j = 0 to n_pos - 1 do
+          let pij = p.(id).(j) in
+          if pij > 0. then begin
+            let denom =
+              match config.split with
+              | Naive -> 1.
+              | Normalized ->
+                let acc = ref 0. in
+                for si = 0 to n_succ - 1 do
+                  acc := !acc +. (sens.(si) *. p.(succs.(si)).(j))
+                done;
+                !acc
+            in
+            if denom > 0. then begin
+              let row = t.(j) in
+              for si = 0 to n_succ - 1 do
+                let s = succs.(si) in
+                let psj = p.(s).(j) in
+                let weight =
+                  match config.split with
+                  | Normalized -> sens.(si) *. pij /. denom
+                  | Naive -> sens.(si) *. psj
+                in
+                if weight > 0. && psj > 0. then begin
+                  let s_row = table.(s).(j) in
+                  let lo_s = lo.(si) and fr_s = fr.(si) in
+                  for k = 0 to n_samples - 1 do
+                    let b = Array.unsafe_get lo_s k in
+                    if b >= 0 then begin
+                      let y0 = Array.unsafe_get s_row b in
+                      let y1 = Array.unsafe_get s_row (b + 1) in
+                      let v = y0 +. (Array.unsafe_get fr_s k *. (y1 -. y0)) in
+                      Array.unsafe_set row k (Array.unsafe_get row k +. (weight *. v))
+                    end
+                  done
+                end
+              done
+            end
+          end
+        done
+      end;
+      table.(id) <- t
+    end
+  done;
+  (* generated widths, step (iv) interpolation, and Eqs 3-4 *)
+  let gen_width = Array.make n 0. in
+  let expected_width = Array.make n [||] in
+  let unreliability = Array.make n 0. in
+  let total = ref 0. in
+  for id = 0 to n - 1 do
+    if Circuit.is_input c id then expected_width.(id) <- Array.make n_pos 0.
+    else begin
+      let cell = Assignment.get asg id in
+      let node_cap = timing.Timing.loads.(id) +. Library.output_cap lib cell in
+      let w_low =
+        Library.generated_glitch_width lib cell ~node_cap ~charge:config.charge
+          ~output_low:true
+      in
+      let w_high =
+        Library.generated_glitch_width lib cell ~node_cap ~charge:config.charge
+          ~output_low:false
+      in
+      let p1 = masking.probs.(id) in
+      let wi = ((1. -. p1) *. w_low) +. (p1 *. w_high) in
+      gen_width.(id) <- wi;
+      let wij =
+        Array.init n_pos (fun j ->
+            if po_pos.(id) = j then wi
+            else if table.(id) = [||] then 0.
+            else Lut.interpolate_1d ~xs:ws ~ys:table.(id).(j) wi)
+      in
+      expected_width.(id) <- wij;
+      let z = Library.area lib cell in
+      let u = z *. Ser_util.Floatx.sum wij in
+      unreliability.(id) <- u;
+      total := !total +. u
+    end
+  done;
+  {
+    config;
+    circuit = c;
+    masking;
+    timing;
+    gen_width;
+    expected_width;
+    unreliability;
+    total = !total;
+    samples = ws;
+    tables = table;
+  }
+
+let run ?(config = default_config) lib asg =
+  let masking = compute_masking config (Assignment.circuit asg) in
+  run_electrical config lib asg masking
+
+let successor_weight t ~gate ~succ ~po =
+  pi_weight t.circuit t.masking ~gate ~succ ~po
+
+let expected_width_at t ~gate ~po ~width =
+  if Circuit.is_input t.circuit gate then 0.
+  else if Circuit.output_index t.circuit gate = Some po then Float.max 0. width
+  else begin
+    let rows = t.tables.(gate) in
+    if Array.length rows = 0 then 0.
+    else Lut.interpolate_1d ~xs:t.samples ~ys:rows.(po) width
+  end

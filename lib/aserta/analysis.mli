@@ -1,0 +1,125 @@
+(** ASERTA: accurate soft-error tolerance analysis (Section 3 of the
+    paper).
+
+    For every gate [i] the tool injects a fixed charge at the gate
+    output, looks up the generated glitch width, and propagates it to
+    the primary outputs through three masking models:
+
+    - {e logical masking}: path-sensitization probabilities [P_ij]
+      estimated by random-vector fault simulation, split over
+      successors with the normalised weights [pi_isj] of Eq. 2;
+    - {e electrical masking}: the reverse-topological expected-width
+      pass over 10 sample glitch widths with linear interpolation
+      (Section 3.2), attenuation per Eq. 1;
+    - {e latching-window masking}: a glitch's latching probability is
+      proportional to its width, so the gate's contribution is
+      [U_i = Z_i * sum_j W_ij] (Eq. 3) with [Z_i] the gate area, and
+      the circuit unreliability is [U = sum_i U_i] (Eq. 4). *)
+
+type pi_split =
+  | Normalized
+      (** Eq. 2: [pi_isj = S_is P_ij / sum_k S_ik P_kj], which satisfies
+          [sum_s pi_isj P_sj = P_ij] (required by Lemma 1) *)
+  | Naive
+      (** [pi_isj = S_is P_sj], the split the paper argues against —
+          kept as an ablation *)
+
+type masking_backend =
+  | Monte_carlo
+      (** the paper's choice: random-vector fault simulation
+          (10 000 vectors), exact up to sampling noise even under
+          reconvergent fan-out *)
+  | Analytic_masking
+      (** vectorless backward propagation
+          ({!Ser_logicsim.Probs.path_probabilities_analytic}); exact on
+          fan-out-free circuits, optimistic under reconvergence, but
+          instant — useful inside tight optimization loops *)
+
+type config = {
+  vectors : int;        (** random vectors for [P_ij] (paper: 10 000) *)
+  seed : int;
+  charge : float;       (** injected charge, fC (paper's figures: 16) *)
+  n_samples : int;      (** sample glitch widths (paper: 10) *)
+  max_sample_width : float;
+      (** the "very wide" top sample, ps; must exceed twice any gate
+          delay for Lemma 1 to hold *)
+  split : pi_split;
+  masking_backend : masking_backend;
+  pi_probs : float array option;
+      (** per-input one-probabilities (indexed like [inputs]); [None]
+          means the paper's uniform 0.5. Biases both the static signal
+          probabilities and the random vectors of the fault
+          simulation. *)
+  env : Ser_sta.Timing.env; (** output load / input slew context *)
+}
+
+val default_config : config
+(** 10 000 vectors, seed 42, 16 fC, 10 samples, 800 ps, [Normalized]
+    split, [Monte_carlo] masking, uniform 0.5 input statistics, default
+    env. The 800 ps top sample is "very wide" for 70 nm-class gate
+    delays (tens of ps) while keeping the geometric sample grid dense
+    where glitches actually live; widen it for unusually slow
+    libraries. *)
+
+type masking = {
+  probs : float array;             (** static one-probabilities p_i *)
+  path_probs : Ser_logicsim.Probs.path_probs; (** P_ij *)
+}
+(** The logical-masking data. It depends only on circuit topology and
+    input statistics — not on sizing/VDD/Vth — so SERTOPT computes it
+    once and re-runs only the electrical pass in its loop. *)
+
+type t = {
+  config : config;
+  circuit : Ser_netlist.Circuit.t;
+  masking : masking;
+  timing : Ser_sta.Timing.t;
+  gen_width : float array;
+      (** w_i: expected generated glitch width at each gate output
+          (strike polarity weighted by p_i), ps *)
+  expected_width : float array array;
+      (** [W_ij]: expected width reaching output position j of a glitch
+          generated at gate i, ps *)
+  unreliability : float array; (** U_i per gate (0 at primary inputs) *)
+  total : float;               (** U *)
+  samples : float array;       (** the sample glitch-width grid used *)
+  tables : float array array array;
+      (** [tables.(i).(j)] maps the sample widths to expected widths at
+          output [j] for a glitch born at gate [i] (the WS tables of
+          Section 3.2); empty at primary inputs. Kept for
+          {!expected_width_at}. *)
+}
+
+val compute_masking :
+  ?domains:int -> config -> Ser_netlist.Circuit.t -> masking
+(** Signal probabilities (analytic, 0.5 at PIs, as the paper obtains
+    from Synopsys DC) and fault-simulated [P_ij]. [domains] > 1 runs
+    the fault simulation on that many cores with bit-identical
+    results. *)
+
+val run_electrical :
+  config -> Ser_cell.Library.t -> Ser_sta.Assignment.t -> masking -> t
+(** Electrical + latching pass for a given cell assignment, reusing
+    precomputed masking. O((V + E) * samples * outputs). *)
+
+val run :
+  ?config:config -> Ser_cell.Library.t -> Ser_sta.Assignment.t -> t
+(** [compute_masking] followed by [run_electrical]. *)
+
+val sample_widths : config -> float array
+(** The sample glitch-width grid used by the electrical pass
+    (geometric, topped by [max_sample_width]). *)
+
+val successor_weight :
+  t -> gate:int -> succ:int -> po:int -> float
+(** The Eq. 2 weight [pi_isj] actually used in the pass (exposed for
+    tests of the normalisation property
+    [sum_s pi_isj * P_sj = P_ij]). *)
+
+val expected_width_at : t -> gate:int -> po:int -> width:float -> float
+(** Interpolate the gate's expected-output-width table at an arbitrary
+    generated glitch width (clamped to the sample grid). This is the
+    query that makes charge-spectrum analyses ({!Ser_rate}) possible
+    without re-running the electrical pass: the width response to a
+    strike of any energy is already tabulated. For a primary-output
+    gate at its own position this is the identity. *)

@@ -1,0 +1,52 @@
+(** Equation 1 of the paper: glitch attenuation through a gate of
+    propagation delay [d].
+
+    {v
+    wo = 0           if wi <  d
+    wo = 2(wi - d)   if d <= wi < 2d
+    wo = wi          if wi >= 2d
+    v} *)
+
+val propagate : delay:float -> width:float -> float
+(** Output glitch width for input width [width] through a gate of delay
+    [delay]. Negative widths are treated as 0. *)
+
+val survives : delay:float -> width:float -> bool
+(** Whether any part of the glitch emerges ([width >= delay]). *)
+
+val chain : delays:float array -> width:float -> float
+(** Width after traversing a pipeline of gates in order. *)
+
+(** {1 Amplitude-aware model}
+
+    The paper's Eq. 1 tracks width only, citing the amplitude-attenuation
+    model of Omana et al. [6] as its inspiration. This submodule carries
+    the (amplitude, width) pair through a gate, which matters for
+    glitches that arrive already degraded: a full-swing glitch of width
+    [2d] passes Eq. 1 unattenuated, but a half-swing one of the same
+    width may die. Exposed as an alternative model and for the
+    model-comparison ablation; ASERTA's pass itself follows the paper
+    and uses width only. *)
+module Amplitude : sig
+  type t = {
+    amplitude : float; (** peak excursion in V, 0..vdd *)
+    width : float;     (** duration at half-vdd, ps *)
+  }
+
+  val full_swing : vdd:float -> float -> t
+  (** A rail-to-rail glitch of the given width. *)
+
+  val propagate : delay:float -> vdd:float -> t -> t
+  (** One gate: the output amplitude is limited by how far the gate can
+      drive its output within the glitch duration
+      ([A_out = vdd * min 1 (w_eff / 2d)], triangular approximation),
+      and the width shrinks per Eq. 1 applied to the time the input
+      glitch spends beyond the switching threshold. A glitch whose
+      amplitude no longer reaches [vdd/2] has zero effective width. *)
+
+  val effective_width : vdd:float -> t -> float
+  (** The at-[vdd/2] width a latch would see: 0 once the amplitude is
+      below [vdd/2], and at most the stored width. *)
+
+  val chain : delays:float array -> vdd:float -> t -> t
+end

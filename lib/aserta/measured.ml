@@ -1,0 +1,98 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Bitsim = Ser_logicsim.Bitsim
+module Library = Ser_cell.Library
+module Assignment = Ser_sta.Assignment
+module Timing = Ser_sta.Timing
+
+type strike_result = {
+  gate : int;
+  po_widths : (int * float) list;
+}
+
+(* Is [gate] sensitized to a change on pin [pin] under concrete values?
+   For AND/OR families: every other pin must hold its non-controlling
+   value. XOR/XNOR/NOT/BUF are always sensitized. *)
+let pin_sensitized (c : Circuit.t) values ~gate ~pin =
+  let nd = Circuit.node c gate in
+  match Gate.sensitizing_side_value nd.kind with
+  | None -> true
+  | Some v ->
+    let n = Array.length nd.fanin in
+    let rec check k =
+      if k >= n then true
+      else if k = pin then check (k + 1)
+      else values.(nd.fanin.(k)) = v && check (k + 1)
+    in
+    check 0
+
+let strike_widths_with_values lib asg ~timing ~values ~charge ~gate =
+  let c = Assignment.circuit asg in
+  if Circuit.is_input c gate then
+    invalid_arg "Measured.strike_widths: strike on a primary input";
+  let cell = Assignment.get asg gate in
+  let node_cap = timing.Timing.loads.(gate) +. Library.output_cap lib cell in
+  let w0 =
+    Library.generated_glitch_width lib cell ~node_cap ~charge
+      ~output_low:(not values.(gate))
+  in
+  let cone = Circuit.fanout_cone c gate in
+  let width = Array.make (Circuit.node_count c) 0. in
+  width.(gate) <- w0;
+  Array.iter
+    (fun t ->
+      if t <> gate then begin
+        let nd = Circuit.node c t in
+        if nd.kind <> Gate.Input then begin
+          let best = ref 0. in
+          Array.iteri
+            (fun pin f ->
+              if width.(f) > 0. && pin_sensitized c values ~gate:t ~pin then begin
+                let wo =
+                  Glitch.propagate ~delay:timing.Timing.delays.(t) ~width:width.(f)
+                in
+                if wo > !best then best := wo
+              end)
+            nd.fanin;
+          width.(t) <- !best
+        end
+      end)
+    cone;
+  let in_cone = Array.make (Circuit.node_count c) false in
+  Array.iter (fun id -> in_cone.(id) <- true) cone;
+  let po_widths =
+    Array.to_list c.outputs
+    |> List.mapi (fun pos id -> (pos, id))
+    |> List.filter (fun (_, id) -> in_cone.(id))
+    |> List.map (fun (pos, id) -> (pos, width.(id)))
+  in
+  { gate; po_widths }
+
+let strike_widths lib asg ~timing ~input_values ~charge ~gate =
+  let c = Assignment.circuit asg in
+  let values = Bitsim.eval_vector c input_values in
+  strike_widths_with_values lib asg ~timing ~values ~charge ~gate
+
+let per_gate_unreliability ?(vectors = 50) ?(seed = 7) ?(charge = 16.)
+    ?(env = Timing.default_env) lib asg =
+  let c = Assignment.circuit asg in
+  let timing = Timing.analyze ~env lib asg in
+  let rng = Ser_rng.Rng.create seed in
+  let n = Circuit.node_count c in
+  let acc = Array.make n 0. in
+  for _ = 1 to vectors do
+    let input_values = Array.map (fun _ -> Ser_rng.Rng.bool rng) c.inputs in
+    let values = Bitsim.eval_vector c input_values in
+    for gate = 0 to n - 1 do
+      if not (Circuit.is_input c gate) then begin
+        let r = strike_widths_with_values lib asg ~timing ~values ~charge ~gate in
+        let z = Library.area lib (Assignment.get asg gate) in
+        let s = List.fold_left (fun a (_, w) -> a +. w) 0. r.po_widths in
+        acc.(gate) <- acc.(gate) +. (z *. s)
+      end
+    done
+  done;
+  Array.map (fun u -> u /. float_of_int vectors) acc
+
+let unreliability ?vectors ?seed ?charge ?env lib asg =
+  Ser_util.Floatx.sum (per_gate_unreliability ?vectors ?seed ?charge ?env lib asg)

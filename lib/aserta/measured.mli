@@ -1,0 +1,50 @@
+(** Vector-by-vector glitch measurement (the "50 random inputs" columns
+    of Table 1): for a concrete input vector the logic values, and
+    hence the sensitized paths, are known exactly, so the glitch from a
+    strike is propagated deterministically with Eq. 1 — no
+    probabilities involved. The companion golden flow measures the same
+    quantity on the {!Ser_spice} transient simulator. *)
+
+type strike_result = {
+  gate : int;
+  po_widths : (int * float) list;
+      (** (output position, width) for every reachable output,
+          including zeros *)
+}
+
+val strike_widths :
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  timing:Ser_sta.Timing.t ->
+  input_values:bool array ->
+  charge:float ->
+  gate:int ->
+  strike_result
+(** Propagate the glitch generated at [gate] under one vector: through
+    each fan-out gate only if that gate is sensitized to the glitched
+    input under the vector's side values, attenuated per Eq. 1; at
+    reconvergence the widest arriving glitch wins. *)
+
+val per_gate_unreliability :
+  ?vectors:int ->
+  ?seed:int ->
+  ?charge:float ->
+  ?env:Ser_sta.Timing.env ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  float array
+(** [.(i)] is the average over random vectors of
+    [Z_i * sum_j width_ij(vector)] — the measured counterpart of
+    {!Analysis.t}[.unreliability]. Defaults: 50 vectors (as in the
+    paper's Table 1), seed 7, 16 fC. *)
+
+val unreliability :
+  ?vectors:int ->
+  ?seed:int ->
+  ?charge:float ->
+  ?env:Ser_sta.Timing.env ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  float
+(** Sum of {!per_gate_unreliability} — the measured counterpart of
+    {!Analysis.t}[.total]. *)

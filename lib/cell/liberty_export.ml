@@ -1,0 +1,107 @@
+module P = Ser_device.Cell_params
+module G = Ser_device.Gate_model
+module Gate = Ser_netlist.Gate
+
+let slew_axis = [| 2.; 10.; 30.; 80. |]
+let load_axis = [| 0.5; 1.; 2.; 5.; 12. |]
+let charge_axis = [| 4.; 8.; 16.; 32.; 64. |]
+
+let cell_name (p : P.t) =
+  Printf.sprintf "%s%d_X%g_L%g_V%g_T%g"
+    (Gate.to_string p.P.kind) p.P.fanin p.P.size p.P.length p.P.vdd p.P.vth
+
+let floats xs =
+  Array.to_list xs |> List.map (Printf.sprintf "%.4g") |> String.concat ", "
+
+let table buf ~indent ~name ~f =
+  let pad = String.make indent ' ' in
+  Printf.bprintf buf "%s%s (nldm_template) {\n" pad name;
+  Printf.bprintf buf "%s  index_1 (\"%s\");\n" pad (floats slew_axis);
+  Printf.bprintf buf "%s  index_2 (\"%s\");\n" pad (floats load_axis);
+  Printf.bprintf buf "%s  values ( \\\n" pad;
+  Array.iteri
+    (fun i slew ->
+      let row =
+        Array.map (fun load -> f ~slew ~load) load_axis
+      in
+      Printf.bprintf buf "%s    \"%s\"%s \\\n" pad (floats row)
+        (if i = Array.length slew_axis - 1 then "" else ","))
+    slew_axis;
+  Printf.bprintf buf "%s  );\n%s}\n" pad pad
+
+let logic_function (p : P.t) pins =
+  let j op = String.concat op pins in
+  match p.P.kind with
+  | Gate.Input -> invalid_arg "Liberty_export: Input"
+  | Gate.Buf -> List.hd pins
+  | Gate.Not -> "!" ^ List.hd pins
+  | Gate.And -> j " & "
+  | Gate.Nand -> "!(" ^ j " & " ^ ")"
+  | Gate.Or -> j " | "
+  | Gate.Nor -> "!(" ^ j " | " ^ ")"
+  | Gate.Xor -> j " ^ "
+  | Gate.Xnor -> "!(" ^ j " ^ " ^ ")"
+
+let cell lib (p : P.t) =
+  let buf = Buffer.create 2048 in
+  let pins = List.init p.P.fanin (fun i -> Printf.sprintf "A%d" i) in
+  Printf.bprintf buf "  cell (%s) {\n" (cell_name p);
+  Printf.bprintf buf "    area : %.4f;\n" (Library.area lib p);
+  Printf.bprintf buf "    cell_leakage_power : %.6g;\n"
+    (1000. *. Library.leakage_power lib p) (* uW *);
+  Printf.bprintf buf "    ser_critical_charge : %.4g;\n"
+    (G.critical_charge p ~node_cap:(2. +. G.output_cap p) ~output_low:true);
+  List.iter
+    (fun pin ->
+      Printf.bprintf buf "    pin (%s) {\n" pin;
+      Printf.bprintf buf "      direction : input;\n";
+      Printf.bprintf buf "      capacitance : %.5f;\n"
+        (Library.input_cap lib p);
+      Printf.bprintf buf "    }\n")
+    pins;
+  Printf.bprintf buf "    pin (Y) {\n";
+  Printf.bprintf buf "      direction : output;\n";
+  Printf.bprintf buf "      function : \"%s\";\n" (logic_function p pins);
+  Printf.bprintf buf "      timing () {\n";
+  Printf.bprintf buf "        related_pin : \"%s\";\n" (String.concat " " pins);
+  table buf ~indent:8 ~name:"cell_rise" ~f:(fun ~slew ~load ->
+      Library.delay lib p ~input_ramp:slew ~cload:load);
+  table buf ~indent:8 ~name:"rise_transition" ~f:(fun ~slew ~load ->
+      Library.output_ramp lib p ~input_ramp:slew ~cload:load);
+  Printf.bprintf buf "      }\n";
+  (* non-standard: strike response *)
+  Printf.bprintf buf "      ser_glitch_width (charge_template) {\n";
+  Printf.bprintf buf "        index_1 (\"%s\");\n" (floats charge_axis);
+  Printf.bprintf buf "        values (\"%s\");\n"
+    (floats
+       (Array.map
+          (fun q ->
+            Library.generated_glitch_width lib p
+              ~node_cap:(2. +. G.output_cap p) ~charge:q ~output_low:true)
+          charge_axis));
+  Printf.bprintf buf "      }\n";
+  Printf.bprintf buf "    }\n";
+  Printf.bprintf buf "  }\n";
+  Buffer.contents buf
+
+let library ?(name = "ser70") lib ~cells =
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "library (%s) {\n" name;
+  Buffer.add_string buf
+    "  delay_model : table_lookup;\n\
+    \  time_unit : \"1ps\";\n\
+    \  voltage_unit : \"1V\";\n\
+    \  capacitive_load_unit (1, ff);\n\
+    \  leakage_power_unit : \"1uW\";\n\
+    \  lu_table_template (nldm_template) {\n\
+    \    variable_1 : input_net_transition;\n\
+    \    variable_2 : total_output_net_capacitance;\n\
+    \  }\n";
+  List.iter (fun p -> Buffer.add_string buf (cell lib p)) cells;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ?name path lib ~cells =
+  let oc = open_out path in
+  output_string oc (library ?name lib ~cells);
+  close_out oc

@@ -1,0 +1,28 @@
+(** Export of characterised cells in (a practical subset of) the
+    Liberty ".lib" format: NLDM-style delay and transition tables over
+    an (input slew x output load) grid, pin capacitances, leakage and
+    area — so the library this tool sizes against can be inspected
+    with standard EDA tooling.
+
+    Two non-standard attributes are added under a [ser_] prefix:
+    the strike-generated glitch width table and the critical charge,
+    since those are what this library exists to model. *)
+
+val cell :
+  Library.t -> Ser_device.Cell_params.t -> string
+(** One [cell { ... }] group. *)
+
+val library :
+  ?name:string ->
+  Library.t ->
+  cells:Ser_device.Cell_params.t list ->
+  string
+(** A full [library { ... }] document with technology header and the
+    given cells. *)
+
+val write :
+  ?name:string ->
+  string ->
+  Library.t ->
+  cells:Ser_device.Cell_params.t list ->
+  unit

@@ -1,0 +1,170 @@
+module Gate = Ser_netlist.Gate
+module Cell_params = Ser_device.Cell_params
+module Gate_model = Ser_device.Gate_model
+module Lut = Ser_table.Lut
+
+type backend = Analytic | Transient
+
+type axes = {
+  sizes : float list;
+  lengths : float list;
+  vdds : float list;
+  vths : float list;
+}
+
+let default_axes =
+  {
+    sizes = [ 1.; 2.; 4.; 8. ];
+    lengths = [ 70.; 100.; 150.; 250.; 300. ];
+    vdds = [ 0.8; 1.0; 1.2 ];
+    vths = [ 0.1; 0.2; 0.3 ];
+  }
+
+let restrict ?sizes ?lengths ?vdds ?vths ax =
+  {
+    sizes = Option.value ~default:ax.sizes sizes;
+    lengths = Option.value ~default:ax.lengths lengths;
+    vdds = Option.value ~default:ax.vdds vdds;
+    vths = Option.value ~default:ax.vths vths;
+  }
+
+module Pmap = Map.Make (struct
+  type t = Cell_params.t
+
+  let compare = Cell_params.compare
+end)
+
+type tables = {
+  mutable timing : Lut.t * Lut.t; (* delay, ramp over (input_ramp, cload) *)
+}
+
+type t = {
+  backend : backend;
+  ax : axes;
+  mutable timing_cache : tables Pmap.t;
+  mutable glitch_cache : (Lut.t * Lut.t) Pmap.t;
+      (* (node_cap, charge) grids for output_low = (true, false) *)
+}
+
+let create ?(backend = Analytic) ?(axes = default_axes) () =
+  if axes.sizes = [] || axes.lengths = [] || axes.vdds = [] || axes.vths = []
+  then invalid_arg "Library.create: empty axis";
+  { backend; ax = axes; timing_cache = Pmap.empty; glitch_cache = Pmap.empty }
+
+let backend t = t.backend
+let axes t = t.ax
+
+let variants t kind fanin =
+  if kind = Gate.Input then invalid_arg "Library.variants: Input";
+  List.concat_map
+    (fun size ->
+      List.concat_map
+        (fun length ->
+          List.concat_map
+            (fun vdd ->
+              List.filter_map
+                (fun vth ->
+                  if vth < vdd then Some (Cell_params.v ~size ~length ~vdd ~vth kind fanin)
+                  else None)
+                t.ax.vths)
+            t.ax.vdds)
+        t.ax.lengths)
+    t.ax.sizes
+
+let closest target candidates =
+  List.fold_left
+    (fun best x ->
+      match best with
+      | None -> Some x
+      | Some b -> if Float.abs (x -. target) < Float.abs (b -. target) then Some x else best)
+    None candidates
+  |> Option.get
+
+let nominal t kind fanin =
+  let size = List.fold_left Float.min (List.hd t.ax.sizes) t.ax.sizes in
+  let length = List.fold_left Float.min (List.hd t.ax.lengths) t.ax.lengths in
+  let vdd = closest 1.0 t.ax.vdds in
+  let vth = closest 0.2 (List.filter (fun v -> v < vdd) t.ax.vths) in
+  Cell_params.v ~size ~length ~vdd ~vth kind fanin
+
+let input_cap _ p = Gate_model.input_cap p
+let output_cap _ p = Gate_model.output_cap p
+let area _ p = Gate_model.area p
+let leakage_power _ p = Gate_model.leakage_power p
+let switching_energy _ p ~cload = Gate_model.switching_energy p ~cload
+
+(* Characterisation grids. Loads span FO1-ish to heavy multi-fanout,
+   scaled by drive size so big cells see proportionally big loads. *)
+let ramp_axis = [| 2.; 10.; 30.; 80.; 160. |]
+
+let cload_axis (p : Cell_params.t) =
+  Array.map (fun m -> m *. Float.max 1. p.size) [| 0.3; 0.8; 2.; 5.; 12.; 30. |]
+
+let charge_axis = [| 2.; 4.; 8.; 16.; 32.; 64. |]
+
+let ncap_axis (p : Cell_params.t) =
+  Array.map (fun m -> m *. Float.max 1. p.size) [| 0.3; 0.8; 2.; 5.; 12.; 30. |]
+
+let timing_tables t p =
+  match Pmap.find_opt p t.timing_cache with
+  | Some tb -> tb.timing
+  | None ->
+    let axes = [| ramp_axis; cload_axis p |] in
+    let measure q =
+      Ser_spice.Char.delay_and_ramp p ~cload:q.(1) ~input_ramp:q.(0)
+    in
+    (* sample once per grid point, share between both tables *)
+    let cache = Hashtbl.create 64 in
+    let cached q =
+      let key = (q.(0), q.(1)) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let r = measure q in
+        Hashtbl.replace cache key r;
+        r
+    in
+    let delay_tbl = Lut.build ~axes ~f:(fun q -> fst (cached (Array.copy q))) in
+    let ramp_tbl = Lut.build ~axes ~f:(fun q -> snd (cached (Array.copy q))) in
+    t.timing_cache <- Pmap.add p { timing = (delay_tbl, ramp_tbl) } t.timing_cache;
+    (delay_tbl, ramp_tbl)
+
+let delay t p ~input_ramp ~cload =
+  match t.backend with
+  | Analytic -> Gate_model.delay p ~input_ramp ~cload
+  | Transient ->
+    let d, _ = timing_tables t p in
+    Lut.eval2 d input_ramp cload
+
+let output_ramp t p ~input_ramp ~cload =
+  match t.backend with
+  | Analytic -> Gate_model.output_ramp p ~input_ramp ~cload
+  | Transient ->
+    let _, r = timing_tables t p in
+    Lut.eval2 r input_ramp cload
+
+let glitch_tables t p =
+  match Pmap.find_opt p t.glitch_cache with
+  | Some tb -> tb
+  | None ->
+    let axes = [| ncap_axis p; charge_axis |] in
+    let build output_low =
+      Lut.build ~axes ~f:(fun q ->
+          (* the char harness takes the external load; subtract our own
+             junction contribution from the requested node capacitance *)
+          let cload = Float.max 0.05 (q.(0) -. Gate_model.output_cap p) in
+          Ser_spice.Char.generated_glitch_width p ~cload ~charge:q.(1)
+            ~output_low)
+    in
+    let tb = (build true, build false) in
+    t.glitch_cache <- Pmap.add p tb t.glitch_cache;
+    tb
+
+let generated_glitch_width t p ~node_cap ~charge ~output_low =
+  match t.backend with
+  | Analytic -> Gate_model.generated_glitch_width p ~node_cap ~charge ~output_low
+  | Transient ->
+    let low_tbl, high_tbl = glitch_tables t p in
+    Lut.eval2 (if output_low then low_tbl else high_tbl) node_cap charge
+
+let warm_cache_size t = Pmap.cardinal t.timing_cache + Pmap.cardinal t.glitch_cache

@@ -1,0 +1,371 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+
+let c17 () =
+  let b = Circuit.Builder.create ~name:"c17" () in
+  let i1 = Circuit.Builder.add_input b "1" in
+  let i2 = Circuit.Builder.add_input b "2" in
+  let i3 = Circuit.Builder.add_input b "3" in
+  let i6 = Circuit.Builder.add_input b "6" in
+  let i7 = Circuit.Builder.add_input b "7" in
+  let g10 = Circuit.Builder.add_gate b ~name:"10" Gate.Nand [ i1; i3 ] in
+  let g11 = Circuit.Builder.add_gate b ~name:"11" Gate.Nand [ i3; i6 ] in
+  let g16 = Circuit.Builder.add_gate b ~name:"16" Gate.Nand [ i2; g11 ] in
+  let g19 = Circuit.Builder.add_gate b ~name:"19" Gate.Nand [ g11; i7 ] in
+  let g22 = Circuit.Builder.add_gate b ~name:"22" Gate.Nand [ g10; g16 ] in
+  let g23 = Circuit.Builder.add_gate b ~name:"23" Gate.Nand [ g16; g19 ] in
+  Circuit.Builder.set_output b g22;
+  Circuit.Builder.set_output b g23;
+  Circuit.Builder.build_exn b
+
+type profile = {
+  pr_name : string;
+  pr_inputs : int;
+  pr_outputs : int;
+  pr_gates : int;
+  pr_depth : int;
+  pr_xor_heavy : bool;
+}
+
+let profiles =
+  [
+    { pr_name = "c432"; pr_inputs = 36; pr_outputs = 7; pr_gates = 160; pr_depth = 17; pr_xor_heavy = false };
+    { pr_name = "c499"; pr_inputs = 41; pr_outputs = 32; pr_gates = 202; pr_depth = 11; pr_xor_heavy = true };
+    { pr_name = "c880"; pr_inputs = 60; pr_outputs = 26; pr_gates = 383; pr_depth = 24; pr_xor_heavy = false };
+    { pr_name = "c1355"; pr_inputs = 41; pr_outputs = 32; pr_gates = 546; pr_depth = 24; pr_xor_heavy = true };
+    { pr_name = "c1908"; pr_inputs = 33; pr_outputs = 25; pr_gates = 880; pr_depth = 40; pr_xor_heavy = false };
+    { pr_name = "c2670"; pr_inputs = 233; pr_outputs = 140; pr_gates = 1193; pr_depth = 32; pr_xor_heavy = false };
+    { pr_name = "c3540"; pr_inputs = 50; pr_outputs = 22; pr_gates = 1669; pr_depth = 47; pr_xor_heavy = false };
+    { pr_name = "c5315"; pr_inputs = 178; pr_outputs = 123; pr_gates = 2307; pr_depth = 49; pr_xor_heavy = false };
+    { pr_name = "c6288"; pr_inputs = 32; pr_outputs = 32; pr_gates = 2406; pr_depth = 124; pr_xor_heavy = false };
+    { pr_name = "c7552"; pr_inputs = 207; pr_outputs = 108; pr_gates = 3512; pr_depth = 43; pr_xor_heavy = false };
+  ]
+
+let profile name = List.find_opt (fun p -> p.pr_name = name) profiles
+
+(* ------------------------------------------------------------------ *)
+(* XOR-heavy structural generator: a single-error-correcting circuit   *)
+(* echoing c499 (and c1355, its NAND expansion). 32 data bits and 6    *)
+(* check bits feed Hamming-style syndrome XOR trees; the syndrome is   *)
+(* decoded to a one-hot correction that is XORed back into the data.   *)
+(* ------------------------------------------------------------------ *)
+
+let build_sec ~name ~expand_xor =
+  let b = Circuit.Builder.create ~name () in
+  let add = Circuit.Builder.add_gate b in
+  (* XOR2 either as one gate or as the classic 4-NAND expansion. *)
+  let xor2 x y =
+    if not expand_xor then add Gate.Xor [ x; y ]
+    else begin
+      let n1 = add Gate.Nand [ x; y ] in
+      let n2 = add Gate.Nand [ x; n1 ] in
+      let n3 = add Gate.Nand [ y; n1 ] in
+      add Gate.Nand [ n2; n3 ]
+    end
+  in
+  let rec xor_tree = function
+    | [] -> invalid_arg "xor_tree: empty"
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: c :: rest -> xor2 a c :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      xor_tree (pair xs)
+  in
+  let data = Array.init 32 (fun i -> Circuit.Builder.add_input b (Printf.sprintf "d%d" i)) in
+  let check = Array.init 6 (fun i -> Circuit.Builder.add_input b (Printf.sprintf "p%d" i)) in
+  let enable = Array.init 3 (fun i -> Circuit.Builder.add_input b (Printf.sprintf "en%d" i)) in
+  (* syndrome bit k = parity of data positions whose (i+1) has bit k set,
+     xored with check bit k *)
+  let syndrome =
+    Array.init 6 (fun k ->
+        let group =
+          List.filter_map
+            (fun i -> if (i + 1) land (1 lsl k) <> 0 then Some data.(i) else None)
+            (List.init 32 Fun.id)
+        in
+        xor_tree (group @ [ check.(k) ]))
+  in
+  let syndrome_bar = Array.map (fun s -> add Gate.Not [ s ]) syndrome in
+  let literal k v = if v then syndrome.(k) else syndrome_bar.(k) in
+  (* two-level one-hot decode: low 3 bits and high 3 bits separately *)
+  let onehot base =
+    Array.init 8 (fun v ->
+        let l0 = literal base (v land 1 <> 0) in
+        let l1 = literal (base + 1) (v land 2 <> 0) in
+        let l2 = literal (base + 2) (v land 4 <> 0) in
+        let a = add Gate.And [ l0; l1 ] in
+        add Gate.And [ a; l2 ])
+  in
+  let lo = onehot 0 and hi = onehot 3 in
+  let en_a = add Gate.And [ enable.(0); enable.(1) ] in
+  let en = add Gate.And [ en_a; enable.(2) ] in
+  let outputs =
+    Array.init 32 (fun i ->
+        let pos = i + 1 in
+        let sel = add Gate.And [ lo.(pos land 7); hi.(pos lsr 3) ] in
+        let corr = add Gate.And [ sel; en ] in
+        xor2 data.(i) corr)
+  in
+  Array.iter (fun o -> Circuit.Builder.set_output b o) outputs;
+  match Circuit.Builder.build_trimmed b with
+  | Ok c -> c
+  | Error msg -> failwith ("Iscas.build_sec: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Structural generator for c6288: a real n x n array multiplier       *)
+(* (c6288 is the ISCAS'85 16x16 multiplier). Implemented as rows of    *)
+(* half/full adders accumulating partial products; the outputs really  *)
+(* compute a * b, which the tests verify against integer arithmetic.   *)
+(* ------------------------------------------------------------------ *)
+
+let build_multiplier ~name ~bits =
+  let b = Circuit.Builder.create ~name () in
+  let add = Circuit.Builder.add_gate b in
+  let a_in = Array.init bits (fun i -> Circuit.Builder.add_input b (Printf.sprintf "a%d" i)) in
+  let b_in = Array.init bits (fun i -> Circuit.Builder.add_input b (Printf.sprintf "b%d" i)) in
+  let pp i j = add Gate.And [ a_in.(i); b_in.(j) ] in
+  let half_adder x y = (add Gate.Xor [ x; y ], add Gate.And [ x; y ]) in
+  let full_adder x y z =
+    let s1 = add Gate.Xor [ x; y ] in
+    let c1 = add Gate.And [ x; y ] in
+    let s = add Gate.Xor [ s1; z ] in
+    let c2 = add Gate.And [ s1; z ] in
+    (s, add Gate.Or [ c1; c2 ])
+  in
+  let acc = Array.make (2 * bits) None in
+  for j = 0 to bits - 1 do
+    acc.(j) <- Some (pp 0 j)
+  done;
+  for i = 1 to bits - 1 do
+    let carry = ref None in
+    for j = 0 to bits - 1 do
+      let pos = i + j in
+      let addend = pp i j in
+      match (acc.(pos), !carry) with
+      | None, None -> acc.(pos) <- Some addend
+      | Some x, None ->
+        let s, c = half_adder x addend in
+        acc.(pos) <- Some s;
+        carry := Some c
+      | None, Some cy ->
+        let s, c = half_adder cy addend in
+        acc.(pos) <- Some s;
+        carry := Some c
+      | Some x, Some cy ->
+        let s, c = full_adder x addend cy in
+        acc.(pos) <- Some s;
+        carry := Some c
+    done;
+    (* ripple the row's final carry into the higher accumulator bits *)
+    let pos = ref (i + bits) in
+    while !carry <> None do
+      let cy = Option.get !carry in
+      (match acc.(!pos) with
+      | None ->
+        acc.(!pos) <- Some cy;
+        carry := None
+      | Some x ->
+        let s, c = half_adder x cy in
+        acc.(!pos) <- Some s;
+        carry := Some c);
+      incr pos
+    done
+  done;
+  Array.iteri
+    (fun k slot ->
+      match slot with
+      | Some id ->
+        let po = add ~name:(Printf.sprintf "p%d" k) Gate.Buf [ id ] in
+        Circuit.Builder.set_output b po
+      | None -> ())
+    acc;
+  match Circuit.Builder.build_trimmed b with
+  | Ok c -> c
+  | Error msg -> failwith ("Iscas.build_multiplier: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Generic random DAG generator matching PI/PO/gate-count/depth.       *)
+(* ------------------------------------------------------------------ *)
+
+(* A mutable pool of node ids that still lack fanout; drawing from it
+   with priority keeps dangling logic (trimmed at the end) minimal. *)
+module Pool = struct
+  type t = { mutable ids : int array; mutable len : int; mutable pos : int array }
+  (* pos.(id) = index in ids, or -1 *)
+
+  let create capacity = { ids = Array.make (max 1 capacity) 0; len = 0; pos = Array.make (max 1 capacity) (-1) }
+
+  let ensure t id =
+    if id >= Array.length t.pos then begin
+      let np = Array.make (max (id + 1) (2 * Array.length t.pos)) (-1) in
+      Array.blit t.pos 0 np 0 (Array.length t.pos);
+      t.pos <- np
+    end;
+    if t.len >= Array.length t.ids then begin
+      let ni = Array.make (2 * Array.length t.ids) 0 in
+      Array.blit t.ids 0 ni 0 t.len;
+      t.ids <- ni
+    end
+
+  let add t id =
+    ensure t id;
+    if t.pos.(id) < 0 then begin
+      t.ids.(t.len) <- id;
+      t.pos.(id) <- t.len;
+      t.len <- t.len + 1
+    end
+
+  let remove t id =
+    if id < Array.length t.pos && t.pos.(id) >= 0 then begin
+      let idx = t.pos.(id) in
+      let last = t.ids.(t.len - 1) in
+      t.ids.(idx) <- last;
+      t.pos.(last) <- idx;
+      t.pos.(id) <- -1;
+      t.len <- t.len - 1
+    end
+
+  let draw t rng =
+    if t.len = 0 then None else Some t.ids.(Ser_rng.Rng.int rng t.len)
+
+  let mem t id = id < Array.length t.pos && t.pos.(id) >= 0
+end
+
+let level_weights depth =
+  (* unimodal shape: grows from the inputs, peaks around 40% depth *)
+  Array.init depth (fun i ->
+      let t = float_of_int (i + 1) /. float_of_int depth in
+      (0.25 +. t) *. (1.15 -. t))
+
+let allocate_levels rng ~gates ~depth =
+  let w = level_weights depth in
+  let total_w = Array.fold_left ( +. ) 0. w in
+  let alloc = Array.make depth 1 in
+  let remaining = ref (gates - depth) in
+  if !remaining < 0 then invalid_arg "Iscas.synthesize: fewer gates than depth";
+  (* proportional allocation, then distribute the rounding remainder *)
+  for l = 0 to depth - 1 do
+    let share = int_of_float (floor (w.(l) /. total_w *. float_of_int (gates - depth))) in
+    alloc.(l) <- alloc.(l) + share;
+    remaining := !remaining - share
+  done;
+  while !remaining > 0 do
+    let l = Ser_rng.Rng.int rng depth in
+    alloc.(l) <- alloc.(l) + 1;
+    decr remaining
+  done;
+  alloc
+
+let pick_kind rng ~xor_heavy ~fanin =
+  if fanin = 1 then if Ser_rng.Rng.bernoulli rng 0.8 then Gate.Not else Gate.Buf
+  else if xor_heavy then
+    Ser_rng.Rng.choose_weighted rng
+      [| (Gate.Xor, 0.45); (Gate.Xnor, 0.15); (Gate.Nand, 0.15);
+         (Gate.Nor, 0.1); (Gate.And, 0.1); (Gate.Or, 0.05) |]
+  else
+    Ser_rng.Rng.choose_weighted rng
+      [| (Gate.Nand, 0.34); (Gate.Nor, 0.18); (Gate.And, 0.2);
+         (Gate.Or, 0.14); (Gate.Xor, 0.09); (Gate.Xnor, 0.05) |]
+
+let pick_fanin_count rng =
+  Ser_rng.Rng.choose_weighted rng
+    [| (1, 0.12); (2, 0.6); (3, 0.18); (4, 0.07); (5, 0.03) |]
+
+let synthesize ?(seed = 1) p =
+  if p.pr_name = "c6288" then build_multiplier ~name:"c6288_like" ~bits:16
+  else if p.pr_xor_heavy then
+    build_sec ~name:(p.pr_name ^ "_like") ~expand_xor:(p.pr_gates > 400)
+  else begin
+    let rng = Ser_rng.Rng.create (seed + Hashtbl.hash p.pr_name) in
+    let b = Circuit.Builder.create ~name:(p.pr_name ^ "_like") () in
+    let pool = Pool.create (p.pr_gates + p.pr_inputs) in
+    let level_of = Hashtbl.create (p.pr_gates + p.pr_inputs) in
+    let by_level = Array.make (p.pr_depth + 1) [] in
+    let record id level =
+      Hashtbl.replace level_of id level;
+      by_level.(level) <- id :: by_level.(level);
+      Pool.add pool id
+    in
+    for i = 0 to p.pr_inputs - 1 do
+      let id = Circuit.Builder.add_input b (Printf.sprintf "i%d" i) in
+      record id 0
+    done;
+    let alloc = allocate_levels rng ~gates:p.pr_gates ~depth:p.pr_depth in
+    let gate_ids = ref [] in
+    for level = 1 to p.pr_depth do
+      let prev = Array.of_list by_level.(level - 1) in
+      for _ = 1 to alloc.(level - 1) do
+        let fanin_count = pick_fanin_count rng in
+        let kind = pick_kind rng ~xor_heavy:false ~fanin:fanin_count in
+        (* first pin comes from the previous level to pin the gate's level *)
+        let first = Ser_rng.Rng.choose rng prev in
+        let chosen = ref [ first ] in
+        let tries = ref 0 in
+        while List.length !chosen < fanin_count && !tries < 50 do
+          incr tries;
+          let candidate =
+            if Ser_rng.Rng.bernoulli rng 0.7 then Pool.draw pool rng else None
+          in
+          let candidate =
+            match candidate with
+            | Some id when Hashtbl.find level_of id < level -> Some id
+            | Some _ | None ->
+              (* geometric walk back from the previous level for locality *)
+              let rec back l =
+                if l = 0 || Ser_rng.Rng.bernoulli rng 0.55 then l else back (l - 1)
+              in
+              let l = back (level - 1) in
+              let nodes = by_level.(l) in
+              (match nodes with
+              | [] -> None
+              | _ -> Some (List.nth nodes (Ser_rng.Rng.int rng (List.length nodes))))
+          in
+          match candidate with
+          | Some id when not (List.mem id !chosen) -> chosen := id :: !chosen
+          | Some _ | None -> ()
+        done;
+        let fanin = !chosen in
+        let kind =
+          (* arity may have fallen short of the draw; re-derive the kind *)
+          match List.length fanin with
+          | 1 -> pick_kind rng ~xor_heavy:false ~fanin:1
+          | _ when kind = Gate.Not || kind = Gate.Buf ->
+            pick_kind rng ~xor_heavy:false ~fanin:2
+          | _ -> kind
+        in
+        let id = Circuit.Builder.add_gate b kind fanin in
+        List.iter (fun f -> Pool.remove pool f) fanin;
+        record id level;
+        gate_ids := id :: !gate_ids
+      done
+    done;
+    (* Primary outputs: prefer gates that still lack fanout (sinks),
+       highest levels first, topped up with the most recent gates. *)
+    let is_sink id = Pool.mem pool id in
+    let gates_desc = Array.of_list !gate_ids in
+    let sinks = Array.to_list gates_desc |> List.filter is_sink in
+    let others = Array.to_list gates_desc |> List.filter (fun id -> not (is_sink id)) in
+    let count = ref 0 in
+    List.iter
+      (fun id ->
+        if !count < p.pr_outputs then begin
+          Circuit.Builder.set_output b id;
+          incr count
+        end)
+      (sinks @ others);
+    match Circuit.Builder.build_trimmed b with
+    | Ok c -> c
+    | Error msg -> failwith ("Iscas.synthesize: " ^ msg)
+  end
+
+let names = "c17" :: List.map (fun p -> p.pr_name) profiles
+
+let load ?seed name =
+  if name = "c17" then c17 ()
+  else
+    match profile name with
+    | Some p -> synthesize ?seed p
+    | None -> invalid_arg (Printf.sprintf "Iscas.load: unknown benchmark %S" name)

@@ -1,0 +1,60 @@
+(** Benchmark circuits.
+
+    The ISCAS'85 suite itself is distributed as netlist files we do not
+    bundle; instead this module provides
+
+    - the tiny c17 circuit verbatim (its 6-NAND structure is public
+      knowledge and fits in a dozen lines),
+    - a deterministic synthetic generator that reproduces the
+      {e published statistics} of each ISCAS'85 circuit (primary
+      input/output counts, gate count, logic depth, gate-kind mix), and
+    - a registry keyed by benchmark name.
+
+    Real [.bench] files, when available, can be loaded with
+    {!Ser_netlist.Bench_format.parse_file} and used everywhere a
+    synthetic circuit is used. *)
+
+val c17 : unit -> Ser_netlist.Circuit.t
+(** The exact ISCAS'85 c17 netlist: 5 inputs, 2 outputs, 6 NAND2. *)
+
+type profile = {
+  pr_name : string;
+  pr_inputs : int;
+  pr_outputs : int;
+  pr_gates : int;   (** target gate count (excluding PIs) *)
+  pr_depth : int;   (** target logic depth *)
+  pr_xor_heavy : bool;
+      (** build around XOR trees (c499/c1355-style error-correcting
+          structure) *)
+}
+
+val profiles : profile list
+(** Published statistics for c432, c499, c880, c1355, c1908, c2670,
+    c3540, c5315, c6288, c7552. *)
+
+val profile : string -> profile option
+(** Look up by name ("c432", ...). *)
+
+val synthesize : ?seed:int -> profile -> Ser_netlist.Circuit.t
+(** Deterministically generate a circuit matching a profile. The same
+    [seed] (default 1) always yields the same circuit. PI/PO counts are
+    exact; gate count and depth land within a few percent of the
+    profile for the random profiles. Three benchmarks are structural
+    rather than random: c499/c1355 are genuine single-error correctors
+    (c1355 with XORs expanded to NANDs, as in the original), and c6288
+    is a real 16x16 array multiplier whose outputs compute [a * b]
+    (gate count ~30% below the published figure because the original
+    uses a NOR-only mapping). *)
+
+val build_multiplier : name:string -> bits:int -> Ser_netlist.Circuit.t
+(** The array-multiplier generator behind c6288: [2*bits] inputs,
+    [2*bits] product outputs. Exposed for tests and for generating
+    arithmetic workloads of other widths. *)
+
+val load : ?seed:int -> string -> Ser_netlist.Circuit.t
+(** [load name] returns c17 verbatim, or a synthetic circuit for any
+    profiled benchmark name ("c432" gives the circuit named
+    "c432_like"). Raises [Invalid_argument] for unknown names. *)
+
+val names : string list
+(** All names accepted by {!load}, smallest first. *)

@@ -1,0 +1,34 @@
+type t = {
+  kind : Ser_netlist.Gate.kind;
+  fanin : int;
+  size : float;
+  length : float;
+  vdd : float;
+  vth : float;
+}
+
+let v ?(size = 1.0) ?(length = 70.) ?(vdd = 1.0) ?(vth = 0.2) kind fanin =
+  if size <= 0. then invalid_arg "Cell_params.v: size must be positive";
+  if length < Mosfet.l_min then invalid_arg "Cell_params.v: length below 70 nm";
+  if vdd <= 0. || vdd > 2. then invalid_arg "Cell_params.v: vdd outside (0, 2]";
+  if vth <= 0. || vth >= vdd then invalid_arg "Cell_params.v: vth outside (0, vdd)";
+  if kind = Ser_netlist.Gate.Input then
+    invalid_arg "Cell_params.v: Input is not a cell";
+  if
+    fanin < Ser_netlist.Gate.min_fanin kind
+    || fanin > Ser_netlist.Gate.max_fanin kind
+  then invalid_arg "Cell_params.v: fan-in out of range";
+  { kind; fanin; size; length; vdd; vth }
+
+let nominal kind fanin = v kind fanin
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let to_string p =
+  Printf.sprintf "%s%d x%.2f L%.0f V%.2f T%.2f"
+    (Ser_netlist.Gate.to_string p.kind)
+    p.fanin p.size p.length p.vdd p.vth
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

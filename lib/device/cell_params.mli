@@ -1,0 +1,39 @@
+(** Electrical parameters of one gate instance — the four knobs SERTOPT
+    tunes (size, channel length, supply voltage, threshold voltage) plus
+    the gate's logic identity. *)
+
+type t = {
+  kind : Ser_netlist.Gate.kind;
+  fanin : int;
+  size : float;   (** width multiplier; 1.0 = 100 nm NMOS *)
+  length : float; (** channel length in nm; 70 is minimum *)
+  vdd : float;    (** supply voltage, V *)
+  vth : float;    (** threshold voltage magnitude, V *)
+}
+
+val v :
+  ?size:float ->
+  ?length:float ->
+  ?vdd:float ->
+  ?vth:float ->
+  Ser_netlist.Gate.kind ->
+  int ->
+  t
+(** [v kind fanin] with nominal defaults: size 1.0, length 70 nm,
+    VDD 1.0 V, Vth 0.2 V (the paper's baseline corner). Raises
+    [Invalid_argument] on non-positive size, length < 70, vdd outside
+    (0, 2], vth outside (0, vdd), or a fan-in outside the gate's legal
+    range. *)
+
+val nominal : Ser_netlist.Gate.kind -> int -> t
+(** [v kind fanin] with all defaults. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order; usable as a [Map] key for memoisation. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["NAND2 x1.0 L70 V1.00 T0.20"]. *)
+
+val to_string : t -> string

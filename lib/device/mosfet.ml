@@ -1,0 +1,54 @@
+type polarity = Nmos | Pmos
+
+type t = {
+  polarity : polarity;
+  vth : float;
+  beta : float;
+  alpha : float;
+  kv : float;
+  leak0 : float;
+  sslope : float;
+}
+
+(* Calibration targets for the 70 nm node: a size-1 (W = 100 nm,
+   L = 70 nm) NMOS at VDD = 1.0 V, Vth = 0.2 V drives ~60 uA, giving
+   FO4 delays in the 15-20 ps range with ~0.4 fF gate input caps. *)
+
+let nmos ~vth =
+  { polarity = Nmos; vth; beta = 0.056; alpha = 1.3; kv = 0.6;
+    leak0 = 2.9e-3; sslope = 0.0375 }
+
+let pmos ~vth =
+  { polarity = Pmos; vth; beta = 0.025; alpha = 1.3; kv = 0.6;
+    leak0 = 1.4e-3; sslope = 0.0375 }
+
+let subthreshold m ~w_over_l ~vgs ~vds =
+  let scale = 1. -. exp (-.vds /. 0.025) in
+  m.leak0 *. w_over_l *. exp ((vgs -. m.vth) /. m.sslope) *. Float.max 0. scale
+
+let drain_current m ~w_over_l ~vgs ~vds =
+  if vds <= 0. then 0.
+  else if vgs <= m.vth then subthreshold m ~w_over_l ~vgs ~vds
+  else begin
+    let vov = vgs -. m.vth in
+    let idsat = m.beta *. w_over_l *. (vov ** m.alpha) in
+    let vdsat = m.kv *. (vov ** (m.alpha /. 2.)) in
+    if vds >= vdsat then idsat
+    else
+      let r = vds /. vdsat in
+      idsat *. r *. (2. -. r)
+  end
+
+let saturation_current m ~w_over_l ~vgs =
+  if vgs <= m.vth then 0.
+  else m.beta *. w_over_l *. ((vgs -. m.vth) ** m.alpha)
+
+let leakage_current m ~w_over_l ~vdd =
+  subthreshold m ~w_over_l ~vgs:0. ~vds:vdd
+
+let cox_area = 1.5e-5 (* fF/nm^2: 15 fF/um^2 *)
+let c_overlap = 3.0e-4 (* fF/nm of width *)
+let c_junction = 4.0e-4 (* fF/nm of width *)
+let w_min = 100.
+let l_min = 70.
+let pmos_width_ratio = 2.0

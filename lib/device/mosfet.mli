@@ -1,0 +1,58 @@
+(** Alpha-power-law MOSFET model (Sakurai–Newton) calibrated to a
+    70 nm-class predictive technology, standing in for the BPTM SPICE
+    models the paper characterises against.
+
+    Units follow {!Ser_util.Units}: volts, femtofarads, picoseconds,
+    and current in fC/ps (numerically mA). *)
+
+type polarity = Nmos | Pmos
+
+type t = {
+  polarity : polarity;
+  vth : float;  (** threshold voltage magnitude, V *)
+  beta : float; (** drive strength per unit W/L at (Vgs-Vth) = 1 V, mA *)
+  alpha : float; (** velocity-saturation index, ~1.3 at 70 nm *)
+  kv : float;   (** Vdsat = kv * (Vgs-Vth)^(alpha/2) *)
+  leak0 : float; (** subthreshold scale current per unit W/L, mA *)
+  sslope : float; (** subthreshold slope factor n * vT, V *)
+}
+
+val nmos : vth:float -> t
+(** 70 nm-class NMOS with the given threshold voltage. *)
+
+val pmos : vth:float -> t
+(** Matching PMOS (≈0.45x NMOS mobility). [vth] is the magnitude. *)
+
+val drain_current : t -> w_over_l:float -> vgs:float -> vds:float -> float
+(** [drain_current m ~w_over_l ~vgs ~vds] is the drain current in mA for
+    terminal voltages given in the device's own convention: for PMOS
+    pass source-referred magnitudes ([vgs] = Vsg, [vds] = Vsd). Both
+    must be non-negative; above-threshold conduction follows the
+    alpha-power law with a linear region below Vdsat, below threshold an
+    exponential subthreshold tail. *)
+
+val saturation_current : t -> w_over_l:float -> vgs:float -> float
+(** Drain current deep in saturation. *)
+
+val leakage_current : t -> w_over_l:float -> vdd:float -> float
+(** Off-state (Vgs = 0, Vds = vdd) leakage in mA. *)
+
+(** {1 Technology constants} *)
+
+val cox_area : float
+(** Gate-oxide capacitance, fF per nm^2. *)
+
+val c_overlap : float
+(** Gate overlap + fringe capacitance, fF per nm of width. *)
+
+val c_junction : float
+(** Drain junction capacitance, fF per nm of width. *)
+
+val w_min : float
+(** Minimum (size 1) NMOS width, nm. *)
+
+val l_min : float
+(** Minimum channel length, nm. *)
+
+val pmos_width_ratio : float
+(** Wp / Wn in the standard cells. *)

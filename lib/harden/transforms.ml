@@ -1,0 +1,169 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+
+let majority3 ?name b x y z =
+  let gate_name suffix = Option.map (fun n -> n ^ suffix) name in
+  let xy = Circuit.Builder.add_gate b ?name:(gate_name "_vxy") Gate.And [ x; y ] in
+  let xz = Circuit.Builder.add_gate b ?name:(gate_name "_vxz") Gate.And [ x; z ] in
+  let yz = Circuit.Builder.add_gate b ?name:(gate_name "_vyz") Gate.And [ y; z ] in
+  Circuit.Builder.add_gate b ?name:(gate_name "_vote") Gate.Or [ xy; xz; yz ]
+
+(* Copy the gates of [c] into builder [b], reading primary inputs from
+   [pi_map] and returning the id map for this copy. *)
+let copy_logic b (c : Circuit.t) ~pi_map ~suffix =
+  let id_map = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri (fun pos id -> id_map.(id) <- pi_map.(pos)) c.inputs;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if nd.kind <> Gate.Input then begin
+        let fanin = Array.to_list (Array.map (fun f -> id_map.(f)) nd.fanin) in
+        let name = nd.name ^ suffix in
+        id_map.(nd.id) <- Circuit.Builder.add_gate b ~name nd.kind fanin
+      end)
+    c.nodes;
+  id_map
+
+let tmr (c : Circuit.t) =
+  let b = Circuit.Builder.create ~name:(c.name ^ "_tmr") () in
+  let pi_map =
+    Array.map (fun id -> Circuit.Builder.add_input b (Circuit.node c id).name) c.inputs
+  in
+  let copy_a = copy_logic b c ~pi_map ~suffix:"_a" in
+  let copy_b = copy_logic b c ~pi_map ~suffix:"_b" in
+  let copy_c = copy_logic b c ~pi_map ~suffix:"_c" in
+  Array.iter
+    (fun po ->
+      let v = majority3 b copy_a.(po) copy_b.(po) copy_c.(po) in
+      Circuit.Builder.set_output b v)
+    c.outputs;
+  Circuit.Builder.build_exn b
+
+let duplicate_with_compare (c : Circuit.t) =
+  let b = Circuit.Builder.create ~name:(c.name ^ "_ced") () in
+  let pi_map =
+    Array.map (fun id -> Circuit.Builder.add_input b (Circuit.node c id).name) c.inputs
+  in
+  let main = copy_logic b c ~pi_map ~suffix:"" in
+  let shadow = copy_logic b c ~pi_map ~suffix:"_dup" in
+  (* original outputs stay primary *)
+  Array.iter (fun po -> Circuit.Builder.set_output b main.(po)) c.outputs;
+  (* comparator: XOR per pair, OR-tree to one error flag *)
+  let mismatches =
+    Array.to_list
+      (Array.map
+         (fun po -> Circuit.Builder.add_gate b Gate.Xor [ main.(po); shadow.(po) ])
+         c.outputs)
+  in
+  let rec or_tree = function
+    | [] -> invalid_arg "duplicate_with_compare: no outputs"
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: b' :: rest -> Circuit.Builder.add_gate b Gate.Or [ a; b' ] :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      or_tree (pair xs)
+  in
+  let err =
+    match mismatches with
+    | [ single ] -> Circuit.Builder.add_gate b ~name:"err" Gate.Buf [ single ]
+    | _ ->
+      let tree = or_tree mismatches in
+      Circuit.Builder.add_gate b ~name:"err" Gate.Buf [ tree ]
+  in
+  Circuit.Builder.set_output b err;
+  Circuit.Builder.build_exn b
+
+let selective_tmr (c : Circuit.t) ~protect =
+  let n = Circuit.node_count c in
+  if Array.length protect <> n then
+    invalid_arg "Transforms.selective_tmr: protect length mismatch";
+  let b = Circuit.Builder.create ~name:(c.name ^ "_ptmr") () in
+  (* per-node: either one net (unprotected) or three copies *)
+  let single = Array.make n (-1) in
+  let copies = Array.make n [||] in
+  let voters = Hashtbl.create 16 in
+  let voted id =
+    match Hashtbl.find_opt voters id with
+    | Some v -> v
+    | None ->
+      let cs = copies.(id) in
+      let v = majority3 ~name:(Circuit.node c id).Circuit.name b cs.(0) cs.(1) cs.(2) in
+      Hashtbl.replace voters id v;
+      v
+  in
+  (* the net an unprotected consumer reads *)
+  let resolved id =
+    if Circuit.is_input c id then single.(id)
+    else if protect.(id) then voted id
+    else single.(id)
+  in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      let id = nd.id in
+      if nd.kind = Gate.Input then single.(id) <- Circuit.Builder.add_input b nd.name
+      else if protect.(id) then
+        copies.(id) <-
+          Array.init 3 (fun k ->
+              let fanin =
+                Array.to_list nd.fanin
+                |> List.map (fun f ->
+                       if (not (Circuit.is_input c f)) && protect.(f) then
+                         copies.(f).(k)
+                       else resolved f)
+              in
+              Circuit.Builder.add_gate b
+                ~name:(Printf.sprintf "%s_t%d" nd.name k)
+                nd.kind fanin)
+      else begin
+        let fanin = Array.to_list nd.fanin |> List.map resolved in
+        single.(id) <- Circuit.Builder.add_gate b ~name:nd.name nd.kind fanin
+      end)
+    c.nodes;
+  Array.iter (fun po -> Circuit.Builder.set_output b (resolved po)) c.outputs;
+  match Circuit.Builder.build_trimmed b with
+  | Ok t -> t
+  | Error msg -> failwith ("Transforms.selective_tmr: " ^ msg)
+
+let softest_gates (a : Aserta.Analysis.t) ~fraction =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Transforms.softest_gates: fraction outside [0, 1]";
+  let u = a.Aserta.Analysis.unreliability in
+  let n = Array.length u in
+  let order = Array.init n Fun.id in
+  Array.sort (fun x y -> compare u.(y) u.(x)) order;
+  let gates = Array.fold_left (fun acc v -> if v > 0. then acc + 1 else acc) 0 u in
+  let keep = int_of_float (ceil (fraction *. float_of_int gates)) in
+  let protect = Array.make n false in
+  Array.iteri (fun rank id -> if rank < keep && u.(id) > 0. then protect.(id) <- true) order;
+  protect
+
+type ced_coverage = {
+  corrupting_strikes : int;
+  detected : int;
+}
+
+let ced_coverage ?(vectors = 20) ?(seed = 5) (c : Circuit.t) =
+  let n_pos = Array.length c.outputs in
+  if n_pos < 2 then invalid_arg "Transforms.ced_coverage: need data + err outputs";
+  let err_pos = n_pos - 1 in
+  let rng = Ser_rng.Rng.create seed in
+  let corrupting = ref 0 and detected = ref 0 in
+  for _ = 1 to vectors do
+    let vec = Array.map (fun _ -> Ser_rng.Rng.bool rng) c.inputs in
+    for gate = 0 to Circuit.node_count c - 1 do
+      if not (Circuit.is_input c gate) then begin
+        let flips =
+          Ser_logicsim.Probs.detection_counts_for_vector c vec ~strike:gate
+        in
+        let data_hit = ref false in
+        Array.iteri (fun pos hit -> if pos <> err_pos && hit then data_hit := true) flips;
+        if !data_hit then begin
+          incr corrupting;
+          if flips.(err_pos) then incr detected
+        end
+      end
+    done
+  done;
+  { corrupting_strikes = !corrupting; detected = !detected }

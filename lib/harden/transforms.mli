@@ -1,0 +1,62 @@
+(** Classical structural hardening transforms — the techniques the
+    paper's introduction positions SERTOPT against: triplication with
+    voting and duplication with concurrent error detection (CED). Both
+    are implemented as netlist-to-netlist transforms so their real
+    costs (area, energy, delay) and their real masking behaviour can be
+    measured with the same ASERTA/fault-simulation machinery as the
+    optimized circuits.
+
+    The paper's claim to reproduce: these methods have "too high delay,
+    area and power overheads to be used in commercial applications",
+    while SERTOPT achieves its reduction at zero delay overhead. *)
+
+val tmr : Ser_netlist.Circuit.t -> Ser_netlist.Circuit.t
+(** Triple-modular redundancy: three copies of the whole combinational
+    block (sharing the primary inputs) with a 2-of-3 majority voter
+    (3 AND2 + 1 OR3) at every primary output. Single internal strikes
+    are logically masked by construction — ASERTA's fault simulation
+    discovers this without being told. *)
+
+val duplicate_with_compare : Ser_netlist.Circuit.t -> Ser_netlist.Circuit.t
+(** Concurrent error detection by duplication: two copies of the block;
+    the original outputs are kept and an extra primary output ["err"]
+    raises when any output pair disagrees (XOR per pair, OR tree).
+    Detection does not mask errors — it enables a system-level retry,
+    which is what the paper means by "system level overheads (such as
+    pipeline flushes)". *)
+
+val majority3 :
+  ?name:string -> Ser_netlist.Circuit.Builder.t -> int -> int -> int -> int
+(** [majority3 b x y z] appends a 2-of-3 majority network and returns
+    its output node (exposed for reuse and tests). [name] prefixes the
+    four voter gates' names (needed when the builder also carries
+    copied nets whose names could collide with auto-generated ones). *)
+
+val selective_tmr :
+  Ser_netlist.Circuit.t -> protect:bool array -> Ser_netlist.Circuit.t
+(** Partial triplication in the spirit of the paper's reference [5]
+    (Mohanram & Touba's cost-effective partial duplication): only the
+    gates with [protect.(id) = true] are triplicated; every net that
+    leaves the protected region (feeds an unprotected gate or a primary
+    output) gets a majority voter. Strikes inside the protected region
+    are masked; the overhead scales with the region size instead of the
+    whole circuit. The transform preserves the logic function.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val softest_gates :
+  Aserta.Analysis.t -> fraction:float -> bool array
+(** Convenience selector: marks the top [fraction] (0..1) of gates by
+    ASERTA unreliability — the natural protection set for
+    {!selective_tmr}. *)
+
+type ced_coverage = {
+  corrupting_strikes : int; (** (gate, vector) pairs that flipped a data output *)
+  detected : int;           (** of those, how many raised the error flag *)
+}
+
+val ced_coverage :
+  ?vectors:int -> ?seed:int -> Ser_netlist.Circuit.t -> ced_coverage
+(** Fault-simulate a {!duplicate_with_compare} circuit: over random
+    vectors and single strikes on every gate, count data-corrupting
+    strikes and how many the checker flags. The error output must be
+    the last primary output (as built by {!duplicate_with_compare}). *)

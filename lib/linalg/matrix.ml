@@ -1,0 +1,288 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative size";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init rows cols f =
+  let m = create rows cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      m.data.((r * cols) + c) <- f r c
+    done
+  done;
+  m
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  let cols = if rows = 0 then 0 else Array.length rows_arr.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+    rows_arr;
+  init rows cols (fun r c -> rows_arr.(r).(c))
+
+let identity n = init n n (fun r c -> if r = c then 1. else 0.)
+
+let get m r c = m.data.((r * m.cols) + c)
+let set m r c v = m.data.((r * m.cols) + c) <- v
+
+let copy m = { m with data = Array.copy m.data }
+
+let transpose m = init m.cols m.rows (fun r c -> get m c r)
+
+let row m r = Array.sub m.data (r * m.cols) m.cols
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create a.rows b.cols in
+  for r = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let av = a.data.((r * a.cols) + k) in
+      if av <> 0. then
+        for c = 0 to b.cols - 1 do
+          m.data.((r * m.cols) + c) <-
+            m.data.((r * m.cols) + c) +. (av *. b.data.((k * b.cols) + c))
+        done
+    done
+  done;
+  m
+
+let mat_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Matrix.mat_vec: dimension mismatch";
+  Array.init a.rows (fun r ->
+      let base = r * a.cols in
+      let acc = ref 0. in
+      for c = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(base + c) *. x.(c))
+      done;
+      !acc)
+
+let vec_mat x a =
+  if a.rows <> Array.length x then invalid_arg "Matrix.vec_mat: dimension mismatch";
+  Array.init a.cols (fun c ->
+      let acc = ref 0. in
+      for r = 0 to a.rows - 1 do
+        acc := !acc +. (x.(r) *. a.data.((r * a.cols) + c))
+      done;
+      !acc)
+
+let scale k m = { m with data = Array.map (fun v -> k *. v) m.data }
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.add: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+
+let max_abs m = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. m.data
+
+let rref ?(tol = 1e-10) m =
+  let m = copy m in
+  let scale_tol = tol *. Float.max 1. (max_abs m) in
+  let pivots = ref [] in
+  let pivot_row = ref 0 in
+  for col = 0 to m.cols - 1 do
+    if !pivot_row < m.rows then begin
+      (* find the largest-magnitude candidate pivot in this column *)
+      let best = ref !pivot_row in
+      for r = !pivot_row + 1 to m.rows - 1 do
+        if Float.abs (get m r col) > Float.abs (get m !best col) then best := r
+      done;
+      if Float.abs (get m !best col) > scale_tol then begin
+        (* swap rows *)
+        if !best <> !pivot_row then
+          for c = 0 to m.cols - 1 do
+            let tmp = get m !best c in
+            set m !best c (get m !pivot_row c);
+            set m !pivot_row c tmp
+          done;
+        let pv = get m !pivot_row col in
+        for c = 0 to m.cols - 1 do
+          set m !pivot_row c (get m !pivot_row c /. pv)
+        done;
+        for r = 0 to m.rows - 1 do
+          if r <> !pivot_row then begin
+            let factor = get m r col in
+            if factor <> 0. then
+              for c = 0 to m.cols - 1 do
+                set m r c (get m r c -. (factor *. get m !pivot_row c))
+              done
+          end
+        done;
+        pivots := col :: !pivots;
+        incr pivot_row
+      end
+    end
+  done;
+  (m, List.rev !pivots)
+
+let rank ?tol m =
+  let _, pivots = rref ?tol m in
+  List.length pivots
+
+let nullspace ?tol m =
+  let r, pivots = rref ?tol m in
+  let is_pivot = Array.make m.cols false in
+  let pivot_of_col = Array.make m.cols (-1) in
+  List.iteri
+    (fun i col ->
+      is_pivot.(col) <- true;
+      pivot_of_col.(col) <- i)
+    pivots;
+  let free_cols =
+    List.filter (fun c -> not is_pivot.(c)) (List.init m.cols (fun c -> c))
+  in
+  let basis_of_free free =
+    let v = Array.make m.cols 0. in
+    v.(free) <- 1.;
+    List.iter
+      (fun pcol ->
+        let prow = pivot_of_col.(pcol) in
+        v.(pcol) <- -.get r prow free)
+      pivots;
+    v
+  in
+  Array.of_list (List.map basis_of_free free_cols)
+
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve: not square";
+  if a.rows <> Array.length b then invalid_arg "Matrix.solve: dimension mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  let singular = ref false in
+  (* forward elimination with partial pivoting *)
+  for col = 0 to n - 1 do
+    if not !singular then begin
+      let best = ref col in
+      for r = col + 1 to n - 1 do
+        if Float.abs (get m r col) > Float.abs (get m !best col) then best := r
+      done;
+      if Float.abs (get m !best col) < 1e-300 then singular := true
+      else begin
+        if !best <> col then begin
+          for c = 0 to n - 1 do
+            let tmp = get m !best c in
+            set m !best c (get m col c);
+            set m col c tmp
+          done;
+          let tmp = x.(!best) in
+          x.(!best) <- x.(col);
+          x.(col) <- tmp
+        end;
+        for r = col + 1 to n - 1 do
+          let factor = get m r col /. get m col col in
+          if factor <> 0. then begin
+            for c = col to n - 1 do
+              set m r c (get m r c -. (factor *. get m col c))
+            done;
+            x.(r) <- x.(r) -. (factor *. x.(col))
+          end
+        done
+      end
+    end
+  done;
+  if !singular then None
+  else begin
+    for r = n - 1 downto 0 do
+      let acc = ref x.(r) in
+      for c = r + 1 to n - 1 do
+        acc := !acc -. (get m r c *. x.(c))
+      done;
+      x.(r) <- !acc /. get m r r
+    done;
+    Some x
+  end
+
+(* Cholesky factorization; mutates [l] in place. Returns false on breakdown. *)
+let cholesky_in_place l n =
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then
+      for j = 0 to i do
+        let acc = ref (get l i j) in
+        for k = 0 to j - 1 do
+          acc := !acc -. (get l i k *. get l j k)
+        done;
+        if i = j then
+          if !acc <= 0. then ok := false else set l i i (sqrt !acc)
+        else set l i j (!acc /. get l j j)
+      done
+  done;
+  !ok
+
+let solve_spd a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve_spd: not square";
+  let n = a.rows in
+  let attempt ridge =
+    let l = copy a in
+    if ridge > 0. then
+      for i = 0 to n - 1 do
+        set l i i (get l i i +. ridge)
+      done;
+    if cholesky_in_place l n then begin
+      (* forward substitution: L y = b *)
+      let y = Array.copy b in
+      for i = 0 to n - 1 do
+        let acc = ref y.(i) in
+        for k = 0 to i - 1 do
+          acc := !acc -. (get l i k *. y.(k))
+        done;
+        y.(i) <- !acc /. get l i i
+      done;
+      (* backward substitution: L^T x = y *)
+      let x = y in
+      for i = n - 1 downto 0 do
+        let acc = ref x.(i) in
+        for k = i + 1 to n - 1 do
+          acc := !acc -. (get l k i *. x.(k))
+        done;
+        x.(i) <- !acc /. get l i i
+      done;
+      Some x
+    end
+    else None
+  in
+  let base = max_abs a in
+  let rec try_ridges = function
+    | [] -> None
+    | r :: rest -> (
+      match attempt (r *. Float.max base 1e-12) with
+      | Some x -> Some x
+      | None -> try_ridges rest)
+  in
+  try_ridges [ 0.; 1e-12; 1e-9; 1e-6 ]
+
+let lstsq a b =
+  let at = transpose a in
+  let ata = mul at a in
+  let atb = mat_vec at b in
+  match solve_spd ata atb with
+  | Some x -> x
+  | None -> Array.make a.cols 0.
+
+let project_onto_nullspace t v =
+  if t.rows = 0 then Array.copy v
+  else begin
+    if t.cols <> Array.length v then
+      invalid_arg "Matrix.project_onto_nullspace: dimension mismatch";
+    let tv = mat_vec t v in
+    let tt = mul t (transpose t) in
+    match solve_spd tt tv with
+    | None -> Array.copy v
+    | Some y ->
+      let correction = vec_mat y t in
+      Array.init t.cols (fun i -> v.(i) -. correction.(i))
+  end
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for r = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.4f" (get m r c)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "@]"

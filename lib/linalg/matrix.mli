@@ -1,0 +1,77 @@
+(** Dense row-major matrices and the small amount of numerical linear
+    algebra the optimizer needs: Gaussian elimination, rank, nullspace
+    bases, linear solves and least squares.
+
+    Sizes in this code base are modest (the path-topology matrix is
+    [K x N] with [K] at most a few hundred), so simplicity and numerical
+    robustness are preferred over asymptotic speed. *)
+
+type t = private { rows : int; cols : int; data : float array }
+(** [data.(r * cols + c)] is the element at row [r], column [c]. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] fills element [(r, c)] with [f r c]. *)
+
+val of_rows : float array array -> t
+(** Build from an array of equal-length rows (copied). *)
+
+val identity : int -> t
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val row : t -> int -> float array
+(** Copy of a row. *)
+
+val mul : t -> t -> t
+(** Matrix product. Raises [Invalid_argument] on dimension mismatch. *)
+
+val mat_vec : t -> float array -> float array
+(** [mat_vec a x] is [a * x]. *)
+
+val vec_mat : float array -> t -> float array
+(** [vec_mat x a] is [x^T * a] as a vector. *)
+
+val scale : float -> t -> t
+
+val add : t -> t -> t
+
+val rref : ?tol:float -> t -> t * int list
+(** [rref m] is the reduced row-echelon form together with the list of
+    pivot column indices (ascending). [tol] (default [1e-10]) is the
+    magnitude below which a candidate pivot is treated as zero, scaled
+    by the largest absolute entry of the matrix. *)
+
+val rank : ?tol:float -> t -> int
+
+val nullspace : ?tol:float -> t -> float array array
+(** [nullspace m] is a basis of [{ x | m x = 0 }], one vector per free
+    column of the RREF. The empty array means the kernel is trivial. *)
+
+val solve : t -> float array -> float array option
+(** [solve a b] solves the square system [a x = b] by Gaussian
+    elimination with partial pivoting. [None] when singular. *)
+
+val solve_spd : t -> float array -> float array option
+(** [solve_spd a b] solves [a x = b] for a symmetric positive
+    (semi-)definite [a] by Cholesky with a small diagonal ridge added on
+    breakdown. [None] if even the regularised factorization fails. *)
+
+val lstsq : t -> float array -> float array
+(** [lstsq a b] minimises [|a x - b|_2] via the normal equations with
+    automatic ridge regularisation. *)
+
+val project_onto_nullspace : t -> float array -> float array
+(** [project_onto_nullspace t v] is the orthogonal projection of [v]
+    onto [{ x | t x = 0 }], computed as [v - t^T y] where
+    [(t t^T) y = t v]. Cost is O(K^2 N + K^3) for a [K x N] matrix, so
+    it is cheap when there are few rows — the intended use, with [t] the
+    path-topology matrix. Rank-deficient [t] is handled through the
+    ridge in {!solve_spd}. *)
+
+val pp : Format.formatter -> t -> unit

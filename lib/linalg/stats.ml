@@ -1,0 +1,80 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  let frac = pos -. float_of_int lo in
+  Ser_util.Floatx.lerp sorted.(lo) sorted.(hi) frac
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  {
+    n;
+    mean = Ser_util.Floatx.mean xs;
+    stddev = Ser_util.Floatx.stddev xs;
+    min = Ser_util.Floatx.array_min xs;
+    max = Ser_util.Floatx.array_max xs;
+    median = percentile xs 50.;
+  }
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n = 0 then 0.
+  else
+    let mx = Ser_util.Floatx.mean xs and my = Ser_util.Floatx.mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx <= 0. || !syy <= 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+(* Fractional ranks with ties averaged. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let rms_error xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.rms_error: length mismatch";
+  if n = 0 then 0.
+  else
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. ys.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int n)

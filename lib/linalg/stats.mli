@@ -1,0 +1,30 @@
+(** Summary statistics used by the experiment reports, most importantly
+    the Pearson correlation with which the paper compares ASERTA against
+    SPICE (Fig. 3: 0.96 on c432, 0.9 suite average). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on the empty array. *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation of two equal-length samples.
+    Returns [0.] when either sample has zero variance. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson on fractional ranks, ties
+    averaged). *)
+
+val rms_error : float array -> float array -> float
+(** Root-mean-square difference of two equal-length samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0, 100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty array. *)

@@ -1,0 +1,39 @@
+(** Bit-parallel (word-level) zero-delay logic simulation: every bit
+    position of a machine word carries an independent input pattern, so
+    one pass evaluates {!bits_per_word} vectors at once. *)
+
+val bits_per_word : int
+(** Patterns carried per word (62 on a 64-bit platform: the OCaml int
+    less a safety bit). *)
+
+val popcount : int -> int
+(** Number of set bits among the low {!bits_per_word} bits. *)
+
+val mask_of : int -> int
+(** [mask_of k] has the low [k] bits set; [k <= bits_per_word]. *)
+
+type batch = {
+  n_patterns : int;          (** patterns in this batch, <= bits_per_word *)
+  values : int array;        (** one word per node id *)
+}
+
+val eval : Ser_netlist.Circuit.t -> pi_words:int array -> n_patterns:int -> batch
+(** Evaluate the circuit for packed input patterns ([pi_words] indexed
+    like [inputs]). Bits above [n_patterns] are unspecified. *)
+
+val random_batch :
+  ?pi_probs:float array ->
+  Ser_rng.Rng.t ->
+  Ser_netlist.Circuit.t ->
+  n_patterns:int ->
+  batch
+(** Random input patterns. By default every input bit is a fair coin;
+    [pi_probs] (indexed like [inputs]) biases each primary input to be
+    1 with the given probability — the "input signal statistics" hook
+    of Section 3.1. *)
+
+val eval_vector : Ser_netlist.Circuit.t -> bool array -> bool array
+(** Single-pattern convenience: node values for one input vector. *)
+
+val ones_count : batch -> int -> int
+(** Number of patterns under which a node evaluates to 1. *)

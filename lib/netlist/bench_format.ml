@@ -1,0 +1,185 @@
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_gate of string * Gate.kind * string list
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let a = ref 0 and b = ref (n - 1) in
+  while !a < n && is_space s.[!a] do incr a done;
+  while !b >= !a && is_space s.[!b] do decr b done;
+  String.sub s !a (!b - !a + 1)
+
+(* Parse "HEAD(arg1, arg2, ...)" returning (head, args). *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '('"
+  | Some lp ->
+    if s.[String.length s - 1] <> ')' then fail line "expected ')'";
+    let head = strip (String.sub s 0 lp) in
+    let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+    let args =
+      String.split_on_char ',' inner |> List.map strip
+      |> List.filter (fun a -> a <> "")
+    in
+    (head, args)
+
+let parse_statement line s =
+  match String.index_opt s '=' with
+  | Some eq ->
+    let lhs = strip (String.sub s 0 eq) in
+    if lhs = "" then fail line "empty left-hand side";
+    let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
+    let head, args = parse_call line rhs in
+    (match Gate.of_string head with
+    | None -> fail line (Printf.sprintf "unknown gate kind %S" head)
+    | Some Gate.Input -> fail line "INPUT cannot appear on the right-hand side"
+    | Some kind ->
+      if args = [] then fail line "gate with no inputs";
+      St_gate (lhs, kind, args))
+  | None ->
+    let head, args = parse_call line s in
+    (match String.uppercase_ascii head, args with
+    | "INPUT", [ a ] -> St_input a
+    | "OUTPUT", [ a ] -> St_output a
+    | ("INPUT" | "OUTPUT"), _ -> fail line "INPUT/OUTPUT take one argument"
+    | _ -> fail line (Printf.sprintf "unrecognised statement %S" head))
+
+let parse_statements text =
+  let stmts = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         let line = i + 1 in
+         let no_comment =
+           match String.index_opt raw '#' with
+           | Some h -> String.sub raw 0 h
+           | None -> raw
+         in
+         let s = strip no_comment in
+         if s <> "" then stmts := (line, parse_statement line s) :: !stmts);
+  List.rev !stmts
+
+let build_circuit ~name stmts =
+  let inputs = ref [] and outputs = ref [] and gates = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_input n ->
+        if Hashtbl.mem gates n then fail line (Printf.sprintf "duplicate definition of %S" n);
+        Hashtbl.replace gates n (line, Gate.Input, []);
+        inputs := n :: !inputs;
+        order := n :: !order
+      | St_output n -> outputs := n :: !outputs
+      | St_gate (n, kind, args) ->
+        if Hashtbl.mem gates n then fail line (Printf.sprintf "duplicate definition of %S" n);
+        Hashtbl.replace gates n (line, kind, args);
+        order := n :: !order)
+    stmts;
+  ignore !inputs;
+  let outputs = List.rev !outputs in
+  let order = List.rev !order in
+  (* topological sort over net names (gates may be declared in any order) *)
+  let state = Hashtbl.create 256 in (* name -> [`Visiting | `Done] *)
+  let sorted = ref [] in
+  let rec visit chain n =
+    match Hashtbl.find_opt state n with
+    | Some `Done -> ()
+    | Some `Visiting ->
+      fail 0 (Printf.sprintf "combinational cycle through %S" n)
+    | None ->
+      (match Hashtbl.find_opt gates n with
+      | None ->
+        fail 0 (Printf.sprintf "undefined net %S referenced by %S" n chain)
+      | Some (_, _, args) ->
+        Hashtbl.replace state n `Visiting;
+        List.iter (visit n) args;
+        Hashtbl.replace state n `Done;
+        sorted := n :: !sorted)
+  in
+  List.iter (visit "<top>") order;
+  let sorted = List.rev !sorted in
+  let b = Circuit.Builder.create ~name () in
+  let ids = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      match Hashtbl.find gates n with
+      | line, Gate.Input, _ ->
+        let _ = line in
+        Hashtbl.replace ids n (Circuit.Builder.add_input b n)
+      | line, kind, args ->
+        let fanin =
+          List.map
+            (fun a ->
+              match Hashtbl.find_opt ids a with
+              | Some id -> id
+              | None -> fail line (Printf.sprintf "undefined net %S" a))
+            args
+        in
+        (* .bench uses BUF for single-input AND/OR aliases occasionally;
+           normalise 1-input AND/OR to BUF, 1-input NAND/NOR to NOT. *)
+        let kind, fanin =
+          match kind, fanin with
+          | (Gate.And | Gate.Or), [ single ] -> (Gate.Buf, [ single ])
+          | (Gate.Nand | Gate.Nor), [ single ] -> (Gate.Not, [ single ])
+          | k, f -> (k, f)
+        in
+        Hashtbl.replace ids n (Circuit.Builder.add_gate b ~name:n kind fanin))
+    sorted;
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt ids n with
+      | Some id -> Circuit.Builder.set_output b id
+      | None -> fail 0 (Printf.sprintf "OUTPUT references undefined net %S" n))
+    outputs;
+  match Circuit.Builder.build b with
+  | Ok c -> c
+  | Error msg -> fail 0 msg
+
+let parse_string ?(name = "netlist") text =
+  match build_circuit ~name (parse_statements text) with
+  | c -> Ok c
+  | exception Parse_error (0, msg) -> Error msg
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Invalid_argument msg -> Error msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "# %s: %d inputs, %d outputs, %d gates\n" c.name
+    (Array.length c.inputs) (Array.length c.outputs) (Circuit.gate_count c);
+  Array.iter
+    (fun i -> Printf.bprintf buf "INPUT(%s)\n" (Circuit.node c i).name)
+    c.inputs;
+  Array.iter
+    (fun o -> Printf.bprintf buf "OUTPUT(%s)\n" (Circuit.node c o).name)
+    c.outputs;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if nd.kind <> Gate.Input then begin
+        let args =
+          Array.to_list nd.fanin
+          |> List.map (fun f -> (Circuit.node c f).name)
+          |> String.concat ", "
+        in
+        Printf.bprintf buf "%s = %s(%s)\n" nd.name (Gate.to_string nd.kind) args
+      end)
+    c.nodes;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,27 @@
+(** Reader and writer for the ISCAS'85 / ISCAS'89 ".bench" netlist
+    format (combinational subset):
+
+    {v
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    v}
+
+    Gates may be declared in any order; the reader resolves forward
+    references and topologically sorts before building. Real ISCAS'85
+    benchmark files parse unchanged, so users with access to the
+    original suite can substitute them for the synthetic circuits. *)
+
+val parse_string : ?name:string -> string -> (Circuit.t, string) result
+(** Parse netlist text. The error message carries a line number. *)
+
+val parse_file : string -> (Circuit.t, string) result
+(** Parse a file; the circuit is named after the basename. *)
+
+val to_string : Circuit.t -> string
+(** Render a circuit back to .bench text (inputs, outputs, then gates
+    in topological order). [parse_string (to_string c)] is logically
+    identical to [c]. *)
+
+val write_file : string -> Circuit.t -> unit

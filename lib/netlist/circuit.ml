@@ -1,0 +1,338 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanin : int array;
+  fanout : int array;
+}
+
+type t = {
+  name : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+}
+
+let node_count c = Array.length c.nodes
+let gate_count c = node_count c - Array.length c.inputs
+
+let node c id =
+  if id < 0 || id >= node_count c then invalid_arg "Circuit.node: bad id";
+  c.nodes.(id)
+
+let is_input c id = (node c id).kind = Gate.Input
+
+let is_output c id =
+  let _ = node c id in
+  Array.exists (fun o -> o = id) c.outputs
+
+let find_by_name c name =
+  let n = node_count c in
+  let rec loop i =
+    if i >= n then None
+    else if c.nodes.(i).name = name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let output_index c id =
+  let n = Array.length c.outputs in
+  let rec loop i =
+    if i >= n then None else if c.outputs.(i) = id then Some i else loop (i + 1)
+  in
+  loop 0
+
+(* Ids ascend topologically by construction, so a single forward sweep
+   computes longest distances from the inputs. *)
+let levels_from_inputs c =
+  let lv = Array.make (node_count c) 0 in
+  Array.iter
+    (fun nd ->
+      if nd.kind <> Gate.Input then
+        lv.(nd.id) <-
+          1 + Array.fold_left (fun acc f -> max acc lv.(f)) (-1) nd.fanin)
+    c.nodes;
+  lv
+
+let levels_to_outputs c =
+  let n = node_count c in
+  let lv = Array.make n (-1) in
+  Array.iter (fun o -> lv.(o) <- 0) c.outputs;
+  for id = n - 1 downto 0 do
+    let nd = c.nodes.(id) in
+    Array.iter
+      (fun reader ->
+        if lv.(reader) >= 0 then lv.(id) <- max lv.(id) (lv.(reader) + 1))
+      nd.fanout
+  done;
+  lv
+
+let depth c =
+  let lv = levels_from_inputs c in
+  Array.fold_left (fun acc o -> max acc lv.(o)) 0 c.outputs
+
+let collect_marked marked =
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 marked in
+  let out = Array.make count 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun id b ->
+      if b then begin
+        out.(!k) <- id;
+        incr k
+      end)
+    marked;
+  out
+
+let fanout_cone c id =
+  let n = node_count c in
+  let _ = node c id in
+  let marked = Array.make n false in
+  marked.(id) <- true;
+  for i = id to n - 1 do
+    if marked.(i) then
+      Array.iter (fun reader -> marked.(reader) <- true) c.nodes.(i).fanout
+  done;
+  collect_marked marked
+
+let fanin_cone c id =
+  let n = node_count c in
+  let _ = node c id in
+  let marked = Array.make n false in
+  marked.(id) <- true;
+  for i = id downto 0 do
+    if marked.(i) then
+      Array.iter (fun driver -> marked.(driver) <- true) c.nodes.(i).fanin
+  done;
+  collect_marked marked
+
+let reachable_outputs c id =
+  let cone = fanout_cone c id in
+  let in_cone = Array.make (node_count c) false in
+  Array.iter (fun i -> in_cone.(i) <- true) cone;
+  let hits = ref [] in
+  Array.iteri (fun pos o -> if in_cone.(o) then hits := pos :: !hits) c.outputs;
+  Array.of_list (List.rev !hits)
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  depth : int;
+  max_fanin : int;
+  max_fanout : int;
+  kind_counts : (Gate.kind * int) list;
+}
+
+let stats c =
+  let counts = Hashtbl.create 16 in
+  let max_fi = ref 0 and max_fo = ref 0 in
+  Array.iter
+    (fun nd ->
+      max_fi := max !max_fi (Array.length nd.fanin);
+      max_fo := max !max_fo (Array.length nd.fanout);
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counts nd.kind) in
+      Hashtbl.replace counts nd.kind (cur + 1))
+    c.nodes;
+  let kind_counts =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt counts k with
+        | Some n -> Some (k, n)
+        | None -> None)
+      Gate.all
+  in
+  {
+    n_inputs = Array.length c.inputs;
+    n_outputs = Array.length c.outputs;
+    n_gates = gate_count c;
+    depth = depth c;
+    max_fanin = !max_fi;
+    max_fanout = !max_fo;
+    kind_counts;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "@[<v>inputs: %d@,outputs: %d@,gates: %d@,depth: %d@,max fan-in: %d@,max fan-out: %d@,"
+    s.n_inputs s.n_outputs s.n_gates s.depth s.max_fanin s.max_fanout;
+  List.iter
+    (fun (k, n) -> Format.fprintf fmt "%s: %d@," (Gate.to_string k) n)
+    s.kind_counts;
+  Format.fprintf fmt "@]"
+
+module Builder = struct
+  type proto = {
+    p_id : int;
+    p_name : string;
+    p_kind : Gate.kind;
+    p_fanin : int list;
+  }
+
+  type t = {
+    mutable bname : string;
+    mutable protos : proto list; (* reversed *)
+    mutable next : int;
+    mutable binputs : int list; (* reversed *)
+    mutable boutputs : int list; (* reversed *)
+    names : (string, int) Hashtbl.t;
+  }
+
+  let create ?(name = "circuit") () =
+    {
+      bname = name;
+      protos = [];
+      next = 0;
+      binputs = [];
+      boutputs = [];
+      names = Hashtbl.create 64;
+    }
+
+  let register_name b name id =
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Circuit.Builder: duplicate name %S" name);
+    Hashtbl.replace b.names name id
+
+  let add_input b name =
+    let id = b.next in
+    register_name b name id;
+    b.protos <- { p_id = id; p_name = name; p_kind = Gate.Input; p_fanin = [] } :: b.protos;
+    b.binputs <- id :: b.binputs;
+    b.next <- id + 1;
+    id
+
+  let add_gate b ?name kind fanin =
+    if kind = Gate.Input then
+      invalid_arg "Circuit.Builder.add_gate: use add_input for primary inputs";
+    let arity = List.length fanin in
+    if arity < Gate.min_fanin kind || arity > Gate.max_fanin kind then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder.add_gate: %s with fan-in %d"
+           (Gate.to_string kind) arity);
+    List.iter
+      (fun f ->
+        if f < 0 || f >= b.next then
+          invalid_arg "Circuit.Builder.add_gate: unknown fanin id")
+      fanin;
+    (match kind with
+    | Gate.Xor | Gate.Xnor ->
+      let sorted = List.sort compare fanin in
+      let rec dup = function
+        | a :: (b :: _ as rest) -> a = b || dup rest
+        | _ -> false
+      in
+      if dup sorted then
+        invalid_arg "Circuit.Builder.add_gate: duplicate fanin pin on XOR/XNOR"
+    | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+    | Gate.Nor -> ());
+    let id = b.next in
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+        (* auto-names must not collide with user-chosen names *)
+        let rec fresh candidate =
+          if Hashtbl.mem b.names candidate then fresh (candidate ^ "_")
+          else candidate
+        in
+        fresh (Printf.sprintf "n%d" id)
+    in
+    register_name b name id;
+    b.protos <- { p_id = id; p_name = name; p_kind = kind; p_fanin = fanin } :: b.protos;
+    b.next <- id + 1;
+    id
+
+  let set_output b id =
+    if id < 0 || id >= b.next then
+      invalid_arg "Circuit.Builder.set_output: unknown id";
+    if not (List.exists (fun o -> o = id) b.boutputs) then
+      b.boutputs <- id :: b.boutputs
+
+  let node_count b = b.next
+
+  let assemble b protos inputs outputs =
+    let n = Array.length protos in
+    let fanout_lists = Array.make n [] in
+    Array.iter
+      (fun p ->
+        List.iter (fun f -> fanout_lists.(f) <- p.p_id :: fanout_lists.(f)) p.p_fanin)
+      protos;
+    let nodes =
+      Array.map
+        (fun p ->
+          {
+            id = p.p_id;
+            name = p.p_name;
+            kind = p.p_kind;
+            fanin = Array.of_list p.p_fanin;
+            fanout = Array.of_list (List.rev fanout_lists.(p.p_id));
+          })
+        protos
+    in
+    { name = b.bname; nodes; inputs; outputs }
+
+  let build b =
+    let protos = Array.of_list (List.rev b.protos) in
+    let inputs = Array.of_list (List.rev b.binputs) in
+    let outputs = Array.of_list (List.rev b.boutputs) in
+    if Array.length inputs = 0 then Error "circuit has no primary inputs"
+    else if Array.length outputs = 0 then Error "circuit has no primary outputs"
+    else begin
+      let c = assemble b protos inputs outputs in
+      let dangling =
+        Array.to_list c.nodes
+        |> List.filter (fun (nd : node) ->
+               Array.length nd.fanout = 0 && not (is_output c nd.id))
+        |> List.map (fun (nd : node) -> nd.name)
+      in
+      match dangling with
+      | [] -> Ok c
+      | names ->
+        Error
+          (Printf.sprintf "dangling nodes (no fanout, not outputs): %s"
+             (String.concat ", " names))
+    end
+
+  let build_exn b =
+    match build b with Ok c -> c | Error msg -> failwith ("Circuit.Builder.build: " ^ msg)
+
+  let build_trimmed b =
+    let protos = Array.of_list (List.rev b.protos) in
+    let inputs = Array.of_list (List.rev b.binputs) in
+    let outputs = Array.of_list (List.rev b.boutputs) in
+    if Array.length inputs = 0 then Error "circuit has no primary inputs"
+    else if Array.length outputs = 0 then Error "circuit has no primary outputs"
+    else begin
+      let c0 = assemble b protos inputs outputs in
+      let n = Array.length c0.nodes in
+      (* keep = reaches some primary output; inputs are always kept *)
+      let keep = Array.make n false in
+      Array.iter (fun o -> keep.(o) <- true) outputs;
+      for id = n - 1 downto 0 do
+        if keep.(id) then
+          Array.iter (fun f -> keep.(f) <- true) c0.nodes.(id).fanin
+      done;
+      Array.iter (fun i -> keep.(i) <- true) inputs;
+      let remap = Array.make n (-1) in
+      let next = ref 0 in
+      for id = 0 to n - 1 do
+        if keep.(id) then begin
+          remap.(id) <- !next;
+          incr next
+        end
+      done;
+      let protos' =
+        Array.to_list protos
+        |> List.filter (fun p -> keep.(p.p_id))
+        |> List.map (fun p ->
+               {
+                 p with
+                 p_id = remap.(p.p_id);
+                 p_fanin = List.map (fun f -> remap.(f)) p.p_fanin;
+               })
+        |> Array.of_list
+      in
+      let inputs' = Array.map (fun i -> remap.(i)) inputs in
+      let outputs' = Array.map (fun o -> remap.(o)) outputs in
+      Ok (assemble b protos' inputs' outputs')
+    end
+end

@@ -1,0 +1,123 @@
+(** Combinational circuits as directed acyclic graphs of gates.
+
+    A circuit is an immutable array of nodes indexed by id. Ids are
+    assigned by the builder in creation order, which is also a valid
+    topological order (a gate may only reference already-created
+    nodes), so [0 .. n-1] ascending is always PI-to-PO topological and
+    descending is PO-to-PI reverse topological. *)
+
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanin : int array;  (** driver node ids, in pin order *)
+  fanout : int array; (** reader node ids, each listed once per pin *)
+}
+
+type t = private {
+  name : string;
+  nodes : node array;
+  inputs : int array;  (** ids of primary inputs, in declaration order *)
+  outputs : int array; (** ids of primary outputs, in declaration order *)
+}
+
+val node_count : t -> int
+(** Total nodes including primary inputs. *)
+
+val gate_count : t -> int
+(** Nodes that are real gates (excludes primary inputs). *)
+
+val node : t -> int -> node
+(** Raises [Invalid_argument] on an out-of-range id. *)
+
+val is_input : t -> int -> bool
+val is_output : t -> int -> bool
+
+val find_by_name : t -> string -> int option
+(** Linear scan; intended for tests and CLI lookups. *)
+
+val output_index : t -> int -> int option
+(** [output_index c id] is the position of [id] in [c.outputs], if it is
+    a primary output. *)
+
+(** {1 Traversals} *)
+
+val levels_from_inputs : t -> int array
+(** [.(id)] is the longest path length (in gates) from any primary
+    input; inputs are level 0. *)
+
+val levels_to_outputs : t -> int array
+(** [.(id)] is the longest path length to any primary output that the
+    node reaches; a primary output gate has level 0. Nodes reaching no
+    output get [-1]. *)
+
+val depth : t -> int
+(** Longest input-to-output path length in gates. *)
+
+val fanout_cone : t -> int -> int array
+(** [fanout_cone c id] is the set of nodes reachable from [id]
+    (including [id]) in ascending id order, i.e. topologically
+    sorted. *)
+
+val fanin_cone : t -> int -> int array
+(** Transitive fan-in including [id], ascending ids. *)
+
+val reachable_outputs : t -> int -> int array
+(** Primary-output {e positions} (indices into [outputs]) reachable from
+    a node, ascending. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  depth : int;
+  max_fanin : int;
+  max_fanout : int;
+  kind_counts : (Gate.kind * int) list;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type circuit := t
+
+  type t
+  (** Mutable circuit under construction. *)
+
+  val create : ?name:string -> unit -> t
+
+  val add_input : t -> string -> int
+  (** Declare a primary input; returns its id. Raises
+      [Invalid_argument] on a duplicate name. *)
+
+  val add_gate : t -> ?name:string -> Gate.kind -> int list -> int
+  (** [add_gate b kind fanin] appends a gate driven by existing node
+      ids and returns its id. A fresh name is generated when [name] is
+      omitted. Raises [Invalid_argument] for [Input] kind, unknown
+      fanin ids, arity violations, duplicate names, or duplicate fanin
+      pins on XOR/XNOR (where [a xor a] would be constant). *)
+
+  val set_output : t -> int -> unit
+  (** Mark an existing node as a primary output. Idempotent. *)
+
+  val node_count : t -> int
+
+  val build : t -> (circuit, string) result
+  (** Finalize. Fails when there are no inputs, no outputs, or a
+      non-output node with no fanout (dangling logic) — pass
+      [`Allow_dangling] situations by marking such nodes as outputs or
+      using {!build_trimmed}. *)
+
+  val build_exn : t -> circuit
+  (** Like {!build} but raises [Failure]. *)
+
+  val build_trimmed : t -> (circuit, string) result
+  (** Like {!build}, but silently deletes dangling logic (nodes from
+      which no primary output is reachable) instead of failing. Ids are
+      compacted; name-based lookup still works. *)
+end

@@ -1,0 +1,60 @@
+type annotation = {
+  label : int -> string option;
+  heat : int -> float;
+}
+
+let no_annotation = { label = (fun _ -> None); heat = (fun _ -> 0.) }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let heat_color h =
+  let h = Ser_util.Floatx.clamp ~lo:0. ~hi:1. h in
+  (* white -> red ramp *)
+  let gb = int_of_float (255. *. (1. -. h)) in
+  Printf.sprintf "#ff%02x%02x" gb gb
+
+let to_dot ?(annotation = no_annotation) (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "digraph \"%s\" {\n  rankdir=LR;\n  node [fontsize=9];\n"
+    (escape c.name);
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      let extra =
+        match annotation.label nd.id with
+        | Some l -> "\\n" ^ escape l
+        | None -> ""
+      in
+      let base_label =
+        if nd.kind = Gate.Input then escape nd.name
+        else Printf.sprintf "%s\\n%s" (escape nd.name) (Gate.to_string nd.kind)
+      in
+      let shape =
+        if nd.kind = Gate.Input then "shape=diamond"
+        else if Circuit.is_output c nd.id then "shape=doublecircle"
+        else "shape=box"
+      in
+      Printf.bprintf buf "  n%d [%s, style=filled, fillcolor=\"%s\", label=\"%s%s\"];\n"
+        nd.id shape
+        (heat_color (annotation.heat nd.id))
+        base_label extra)
+    c.nodes;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Array.iter (fun f -> Printf.bprintf buf "  n%d -> n%d;\n" f nd.id) nd.fanin)
+    c.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ?annotation path c =
+  let oc = open_out path in
+  output_string oc (to_dot ?annotation c);
+  close_out oc

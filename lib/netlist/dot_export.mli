@@ -1,0 +1,18 @@
+(** Graphviz export of circuits, optionally annotated with per-gate
+    analysis data (unreliability heat, levels, cell choices). *)
+
+type annotation = {
+  label : int -> string option;
+      (** extra label line per node id; [None] for no extra line *)
+  heat : int -> float;
+      (** 0..1 shading intensity per node id (e.g. normalised U_i) *)
+}
+
+val no_annotation : annotation
+
+val to_dot : ?annotation:annotation -> Circuit.t -> string
+(** Render as a [digraph]: inputs as diamonds, outputs double-circled,
+    gates as boxes labelled [name\nKIND], edges following fanin order.
+    [heat] shades node fills from white to red. *)
+
+val write_dot : ?annotation:annotation -> string -> Circuit.t -> unit

@@ -1,0 +1,293 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: identifiers, punctuation; comments stripped.             *)
+(* ------------------------------------------------------------------ *)
+
+type token = Ident of string | Punct of char
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = '\\' || ch = '[' || ch = ']' || ch = '$'
+  in
+  while !i < n do
+    let ch = text.[!i] in
+    if ch = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do incr i done
+    end
+    else if ch = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (text.[!i] = '*' && text.[!i + 1] = '/') do incr i done;
+      i := min n (!i + 2)
+    end
+    else if ch = ' ' || ch = '\t' || ch = '\n' || ch = '\r' then incr i
+    else if is_ident_char ch then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do incr i done;
+      tokens := Ident (String.sub text start (!i - start)) :: !tokens
+    end
+    else begin
+      tokens := Punct ch :: !tokens;
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type statement =
+  | Decl of [ `Input | `Output | `Wire ] * string list
+  | Instance of Gate.kind * string list (* output first *)
+  | Alias of string * string (* assign lhs = rhs *)
+
+let primitive = function
+  | "and" -> Some Gate.And
+  | "nand" -> Some Gate.Nand
+  | "or" -> Some Gate.Or
+  | "nor" -> Some Gate.Nor
+  | "xor" -> Some Gate.Xor
+  | "xnor" -> Some Gate.Xnor
+  | "not" -> Some Gate.Not
+  | "buf" -> Some Gate.Buf
+  | _ -> None
+
+(* split a token stream at top-level ';' *)
+let rec split_statements acc current = function
+  | [] -> if current = [] then List.rev acc else fail "missing ';'"
+  | Punct ';' :: rest -> split_statements (List.rev current :: acc) [] rest
+  | t :: rest -> split_statements acc (t :: current) rest
+
+let idents_of_commas tokens =
+  let rec loop acc expecting = function
+    | [] ->
+      if expecting && acc <> [] then fail "trailing ',' in list";
+      List.rev acc
+    | Ident x :: rest when expecting -> loop (x :: acc) false rest
+    | Punct ',' :: rest when not expecting -> loop acc true rest
+    | Ident x :: _ -> fail "unexpected identifier %S" x
+    | Punct c :: _ -> fail "unexpected %C in list" c
+  in
+  loop [] true tokens
+
+let parse_statement = function
+  | [] -> None
+  | Ident kw :: rest when kw = "input" || kw = "output" || kw = "wire" ->
+    let role =
+      match kw with "input" -> `Input | "output" -> `Output | _ -> `Wire
+    in
+    let names = idents_of_commas rest in
+    if names = [] then fail "empty %s declaration" kw;
+    Some (Decl (role, names))
+  | Ident "assign" :: Ident lhs :: Punct '=' :: Ident rhs :: [] ->
+    Some (Alias (lhs, rhs))
+  | Ident "assign" :: _ -> fail "only simple net aliases are supported in assign"
+  | Ident prim :: rest when primitive prim <> None ->
+    let kind = Option.get (primitive prim) in
+    (* optional instance name, then ( port, port, ... ) *)
+    let rest =
+      match rest with
+      | Ident _ :: (Punct '(' :: _ as r) -> r
+      | Punct '(' :: _ -> rest
+      | _ -> fail "expected port list after %S" prim
+    in
+    (match rest with
+    | Punct '(' :: inner -> begin
+      match List.rev inner with
+      | Punct ')' :: rev_ports ->
+        let ports = idents_of_commas (List.rev rev_ports) in
+        if List.length ports < 2 then fail "%s needs >= 2 ports" prim;
+        Some (Instance (kind, ports))
+      | _ -> fail "missing ')'"
+    end
+    | _ -> fail "expected '('")
+  | Ident other :: _ ->
+    fail "unsupported construct %S (structural primitives only)" other
+  | Punct c :: _ -> fail "unexpected %C" c
+
+let parse_module ?name tokens =
+  let tokens =
+    match tokens with
+    | Ident "module" :: Ident mod_name :: rest ->
+      let rest =
+        (* skip the port header "( ... )" if present *)
+        match rest with
+        | Punct '(' :: _ ->
+          let rec drop = function
+            | Punct ')' :: tl -> tl
+            | _ :: tl -> drop tl
+            | [] -> fail "unterminated module port list"
+          in
+          drop rest
+        | _ -> rest
+      in
+      (Option.value ~default:mod_name name, rest)
+    | _ -> fail "expected 'module'"
+  in
+  let mod_name, body = tokens in
+  (* strip trailing endmodule *)
+  let body =
+    let rec cut acc = function
+      | [ Ident "endmodule" ] -> List.rev acc
+      | Ident "endmodule" :: _ -> fail "content after endmodule"
+      | [] -> fail "missing endmodule"
+      | t :: rest -> cut (t :: acc) rest
+    in
+    cut [] body
+  in
+  let statements =
+    (* endmodule has no ';', so re-append a virtual separator *)
+    split_statements [] [] body |> List.filter_map parse_statement
+  in
+  let inputs = ref [] and outputs = ref [] in
+  let gates = Hashtbl.create 64 in (* net -> (kind, fanin names) *)
+  let order = ref [] in
+  let define net v =
+    if Hashtbl.mem gates net then fail "net %S driven twice" net;
+    Hashtbl.replace gates net v;
+    order := net :: !order
+  in
+  List.iter
+    (function
+      | Decl (`Input, names) ->
+        List.iter
+          (fun x ->
+            inputs := x :: !inputs;
+            define x (Gate.Input, []))
+          names
+      | Decl (`Output, names) -> outputs := List.rev_append names !outputs
+      | Decl (`Wire, _) -> ()
+      | Alias (lhs, rhs) -> define lhs (Gate.Buf, [ rhs ])
+      | Instance (kind, out :: ins) ->
+        let kind, ins =
+          (* normalise 1-input and/or like the bench reader *)
+          match (kind, ins) with
+          | (Gate.And | Gate.Or), [ one ] -> (Gate.Buf, [ one ])
+          | (Gate.Nand | Gate.Nor), [ one ] -> (Gate.Not, [ one ])
+          | k, l -> (k, l)
+        in
+        define out (kind, ins)
+      | Instance (_, []) -> assert false)
+    statements;
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let order = List.rev !order in
+  (* topological construction with cycle detection (same approach as the
+     .bench reader) *)
+  let state = Hashtbl.create 64 in
+  let sorted = ref [] in
+  let rec visit chain net =
+    match Hashtbl.find_opt state net with
+    | Some `Done -> ()
+    | Some `Visiting -> fail "combinational cycle through %S" net
+    | None ->
+      (match Hashtbl.find_opt gates net with
+      | None -> fail "undefined net %S referenced by %S" net chain
+      | Some (_, fanin) ->
+        Hashtbl.replace state net `Visiting;
+        List.iter (visit net) fanin;
+        Hashtbl.replace state net `Done;
+        sorted := net :: !sorted)
+  in
+  List.iter (visit "<top>") order;
+  List.iter (visit "<output>") outputs;
+  let b = Circuit.Builder.create ~name:mod_name () in
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun net ->
+      match Hashtbl.find gates net with
+      | Gate.Input, _ -> Hashtbl.replace ids net (Circuit.Builder.add_input b net)
+      | kind, fanin ->
+        let fanin = List.map (Hashtbl.find ids) fanin in
+        Hashtbl.replace ids net (Circuit.Builder.add_gate b ~name:net kind fanin))
+    (List.rev !sorted);
+  List.iter
+    (fun net ->
+      match Hashtbl.find_opt ids net with
+      | Some id -> Circuit.Builder.set_output b id
+      | None -> fail "output %S is not driven" net)
+    outputs;
+  (match inputs with [] -> fail "module has no inputs" | _ -> ());
+  match Circuit.Builder.build b with
+  | Ok c -> c
+  | Error msg -> fail "%s" msg
+
+let parse_string ?name text =
+  match parse_module ?name (tokenize text) with
+  | c -> Ok c
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  (* names that are not legal Verilog identifiers (e.g. the numeric net
+     names of the ISCAS circuits) get an "n" prefix, kept collision-free *)
+  let taken = Hashtbl.create 64 in
+  Array.iter
+    (fun (nd : Circuit.node) -> Hashtbl.replace taken nd.name ())
+    c.nodes;
+  let rename = Hashtbl.create 64 in
+  let sanitize raw =
+    match Hashtbl.find_opt rename raw with
+    | Some s -> s
+    | None ->
+      let ok =
+        String.length raw > 0
+        && (match raw.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+      in
+      let candidate = if ok then raw else "n" ^ raw in
+      let rec fresh x = if ok || not (Hashtbl.mem taken x) then x else fresh (x ^ "_") in
+      let final = fresh candidate in
+      Hashtbl.replace taken final ();
+      Hashtbl.replace rename raw final;
+      final
+  in
+  let name_of id = sanitize (Circuit.node c id).Circuit.name in
+  let all_ports =
+    Array.to_list (Array.map name_of c.inputs)
+    @ Array.to_list (Array.map name_of c.outputs)
+  in
+  Printf.bprintf buf "module %s (%s);\n" c.name (String.concat ", " all_ports);
+  Printf.bprintf buf "  input %s;\n"
+    (String.concat ", " (Array.to_list (Array.map name_of c.inputs)));
+  Printf.bprintf buf "  output %s;\n"
+    (String.concat ", " (Array.to_list (Array.map name_of c.outputs)));
+  let wires =
+    Array.to_list c.nodes
+    |> List.filter (fun (nd : Circuit.node) ->
+           nd.kind <> Gate.Input && not (Circuit.is_output c nd.id))
+    |> List.map (fun (nd : Circuit.node) -> name_of nd.id)
+  in
+  if wires <> [] then Printf.bprintf buf "  wire %s;\n" (String.concat ", " wires);
+  Array.iteri
+    (fun k (nd : Circuit.node) ->
+      if nd.kind <> Gate.Input then begin
+        let prim = String.lowercase_ascii (Gate.to_string nd.kind) in
+        let ports =
+          name_of nd.id :: (Array.to_list nd.fanin |> List.map name_of)
+        in
+        Printf.bprintf buf "  %s g%d (%s);\n" prim k (String.concat ", " ports)
+      end)
+    c.nodes;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,28 @@
+(** Reader and writer for the structural gate-level Verilog subset the
+    ISCAS benchmarks circulate in:
+
+    {v
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand NAND2_1 (N10, N1, N3);   // primitive: output first
+      nand (N11, N3, N6);           // instance name optional
+      assign N22 = N10;             // simple aliases become BUFs
+    endmodule
+    v}
+
+    Supported: the eight gate primitives, optional instance names,
+    [assign] aliases, [//] and [/* *]/ comments, multiple statements
+    per line. Not supported (clear errors): vectors, behavioural
+    constructs, hierarchical modules. *)
+
+val parse_string : ?name:string -> string -> (Circuit.t, string) result
+(** Parse one module. [name] overrides the module name. *)
+
+val parse_file : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** Emit structural Verilog; round-trips through {!parse_string}. *)
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,167 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Library = Ser_cell.Library
+module Assignment = Ser_sta.Assignment
+module Analysis = Aserta.Analysis
+
+type stage = {
+  stage_name : string;
+  circuit : Circuit.t;
+  assignment : Assignment.t;
+}
+
+type t = { stage_list : stage list }
+
+let of_stages = function
+  | [] -> invalid_arg "Pipeline.of_stages: empty"
+  | stage_list -> { stage_list }
+
+let create ?lib circuits =
+  if circuits = [] then invalid_arg "Pipeline.create: empty";
+  let lib = match lib with Some l -> l | None -> Library.create () in
+  of_stages
+    (List.mapi
+       (fun i c ->
+         {
+           stage_name = Printf.sprintf "stage%d:%s" (i + 1) c.Circuit.name;
+           circuit = c;
+           assignment = Assignment.uniform lib c;
+         })
+       circuits)
+
+let stages t = t.stage_list
+
+let flipflop_count t =
+  List.fold_left
+    (fun acc s -> acc + Array.length s.circuit.Circuit.outputs)
+    0 t.stage_list
+
+type report = {
+  clock_period : float;
+  min_period : float;
+  stage_ser : (string * float) list;
+  ff_ser : float;
+  total : float;
+}
+
+let analyze ?(aserta = Analysis.default_config) ?lib ?clock_period
+    ?(ff_fit = 0.05) ?(ff_overhead = 25.) t =
+  let lib = match lib with Some l -> l | None -> Library.create () in
+  let analyses =
+    List.map (fun s -> (s, Analysis.run ~config:aserta lib s.assignment)) t.stage_list
+  in
+  let min_period =
+    ff_overhead
+    +. List.fold_left
+         (fun acc (_, a) ->
+           Float.max acc a.Analysis.timing.Ser_sta.Timing.critical_delay)
+         0. analyses
+  in
+  let clock_period =
+    match clock_period with
+    | None -> min_period
+    | Some tp ->
+      if tp < min_period -. 1e-9 then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.analyze: period %.1f ps below the minimum %.1f ps" tp
+             min_period);
+      tp
+  in
+  let stage_ser =
+    List.map
+      (fun (s, a) ->
+        let acc = ref 0. in
+        let c = s.circuit in
+        for id = 0 to Circuit.node_count c - 1 do
+          if not (Circuit.is_input c id) then begin
+            let z = Library.area lib (Assignment.get s.assignment id) in
+            let row = a.Analysis.expected_width.(id) in
+            let cap = ref 0. in
+            Array.iter
+              (fun w ->
+                cap := !cap +. Aserta.Ser_rate.latch_probability ~clock_period w)
+              row;
+            acc := !acc +. (z *. !cap)
+          end
+        done;
+        (s.stage_name, !acc))
+      analyses
+  in
+  let ff_ser = ff_fit *. float_of_int (flipflop_count t) in
+  {
+    clock_period;
+    min_period;
+    stage_ser;
+    ff_ser;
+    total = ff_ser +. List.fold_left (fun acc (_, v) -> acc +. v) 0. stage_ser;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Level-based slicing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let split_by_levels (c : Circuit.t) ~stages =
+  let depth = Circuit.depth c in
+  if stages < 1 then invalid_arg "Pipeline.split_by_levels: stages < 1";
+  if stages > depth then
+    invalid_arg "Pipeline.split_by_levels: more stages than logic levels";
+  let lv = Circuit.levels_from_inputs c in
+  (* stage of a gate: band index in 1..stages; PIs are band 0 *)
+  let band id =
+    if Circuit.is_input c id then 0
+    else
+      let l = lv.(id) in
+      min stages (1 + ((l - 1) * stages / depth))
+  in
+  (* consumers' bands per node, to find boundary-crossing nets *)
+  let n = Circuit.node_count c in
+  let max_consumer_band = Array.make n 0 in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if nd.kind <> Gate.Input then
+        Array.iter
+          (fun f -> max_consumer_band.(f) <- max max_consumer_band.(f) (band nd.id))
+          nd.fanin)
+    c.nodes;
+  (* original primary outputs must emerge from the last stage *)
+  Array.iter (fun po -> max_consumer_band.(po) <- stages + 1) c.outputs;
+  let name_of id = (Circuit.node c id).Circuit.name in
+  let build_stage k =
+    let b = Circuit.Builder.create ~name:(Printf.sprintf "%s_s%d" c.Circuit.name k) () in
+    let local = Hashtbl.create 64 in
+    (* inputs of stage k: nets produced in an earlier band and consumed
+       in band k or later (pass-throughs included) *)
+    Array.iter
+      (fun (nd : Circuit.node) ->
+        let id = nd.id in
+        if band id < k && max_consumer_band.(id) >= k then
+          Hashtbl.replace local id (Circuit.Builder.add_input b (name_of id)))
+      c.nodes;
+    (* gates of band k in topological order *)
+    Array.iter
+      (fun (nd : Circuit.node) ->
+        if band nd.id = k then begin
+          let fanin =
+            Array.to_list nd.fanin
+            |> List.map (fun f ->
+                   match Hashtbl.find_opt local f with
+                   | Some x -> x
+                   | None -> invalid_arg "Pipeline.split_by_levels: broken cut")
+          in
+          Hashtbl.replace local nd.id
+            (Circuit.Builder.add_gate b ~name:(name_of nd.id) nd.kind fanin)
+        end)
+      c.nodes;
+    (* outputs: nets available here and needed strictly later *)
+    Array.iter
+      (fun (nd : Circuit.node) ->
+        let id = nd.id in
+        if band id <= k && max_consumer_band.(id) > k then
+          match Hashtbl.find_opt local id with
+          | Some x -> Circuit.Builder.set_output b x
+          | None -> ())
+      c.nodes;
+    Circuit.Builder.build_exn b
+  in
+  List.init stages (fun i -> build_stage (i + 1))

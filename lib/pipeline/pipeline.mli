@@ -1,0 +1,75 @@
+(** Sequential (pipeline) soft-error modelling — the system view behind
+    the paper's introduction: a pipeline of combinational stages
+    separated by flip-flops, where
+
+    - a faster clock widens nothing but shrinks the latching window
+      denominator, so the capture probability of every glitch rises
+      (SER grows roughly linearly with frequency);
+    - deeper pipelining puts fewer gates between any struck node and
+      the next flip-flop, eroding logical and electrical masking (the
+      "super-pipelining" effect the paper cites from [2]);
+    - the flip-flops themselves contribute a per-bit rate.
+
+    Combinational stages are analysed with ASERTA; their per-output
+    expected glitch widths are converted to capture probabilities with
+    the latching-window model [min(1, w / T)]. *)
+
+type stage = {
+  stage_name : string;
+  circuit : Ser_netlist.Circuit.t;
+  assignment : Ser_sta.Assignment.t;
+}
+
+type t
+(** An ordered list of stages. Stage boundaries are flip-flops; stage
+    [k]'s primary outputs feed stage [k+1]'s primary inputs
+    positionally (widths need not match — the connection is only used
+    for bookkeeping, each stage is analysed independently). *)
+
+val create :
+  ?lib:Ser_cell.Library.t -> Ser_netlist.Circuit.t list -> t
+(** Wrap circuits as stages with nominal (speed-optimized) assignments.
+    Raises [Invalid_argument] on an empty list. *)
+
+val of_stages : stage list -> t
+
+val stages : t -> stage list
+
+val flipflop_count : t -> int
+(** Flip-flops between stages and at the pipeline outputs: the sum of
+    every stage's primary-output count. *)
+
+type report = {
+  clock_period : float; (** ps *)
+  min_period : float;   (** slowest stage's critical delay + FF overhead *)
+  stage_ser : (string * float) list;
+      (** per-stage combinational SER contribution (capture-probability
+          weighted, flux-normalised like {!Aserta.Ser_rate}) *)
+  ff_ser : float;       (** flip-flop contribution *)
+  total : float;
+}
+
+val analyze :
+  ?aserta:Aserta.Analysis.config ->
+  ?lib:Ser_cell.Library.t ->
+  ?clock_period:float ->
+  ?ff_fit:float ->
+  ?ff_overhead:float ->
+  t ->
+  report
+(** Analyse every stage and combine. [clock_period] defaults to the
+    minimum feasible period ([min_period]); [ff_fit] (default 0.05) is
+    the per-flip-flop rate; [ff_overhead] (default 25 ps) is the
+    setup + clk-to-q margin added to the slowest stage when deriving
+    [min_period]. Raises [Invalid_argument] if [clock_period] is below
+    [min_period]. *)
+
+val split_by_levels :
+  Ser_netlist.Circuit.t -> stages:int -> Ser_netlist.Circuit.t list
+(** Cut a combinational circuit into [stages] slices of (roughly) equal
+    logic depth: gates at levels within the k-th band form stage k,
+    nets crossing a boundary become that stage's primary outputs and
+    the next stage's primary inputs. The composition of the slices is
+    logically equivalent to the original circuit. Raises
+    [Invalid_argument] when [stages < 1] or exceeds the circuit
+    depth. *)

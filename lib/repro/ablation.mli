@@ -1,0 +1,38 @@
+(** Ablation studies for the design choices DESIGN.md calls out. Each
+    returns a rendered report; all run on the c432-like circuit unless
+    stated otherwise. *)
+
+val pi_split : ?vectors:int -> ?measured_vectors:int -> unit -> string
+(** Exact Eq. 2 successor split vs the naive [S_is * P_sj] split:
+    per-gate correlation of each against the vector-replay measurement,
+    plus the Lemma-1 consistency error (how far a very wide glitch's
+    expected width lands from [ww * P_ij]). *)
+
+val sample_count : ?counts:int list -> unit -> string
+(** Sensitivity of total unreliability and runtime to the number of
+    sample glitch widths (paper: 10). *)
+
+val optimizer_variants : ?max_evals:int -> unit -> string
+(** Unreliability reduction from: nullspace direction search alone, the
+    greedy discrete refinement alone, and both (the default). *)
+
+val vector_convergence : ?counts:int list -> unit -> string
+(** RMS error of the fault-simulated [P_ij] at reduced vector counts
+    against a 20 000-vector reference. *)
+
+val charge_sweep : ?charges:float list -> unit -> string
+(** Total unreliability versus injected charge — the look-up-table
+    dimension the paper defers to future versions of ASERTA. *)
+
+val glitch_model : ?chain_length:int -> unit -> string
+(** Eq-1 width-only propagation (the paper) vs the amplitude-aware
+    model of its reference [6] vs the transient simulator, on inverter
+    chains driven by glitches of several widths: where in the
+    marginal band ([d < w < 2d]) does width-only over-predict
+    survival? *)
+
+val masking_backend : ?vectors:int -> unit -> string
+(** Monte-Carlo fault simulation (the paper's choice) vs the vectorless
+    analytic propagation: per-gate correlation, total U, and runtime on
+    c432 — quantifying what reconvergent fan-out costs the analytic
+    shortcut. *)

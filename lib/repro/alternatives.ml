@@ -1,0 +1,125 @@
+module Circuit = Ser_netlist.Circuit
+module Library = Ser_cell.Library
+module Assignment = Ser_sta.Assignment
+module Analysis = Aserta.Analysis
+module Opt = Sertopt.Optimizer
+
+type row = {
+  method_name : string;
+  area_ratio : float;
+  energy_ratio : float;
+  delay_ratio : float;
+  unreliability_ratio : float;
+  note : string;
+}
+
+type t = { circuit : string; rows : row list }
+
+let run ?(circuit = "c432") ?(vectors = 3000) ?(opt_evals = 60) () =
+  let c = Ser_circuits.Iscas.load circuit in
+  let lib = Library.create () in
+  let cfg = { Analysis.default_config with Analysis.vectors } in
+  let metrics circuit' =
+    let asg = Assignment.uniform lib circuit' in
+    let masking = Analysis.compute_masking cfg circuit' in
+    Sertopt.Cost.measure ~config:cfg ~masking lib asg
+  in
+  let base_metrics, _ = metrics c in
+  let row_of name m note =
+    let r = Sertopt.Cost.ratios ~baseline:base_metrics m in
+    {
+      method_name = name;
+      area_ratio = r.Sertopt.Cost.area;
+      energy_ratio = r.Sertopt.Cost.energy;
+      delay_ratio = r.Sertopt.Cost.delay;
+      unreliability_ratio = r.Sertopt.Cost.unreliability;
+      note;
+    }
+  in
+  (* baseline *)
+  let baseline_row = row_of "baseline" base_metrics "nominal cells" in
+  (* SERTOPT *)
+  let sertopt_row =
+    let opt_cfg =
+      {
+        Opt.default_config with
+        Opt.aserta = cfg;
+        max_evals = opt_evals;
+        greedy_passes = 1;
+        greedy_gates = 120;
+      }
+    in
+    let baseline_asg = Assignment.uniform lib c in
+    let r = Opt.optimize ~config:opt_cfg lib baseline_asg in
+    let m = r.Opt.optimized_metrics in
+    (* ratios against the same uniform baseline used for the others *)
+    row_of "SERTOPT" m "zero structural overhead"
+  in
+  (* TMR. Note the classic voter caveat that the analysis exposes by
+     itself: strikes inside the triplicated logic are voted out
+     (P_ij = 0 in the fault simulation), but the voters sit at the
+     latches, unprotected, and near-latch strikes dominate
+     combinational SER -- so plain TMR buys little here unless the
+     voters are hardened or triplicated into the latch domain. *)
+  let tmr_row =
+    let tmr = Ser_harden.Transforms.tmr c in
+    let m, _ = metrics tmr in
+    row_of "TMR + voters" m "logic voted out; unhardened voters keep the residual U"
+  in
+  (* partial TMR of the softest 20% of gates (ref [5]'s cost philosophy) *)
+  let partial_row =
+    let asg = Assignment.uniform lib c in
+    let masking = Analysis.compute_masking cfg c in
+    let analysis = Analysis.run_electrical cfg lib asg masking in
+    let protect = Ser_harden.Transforms.softest_gates analysis ~fraction:0.2 in
+    let hardened = Ser_harden.Transforms.selective_tmr c ~protect in
+    let m, _ = metrics hardened in
+    row_of "partial TMR (soft 20%)" m "triplicates only the softest cones"
+  in
+  (* CED duplication *)
+  let ced_row =
+    let ced = Ser_harden.Transforms.duplicate_with_compare c in
+    let m, _ = metrics ced in
+    let cov =
+      Ser_harden.Transforms.ced_coverage ~vectors:8 ced
+    in
+    let pct =
+      if cov.Ser_harden.Transforms.corrupting_strikes = 0 then 100.
+      else
+        100.
+        *. float_of_int cov.Ser_harden.Transforms.detected
+        /. float_of_int cov.Ser_harden.Transforms.corrupting_strikes
+    in
+    row_of "duplication + CED" m
+      (Printf.sprintf "detects %.0f%% of corrupting strikes (retry needed)" pct)
+  in
+  { circuit; rows = [ baseline_row; sertopt_row; tmr_row; partial_row; ced_row ] }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "Hardening alternatives on %s (ratios vs the unhardened baseline)\n" t.circuit;
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left ]
+      [ "method"; "area"; "energy"; "delay"; "U ratio"; "note" ]
+  in
+  List.iter
+    (fun r ->
+      Ser_util.Ascii_table.add_row tbl
+        [
+          r.method_name;
+          Printf.sprintf "%.2fX" r.area_ratio;
+          Printf.sprintf "%.2fX" r.energy_ratio;
+          Printf.sprintf "%.2fX" r.delay_ratio;
+          Printf.sprintf "%.2f" r.unreliability_ratio;
+          r.note;
+        ])
+    t.rows;
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.add_string buf
+    "(the paper's point: redundancy costs 2-3X area/energy plus checker delay\n\
+    \ while SERTOPT is structurally free; the TMR row also shows the classic\n\
+    \ voter weakness -- near-latch strikes dominate, and the voters are the\n\
+    \ new near-latch gates)\n";
+  Buffer.contents buf

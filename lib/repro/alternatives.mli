@@ -1,0 +1,28 @@
+(** Comparison of SERTOPT against the classical hardening alternatives
+    the paper's introduction cites: triple-modular redundancy and
+    duplication with concurrent error detection. Reproduces the paper's
+    motivating claim — redundancy masks (or flags) nearly everything
+    but at multiples of the original area/energy and with added delay,
+    while SERTOPT trades a smaller reduction for (near) zero overhead. *)
+
+type row = {
+  method_name : string;
+  area_ratio : float;
+  energy_ratio : float;
+  delay_ratio : float;
+  unreliability_ratio : float; (** U / U_baseline, per ASERTA *)
+  note : string;
+}
+
+type t = { circuit : string; rows : row list }
+
+val run :
+  ?circuit:string ->
+  ?vectors:int ->
+  ?opt_evals:int ->
+  unit ->
+  t
+(** Defaults: c432, 3000 masking vectors, a 60-eval + 1-greedy-pass
+    SERTOPT budget. *)
+
+val render : t -> string

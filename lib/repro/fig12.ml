@@ -1,0 +1,91 @@
+module P = Ser_device.Cell_params
+module G = Ser_device.Gate_model
+module Gate = Ser_netlist.Gate
+
+type point = { knob : float; width : float }
+
+type series = {
+  variable : string;
+  slower_when : string;
+  points : point list;
+}
+
+type t = {
+  label : string;
+  charge : float option;
+  input_width : float option;
+  series : series list;
+}
+
+let nominal = P.nominal Gate.Not 1
+
+let fo4_load = 4. *. G.input_cap nominal
+
+let sweeps points =
+  let lin lo hi = Array.to_list (Ser_util.Floatx.linspace lo hi points) in
+  [
+    ("size", "smaller", lin 1. 8., fun v -> { nominal with P.size = v });
+    ("length", "longer", lin 70. 300., fun v -> { nominal with P.length = v });
+    ("vdd", "lower", lin 0.8 1.2, fun v -> { nominal with P.vdd = v });
+    ("vth", "higher", lin 0.1 0.3, fun v -> { nominal with P.vth = v });
+  ]
+
+let run_sweeps ~points ~measure =
+  List.map
+    (fun (variable, slower_when, knobs, cell_of) ->
+      let pts =
+        List.map (fun v -> { knob = v; width = measure (cell_of v) }) knobs
+      in
+      { variable; slower_when; points = pts })
+    (sweeps points)
+
+let fig1 ?(charge = 16.) ?(points = 5) () =
+  let measure cell =
+    Ser_spice.Char.generated_glitch_width cell ~cload:fo4_load ~charge
+      ~output_low:true
+  in
+  {
+    label = Printf.sprintf "Fig 1: generated glitch width, %.0f fC strike" charge;
+    charge = Some charge;
+    input_width = None;
+    series = run_sweeps ~points ~measure;
+  }
+
+let fig2 ?(input_width = 50.) ?(points = 5) () =
+  let measure cell =
+    Ser_spice.Char.propagated_glitch_width cell ~cload:fo4_load
+      ~input_width
+  in
+  {
+    label =
+      Printf.sprintf "Fig 2: propagated glitch width, %.0f ps input glitch"
+        input_width;
+    charge = None;
+    input_width = Some input_width;
+    series = run_sweeps ~points ~measure;
+  }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (t.label ^ "\n");
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left; Ser_util.Ascii_table.Left ]
+      [ "variable"; "slower when"; "knob"; "width (ps)" ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Ser_util.Ascii_table.add_row tbl
+            [
+              s.variable;
+              s.slower_when;
+              Printf.sprintf "%.3g" p.knob;
+              Printf.sprintf "%.1f" p.width;
+            ])
+        s.points;
+      Ser_util.Ascii_table.add_separator tbl)
+    t.series;
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Figure 3 of the paper: per-gate unreliability [U_i] computed by
+    ASERTA plotted against the golden transient ("SPICE") estimate on
+    c432, for gates at most five levels from the primary outputs. The
+    paper reports a correlation of 0.96 on c432 and 0.9 averaged over
+    the ISCAS'85 suite; the reproduction target is a strong positive
+    correlation, not the exact value. *)
+
+type point = {
+  gate : int;
+  name : string;
+  levels_to_po : int;
+  u_aserta : float;
+  u_golden : float;
+}
+
+type t = {
+  circuit : string;
+  vectors : int;      (** random vectors behind the golden estimate *)
+  max_levels : int;
+  points : point list;
+  pearson : float;
+  spearman : float;
+}
+
+val run :
+  ?circuit:string ->
+  ?vectors:int ->
+  ?max_levels:int ->
+  ?seed:int ->
+  ?aserta_config:Aserta.Analysis.config ->
+  unit ->
+  t
+(** Defaults: circuit "c432", 10 golden vectors (the paper used 50 —
+    raise it when you can afford the transient time), 5 levels,
+    seed 11. *)
+
+val render : t -> string

@@ -1,0 +1,91 @@
+module Pipeline = Ser_pipeline.Pipeline
+module Analysis = Aserta.Analysis
+
+type freq_point = { period : float; ser : float }
+
+type depth_point = {
+  n_stages : int;
+  min_period : float;
+  ser_at_own_clock : float;
+  ser_at_common_clock : float;
+  ff_count : int;
+}
+
+type t = {
+  freq_circuit : string;
+  freq_sweep : freq_point list;
+  depth_circuit : string;
+  depth_sweep : depth_point list;
+}
+
+let run ?(freq_circuit = "c432") ?(depth_circuit = "c1908") ?(vectors = 1500) () =
+  let lib = Ser_cell.Library.create () in
+  let aserta = { Analysis.default_config with Analysis.vectors } in
+  (* frequency sweep: one-stage pipeline, vary the clock *)
+  let freq_sweep =
+    let c = Ser_circuits.Iscas.load freq_circuit in
+    let p = Pipeline.create ~lib [ c ] in
+    let base = Pipeline.analyze ~aserta ~lib p in
+    List.map
+      (fun mult ->
+        let period = base.Pipeline.min_period *. mult in
+        let r = Pipeline.analyze ~aserta ~lib ~clock_period:period p in
+        { period; ser = r.Pipeline.total })
+      [ 1.0; 1.5; 2.; 3.; 5. ]
+  in
+  (* depth sweep: slice the same logic into more stages *)
+  let depth_sweep =
+    let c = Ser_circuits.Iscas.load depth_circuit in
+    let common =
+      (Pipeline.analyze ~aserta ~lib (Pipeline.create ~lib [ c ])).Pipeline.min_period
+    in
+    List.map
+      (fun k ->
+        let slices = Pipeline.split_by_levels c ~stages:k in
+        let p = Pipeline.create ~lib slices in
+        let own = Pipeline.analyze ~aserta ~lib p in
+        let at_common = Pipeline.analyze ~aserta ~lib ~clock_period:common p in
+        {
+          n_stages = k;
+          min_period = own.Pipeline.min_period;
+          ser_at_own_clock = own.Pipeline.total;
+          ser_at_common_clock = at_common.Pipeline.total;
+          ff_count = Pipeline.flipflop_count p;
+        })
+      [ 1; 2; 4; 8 ]
+  in
+  { freq_circuit; freq_sweep; depth_circuit; depth_sweep }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "Pipeline trends (extension of the paper's introduction arguments)\n\n\
+     frequency sweep on %s (combinational + FF SER, relative units):\n"
+    t.freq_circuit;
+  List.iter
+    (fun p ->
+      Printf.bprintf buf "  period %7.1f ps (%.2f GHz)  SER %8.2f\n" p.period
+        (1000. /. p.period) p.ser)
+    t.freq_sweep;
+  Printf.bprintf buf
+    "\nsuper-pipelining sweep on %s (same logic, more stages):\n" t.depth_circuit;
+  let tbl =
+    Ser_util.Ascii_table.create
+      [ "stages"; "FFs"; "min period"; "SER @ own clock"; "SER @ common clock" ]
+  in
+  List.iter
+    (fun d ->
+      Ser_util.Ascii_table.add_row tbl
+        [
+          string_of_int d.n_stages;
+          string_of_int d.ff_count;
+          Printf.sprintf "%.0f ps" d.min_period;
+          Printf.sprintf "%.2f" d.ser_at_own_clock;
+          Printf.sprintf "%.2f" d.ser_at_common_clock;
+        ])
+    t.depth_sweep;
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.add_string buf
+    "(both columns rise with depth: less masking between strike and latch;\n\
+    \ the own-clock column rises faster because the clock speeds up too)\n";
+  Buffer.contents buf

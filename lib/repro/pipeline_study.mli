@@ -1,0 +1,41 @@
+(** Pipeline-trend study — the quantitative version of the paper's
+    introduction narrative:
+
+    - {e frequency}: for a fixed circuit, combinational SER grows as
+      the clock period shrinks (latching-window masking erodes);
+    - {e super-pipelining}: slicing the same logic into more stages
+      puts every struck node closer to a flip-flop (less logical and
+      electrical masking) {e and} lets the clock run faster — both
+      push SER up, as [2] projected.
+
+    Uses {!Ser_pipeline.Pipeline.split_by_levels} to cut a deep
+    benchmark into 1/2/4/8 stages. *)
+
+type freq_point = { period : float; ser : float }
+
+type depth_point = {
+  n_stages : int;
+  min_period : float;
+  ser_at_own_clock : float;  (** running as fast as the slicing allows *)
+  ser_at_common_clock : float;
+      (** at the 1-stage period — isolates the masking loss *)
+  ff_count : int;
+}
+
+type t = {
+  freq_circuit : string;
+  freq_sweep : freq_point list;
+  depth_circuit : string;
+  depth_sweep : depth_point list;
+}
+
+val run :
+  ?freq_circuit:string ->
+  ?depth_circuit:string ->
+  ?vectors:int ->
+  unit ->
+  t
+(** Defaults: frequency sweep on c432, depth sweep on c1908 (deep but
+    affordable), 1500 masking vectors per stage. *)
+
+val render : t -> string

@@ -1,0 +1,27 @@
+(** Charge-spectrum SER study — exercises {!Aserta.Ser_rate}, the
+    "look-up tables for different amounts of injected charge" extension
+    the paper leaves to future work. Reports FIT (synthetic flux
+    normalisation) for the baseline and SERTOPT-optimized circuits and
+    the per-charge profile showing where the rate comes from. *)
+
+type t = {
+  circuit : string;
+  clock_period : float;
+  baseline_fit : float;
+  optimized_fit : float;
+      (** FIT of the circuit optimized against the paper's fixed-charge
+          objective *)
+  spectrum_optimized_fit : float;
+      (** FIT when SERTOPT's U term is the spectrum FIT itself
+          ({!Sertopt.Cost.objective} = [Charge_spectrum]) *)
+  reduction : float;
+  spectrum_reduction : float;
+  profile : (float * float) list;
+      (** (charge fC, baseline unreliability at that fixed charge) —
+          the single-charge sweep behind the spectrum integral *)
+}
+
+val run :
+  ?circuit:string -> ?vectors:int -> ?opt_evals:int -> unit -> t
+
+val render : t -> string

@@ -1,0 +1,81 @@
+module J = Ser_util.Json
+module Circuit = Ser_netlist.Circuit
+module Analysis = Aserta.Analysis
+
+let analysis_to_json ?top asg (a : Analysis.t) =
+  let c = Ser_sta.Assignment.circuit asg in
+  let n = Circuit.node_count c in
+  let order = Array.init n Fun.id in
+  Array.sort (fun x y -> compare a.Analysis.unreliability.(y) a.Analysis.unreliability.(x)) order;
+  let top = match top with Some t -> t | None -> n in
+  let gates = ref [] in
+  Array.iteri
+    (fun rank id ->
+      if rank < top && not (Circuit.is_input c id) then begin
+        let nd = Circuit.node c id in
+        let max_p =
+          Array.fold_left Float.max 0.
+            a.Analysis.masking.Analysis.path_probs.Ser_logicsim.Probs.p.(id)
+        in
+        gates :=
+          J.Obj
+            [
+              ("name", J.Str nd.Circuit.name);
+              ("kind", J.Str (Ser_netlist.Gate.to_string nd.Circuit.kind));
+              ("cell", J.Str (Ser_device.Cell_params.to_string (Ser_sta.Assignment.get asg id)));
+              ("unreliability", J.Num a.Analysis.unreliability.(id));
+              ("generated_width_ps", J.Num a.Analysis.gen_width.(id));
+              ("max_path_probability", J.Num max_p);
+              ("signal_probability", J.Num a.Analysis.masking.Analysis.probs.(id));
+              ("delay_ps", J.Num a.Analysis.timing.Ser_sta.Timing.delays.(id));
+              ("slack_ps", J.Num a.Analysis.timing.Ser_sta.Timing.slack.(id));
+            ]
+          :: !gates
+      end)
+    order;
+  J.Obj
+    [
+      ("circuit", J.Str c.Circuit.name);
+      ("gates", J.int (Circuit.gate_count c));
+      ("inputs", J.int (Array.length c.Circuit.inputs));
+      ("outputs", J.int (Array.length c.Circuit.outputs));
+      ("total_unreliability", J.Num a.Analysis.total);
+      ("critical_delay_ps", J.Num a.Analysis.timing.Ser_sta.Timing.critical_delay);
+      ("charge_fc", J.Num a.Analysis.config.Analysis.charge);
+      ("vectors", J.int a.Analysis.config.Analysis.vectors);
+      ("per_gate", J.List (List.rev !gates));
+    ]
+
+let optimization_to_json (r : Sertopt.Optimizer.result) =
+  let metrics (m : Sertopt.Cost.metrics) =
+    J.Obj
+      [
+        ("unreliability", J.Num m.Sertopt.Cost.unreliability);
+        ("delay_ps", J.Num m.Sertopt.Cost.delay);
+        ("energy_fj", J.Num m.Sertopt.Cost.energy);
+        ("area", J.Num m.Sertopt.Cost.area);
+      ]
+  in
+  let ratios =
+    Sertopt.Cost.ratios ~baseline:r.Sertopt.Optimizer.baseline_metrics
+      r.Sertopt.Optimizer.optimized_metrics
+  in
+  J.Obj
+    [
+      ("circuit", J.Str (Ser_sta.Assignment.circuit r.Sertopt.Optimizer.baseline).Circuit.name);
+      ("baseline", metrics r.Sertopt.Optimizer.baseline_metrics);
+      ("optimized", metrics r.Sertopt.Optimizer.optimized_metrics);
+      ("area_ratio", J.Num ratios.Sertopt.Cost.area);
+      ("energy_ratio", J.Num ratios.Sertopt.Cost.energy);
+      ("delay_ratio", J.Num ratios.Sertopt.Cost.delay);
+      ("unreliability_reduction",
+       J.Num (Sertopt.Optimizer.unreliability_reduction r));
+      ("cost_evaluations", J.int r.Sertopt.Optimizer.evals);
+      ("cost_trace", J.List (List.map (fun x -> J.Num x) r.Sertopt.Optimizer.cost_trace));
+    ]
+
+let write path json =
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc

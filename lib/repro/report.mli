@@ -1,0 +1,13 @@
+(** Machine-readable export of analysis and optimization results. *)
+
+val analysis_to_json :
+  ?top:int -> Ser_sta.Assignment.t -> Aserta.Analysis.t -> Ser_util.Json.t
+(** Circuit identity, totals, timing summary and the [top] (default
+    all) gates by unreliability with their masking breakdown. *)
+
+val optimization_to_json : Sertopt.Optimizer.result -> Ser_util.Json.t
+(** Baseline/optimized metric pairs, ratios, reduction, search
+    statistics and the improving cost trace. *)
+
+val write : string -> Ser_util.Json.t -> unit
+(** Write JSON to a file with a trailing newline. *)

@@ -1,0 +1,85 @@
+module Analysis = Aserta.Analysis
+module Opt = Sertopt.Optimizer
+module Library = Ser_cell.Library
+
+type row = {
+  circuit : string;
+  gates : int;
+  aserta_seconds : float;
+  sertopt_seconds : float;
+  paper_aserta : string;
+  paper_sertopt : string;
+}
+
+type t = { rows : row list }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ?(vectors = 10_000) ?(max_evals = 16) () =
+  let bench (name, paper_aserta, paper_sertopt) =
+    let c = Ser_circuits.Iscas.load name in
+    let lib = Library.create () in
+    let baseline = Opt.size_for_speed lib c in
+    let cfg = { Analysis.default_config with Analysis.vectors } in
+    let (masking, analysis), aserta_seconds =
+      time (fun () ->
+          let m = Analysis.compute_masking cfg c in
+          let a = Analysis.run_electrical cfg lib baseline m in
+          (m, a))
+    in
+    ignore analysis;
+    let opt_cfg =
+      {
+        Opt.default_config with
+        Opt.aserta = cfg;
+        max_evals;
+        greedy_passes = 1;
+        greedy_gates = 48;
+      }
+    in
+    let _, sertopt_seconds =
+      time (fun () -> Opt.optimize ~config:opt_cfg ~masking lib baseline)
+    in
+    {
+      circuit = name;
+      gates = Ser_netlist.Circuit.gate_count c;
+      aserta_seconds;
+      sertopt_seconds;
+      paper_aserta;
+      paper_sertopt;
+    }
+  in
+  {
+    rows =
+      [
+        bench ("c432", "15 s", "20 min");
+        bench ("c7552", "200 s", "27 h");
+      ];
+  }
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Runtime comparison (paper numbers are MATLAB on 2005 hardware; ours are OCaml, reduced search budget)\n";
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left ]
+      [ "Circuit"; "gates"; "ASERTA (ours)"; "ASERTA (paper)"; "SERTOPT (ours)"; "SERTOPT (paper)" ]
+  in
+  List.iter
+    (fun r ->
+      Ser_util.Ascii_table.add_row tbl
+        [
+          r.circuit;
+          string_of_int r.gates;
+          Printf.sprintf "%.1f s" r.aserta_seconds;
+          r.paper_aserta;
+          Printf.sprintf "%.1f s" r.sertopt_seconds;
+          r.paper_sertopt;
+        ])
+    t.rows;
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.contents buf

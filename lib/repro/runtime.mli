@@ -1,0 +1,24 @@
+(** The paper's Section 5 runtime remark: ASERTA/SERTOPT take 15 s /
+    20 min on c432 and 200 s / 27 h on c7552 (in MATLAB). This driver
+    times our OCaml implementation on the same two circuits. Absolute
+    numbers are machine- and budget-dependent; the reproduction target
+    is the scaling shape (both tools get markedly slower on c7552, the
+    optimizer much more than the analyzer). *)
+
+type row = {
+  circuit : string;
+  gates : int;
+  aserta_seconds : float;
+  sertopt_seconds : float;
+  paper_aserta : string;
+  paper_sertopt : string;
+}
+
+type t = { rows : row list }
+
+val run : ?vectors:int -> ?max_evals:int -> unit -> t
+(** Defaults: 10 000 vectors (the paper's count), small optimization
+    budget (16 cost evaluations + one greedy pass over 48 gates) so the
+    c7552 row finishes in minutes. *)
+
+val render : t -> string

@@ -1,0 +1,54 @@
+(** Table 1 of the paper: SERTOPT optimization results per benchmark
+    circuit — the VDD/Vth menus used, the area/energy/delay ratios of
+    the optimized circuit against the speed-optimized baseline, and the
+    decrease in unreliability measured three ways:
+
+    - by ASERTA's full statistical analysis,
+    - by ASERTA replaying 50 concrete random vectors,
+    - by the golden transient simulator on the same vectors (the
+      paper's SPICE column; sampled near the primary outputs to keep
+      transient time bounded, and skipped for the largest circuits just
+      as the paper skipped c5315/c7552).
+
+    Expected shape: reductions in the tens of percent, delay ratios
+    close to 1, area/energy ratios modestly above 1, and ~0% for the
+    error-correcting c499-like circuit. *)
+
+type effort = Quick | Full
+
+type row = {
+  circuit : string;
+  vdds : float list;
+  vths : float list;
+  area_ratio : float;
+  energy_ratio : float;
+  delay_ratio : float;
+  reduction_aserta : float;        (** full statistics, fraction *)
+  reduction_measured : float option; (** ASERTA @ 50 vectors *)
+  reduction_golden : float option;   (** transient @ sampled strikes *)
+  baseline_u : float;
+  optimized_u : float;
+  analysis_seconds : float;
+  optimize_seconds : float;
+}
+
+type t = { effort : effort; rows : row list }
+
+val circuits : (string * float list * float list) list
+(** The paper's per-circuit VDD and Vth menus. *)
+
+val run :
+  ?effort:effort ->
+  ?with_measured:bool ->
+  ?with_golden:bool ->
+  ?only:string list ->
+  unit ->
+  t
+(** Run the optimization study. [Quick] (default) uses reduced vector
+    counts and search budgets sized for minutes of runtime; [Full]
+    uses paper-scale statistics (10 000 vectors) and bigger budgets.
+    [with_measured] (default true) adds the 50-vector ASERTA column;
+    [with_golden] (default false) adds the transient column for the
+    four smallest circuits. [only] restricts the circuit list. *)
+
+val render : t -> string

@@ -1,0 +1,34 @@
+(** Process-variation robustness study (an extension beyond the paper):
+    nanometer threshold voltages vary die-to-die and device-to-device;
+    this driver Monte-Carlo-samples per-gate Vth perturbations and
+    reports the distribution of circuit unreliability, for both the
+    baseline and a SERTOPT-optimized assignment — checking that the
+    optimization's benefit survives variation. *)
+
+type summary = {
+  mean : float;
+  stddev : float;
+  p5 : float;
+  p95 : float;
+}
+
+type t = {
+  circuit : string;
+  sigma_vth : float;    (** V, std-dev of the Vth perturbation *)
+  trials : int;
+  baseline : summary;
+  optimized : summary;
+  mean_reduction : float; (** 1 - mean(U_opt) / mean(U_base) *)
+  worst_case_reduction : float; (** at the p95 corners *)
+}
+
+val run :
+  ?circuit:string ->
+  ?sigma_vth:float ->
+  ?trials:int ->
+  ?vectors:int ->
+  unit ->
+  t
+(** Defaults: c432, sigma 20 mV, 30 trials, 2000 masking vectors. *)
+
+val render : t -> string

@@ -1,0 +1,112 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option; (* cached Box-Muller deviate *)
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: expands a small seed into well-distributed 64-bit words. *)
+let splitmix_next state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3; spare = None }
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3; spare = None }
+
+let copy t = { t with spare = t.spare }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod bound in
+    if v - r > max_int - bound + 1 then draw () else r
+  in
+  draw ()
+
+let uniform t =
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. 0x1.0p-53
+
+let float t bound = uniform t *. bound
+
+let range t lo hi = lo +. (uniform t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = uniform t < p
+
+let gaussian t =
+  match t.spare with
+  | Some g ->
+    t.spare <- None;
+    g
+  | None ->
+    let rec polar () =
+      let u = range t (-1.) 1. and v = range t (-1.) 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then polar ()
+      else
+        let m = sqrt (-2. *. log s /. s) in
+        (u *. m, v *. m)
+    in
+    let g0, g1 = polar () in
+    t.spare <- Some g1;
+    g0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. items in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: non-positive total weight";
+  let target = float t total in
+  let n = Array.length items in
+  let rec pick i acc =
+    if i = n - 1 then fst items.(i)
+    else
+      let acc = acc +. snd items.(i) in
+      if target < acc then fst items.(i) else pick (i + 1) acc
+  in
+  pick 0 0.

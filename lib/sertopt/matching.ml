@@ -1,0 +1,103 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Library = Ser_cell.Library
+module Cell_params = Ser_device.Cell_params
+module Assignment = Ser_sta.Assignment
+module Timing = Ser_sta.Timing
+
+type options = {
+  max_size : float;
+  env : Timing.env;
+}
+
+let default_options = { max_size = 8.; env = Timing.default_env }
+
+let match_delays ?(options = default_options) lib asg ~targets =
+  let c = Assignment.circuit asg in
+  let n = Circuit.node_count c in
+  if Array.length targets <> n then
+    invalid_arg "Matching.match_delays: targets length mismatch";
+  (* slew estimates come from the incoming assignment *)
+  let ref_timing = Timing.analyze ~env:options.env lib asg in
+  let result = Assignment.copy asg in
+  (* loads accumulate as successors get their (new) cells; start with
+     primary-output latch loads *)
+  let loads = Array.make n 0. in
+  Array.iter
+    (fun po -> loads.(po) <- loads.(po) +. options.env.Timing.po_cap)
+    c.outputs;
+  (* min VDD allowed for each node = max successor VDD, filled in as
+     successors are assigned *)
+  let min_vdd = Array.make n 0. in
+  for id = n - 1 downto 0 do
+    let nd = c.nodes.(id) in
+    if nd.kind <> Gate.Input then begin
+      let cands =
+        Library.variants lib nd.kind (Array.length nd.fanin)
+        |> List.filter (fun (p : Cell_params.t) ->
+               p.size <= options.max_size +. 1e-9 && p.vdd >= min_vdd.(id) -. 1e-9)
+      in
+      let ramp = ref_timing.Timing.input_ramp.(id) in
+      let target = targets.(id) in
+      (* best delay match; near-ties (within 10% of the target or 1 ps)
+         are broken toward the smallest area so that "slower" never
+         silently means "huge long-channel drive" (area is particle
+         flux in Eq. 3, so it is precious) *)
+      let scored =
+        List.map
+          (fun p ->
+            let d = Library.delay lib p ~input_ramp:ramp ~cload:loads.(id) in
+            (Float.abs (d -. target), p))
+          cands
+      in
+      let best_err =
+        List.fold_left (fun acc (e, _) -> Float.min acc e) Float.max_float scored
+      in
+      let tie = Float.max 1. (best_err +. (0.1 *. target)) in
+      let cell =
+        match
+          List.filter (fun (e, _) -> e <= tie) scored
+          |> List.fold_left
+               (fun best (_, p) ->
+                 let a = Library.area lib p in
+                 match best with
+                 | Some (ba, _) when ba <= a -> best
+                 | Some _ | None -> Some (a, p))
+               None
+        with
+        | Some (_, p) -> p
+        | None ->
+          (* no candidate satisfies the VDD floor: fall back to the
+             current cell (guaranteed consistent) *)
+          Assignment.get asg id
+      in
+      Assignment.set result id cell;
+      (* propagate load and VDD floor to drivers *)
+      let cin = Library.input_cap lib cell in
+      Array.iter
+        (fun f ->
+          loads.(f) <- loads.(f) +. cin;
+          if cell.Cell_params.vdd > min_vdd.(f) then
+            min_vdd.(f) <- cell.Cell_params.vdd)
+        nd.fanin
+    end
+  done;
+  result
+
+let achievable_delay_range ?(options = default_options) lib asg ~timing id =
+  let c = Assignment.circuit asg in
+  let nd = Circuit.node c id in
+  if nd.kind = Gate.Input then
+    invalid_arg "Matching.achievable_delay_range: primary input";
+  let ramp = timing.Timing.input_ramp.(id) in
+  let cload = timing.Timing.loads.(id) in
+  let cands =
+    Library.variants lib nd.kind (Array.length nd.fanin)
+    |> List.filter (fun (p : Cell_params.t) -> p.size <= options.max_size +. 1e-9)
+  in
+  List.fold_left
+    (fun (lo, hi) p ->
+      let d = Library.delay lib p ~input_ramp:ramp ~cload in
+      (Float.min lo d, Float.max hi d))
+    (Float.max_float, -.Float.max_float)
+    cands

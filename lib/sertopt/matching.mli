@@ -1,0 +1,40 @@
+(** Reverse-topological library matching (Section 4 of the paper):
+    given a target delay for every gate, pick the library variant whose
+    delay under the (already known) output load is closest to the
+    target, walking from primary outputs to primary inputs so that each
+    gate's capacitive load is fixed before the gate itself is chosen.
+
+    The single matching constraint from the paper is enforced: a gate
+    may only use a VDD greater than or equal to every successor's VDD,
+    so no low-VDD gate ever drives a high-VDD gate and no level
+    shifters are needed. *)
+
+type options = {
+  max_size : float; (** largest size allowed (paper: the baseline's max) *)
+  env : Ser_sta.Timing.env;
+}
+
+val default_options : options
+(** [max_size = 8.], default timing env. *)
+
+val match_delays :
+  ?options:options ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  targets:float array ->
+  Ser_sta.Assignment.t
+(** [match_delays lib asg ~targets] returns a fresh assignment whose
+    gate delays approximate [targets] (indexed by node id; entries for
+    primary inputs are ignored). The input assignment supplies the
+    input-slew estimates. *)
+
+val achievable_delay_range :
+  ?options:options ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  timing:Ser_sta.Timing.t ->
+  int ->
+  float * float
+(** Fastest and slowest delay any allowed variant can give a gate at
+    its current load and slew — the box constraints for the delay
+    assignment search. *)

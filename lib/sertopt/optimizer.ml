@@ -1,0 +1,437 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Library = Ser_cell.Library
+module Cell_params = Ser_device.Cell_params
+module Assignment = Ser_sta.Assignment
+module Timing = Ser_sta.Timing
+module Paths = Ser_sta.Paths
+module Matrix = Ser_linalg.Matrix
+module Analysis = Aserta.Analysis
+
+type config = {
+  aserta : Analysis.config;
+  objective : Cost.objective;
+  weights : Cost.weights;
+  delay_slack : float;
+  k_paths : int;
+  n_soft_directions : int;
+  n_random_directions : int;
+  step : float;
+  max_evals : int;
+  seed : int;
+  matching : Matching.options;
+  annealing_steps : int;
+  greedy_passes : int;
+  greedy_gates : int;
+  replay_guard : int;
+}
+
+let default_config =
+  {
+    aserta = Analysis.default_config;
+    objective = Cost.Fixed_charge;
+    weights = Cost.default_weights;
+    delay_slack = 0.05;
+    k_paths = 48;
+    n_soft_directions = 24;
+    n_random_directions = 8;
+    step = 12.;
+    max_evals = 400;
+    seed = 2005;
+    matching = Matching.default_options;
+    annealing_steps = 0;
+    greedy_passes = 2;
+    greedy_gates = 160;
+    replay_guard = 0;
+  }
+
+type result = {
+  baseline : Assignment.t;
+  optimized : Assignment.t;
+  guard_choice : string option;
+  baseline_metrics : Cost.metrics;
+  optimized_metrics : Cost.metrics;
+  baseline_analysis : Analysis.t;
+  optimized_analysis : Analysis.t;
+  masking : Analysis.masking;
+  cost_trace : float list;
+  evals : int;
+}
+
+let unreliability_reduction r =
+  1.
+  -. (r.optimized_metrics.Cost.unreliability
+      /. Float.max 1e-12 r.baseline_metrics.Cost.unreliability)
+
+type knob_summary = {
+  changed_gates : int;
+  upsized : int;
+  downsized : int;
+  longer_channel : int;
+  shorter_channel : int;
+  vdd_raised : int;
+  vdd_lowered : int;
+  vth_raised : int;
+  vth_lowered : int;
+  vdds_used : float list;
+  vths_used : float list;
+}
+
+let knob_summary r =
+  let acc =
+    ref
+      {
+        changed_gates = 0; upsized = 0; downsized = 0; longer_channel = 0;
+        shorter_channel = 0; vdd_raised = 0; vdd_lowered = 0; vth_raised = 0;
+        vth_lowered = 0; vdds_used = []; vths_used = [];
+      }
+  in
+  let vdds = Hashtbl.create 4 and vths = Hashtbl.create 4 in
+  Assignment.fold_gates r.optimized ~init:() ~f:(fun () id after ->
+      Hashtbl.replace vdds after.Cell_params.vdd ();
+      Hashtbl.replace vths after.Cell_params.vth ();
+      let before = Assignment.get r.baseline id in
+      if not (Cell_params.equal before after) then begin
+        let a = !acc in
+        acc :=
+          {
+            a with
+            changed_gates = a.changed_gates + 1;
+            upsized =
+              (a.upsized + if after.Cell_params.size > before.Cell_params.size then 1 else 0);
+            downsized =
+              (a.downsized + if after.Cell_params.size < before.Cell_params.size then 1 else 0);
+            longer_channel =
+              (a.longer_channel
+              + if after.Cell_params.length > before.Cell_params.length then 1 else 0);
+            shorter_channel =
+              (a.shorter_channel
+              + if after.Cell_params.length < before.Cell_params.length then 1 else 0);
+            vdd_raised =
+              (a.vdd_raised + if after.Cell_params.vdd > before.Cell_params.vdd then 1 else 0);
+            vdd_lowered =
+              (a.vdd_lowered + if after.Cell_params.vdd < before.Cell_params.vdd then 1 else 0);
+            vth_raised =
+              (a.vth_raised + if after.Cell_params.vth > before.Cell_params.vth then 1 else 0);
+            vth_lowered =
+              (a.vth_lowered + if after.Cell_params.vth < before.Cell_params.vth then 1 else 0);
+          }
+      end);
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) tbl []) in
+  { !acc with vdds_used = sorted vdds; vths_used = sorted vths }
+
+let pp_knob_summary fmt s =
+  let fl l = String.concat "," (List.map (Printf.sprintf "%g") l) in
+  Format.fprintf fmt
+    "@[<v>changed gates: %d@,size: %d up, %d down@,channel: %d longer, %d shorter@,\
+     vdd: %d raised, %d lowered (used: %s)@,vth: %d raised, %d lowered (used: %s)@]"
+    s.changed_gates s.upsized s.downsized s.longer_channel s.shorter_channel
+    s.vdd_raised s.vdd_lowered (fl s.vdds_used) s.vth_raised s.vth_lowered
+    (fl s.vths_used)
+
+(* Greedy critical-path upsizing: the baseline "speed optimization". *)
+let size_for_speed ?(env = Timing.default_env) ?(max_size = 8.) lib c =
+  let asg = Assignment.uniform lib c in
+  let sizes =
+    List.filter (fun s -> s <= max_size +. 1e-9) (Library.axes lib).Library.sizes
+    |> List.sort compare
+  in
+  let next_size s = List.find_opt (fun x -> x > s +. 1e-9) sizes in
+  (* one gate at a time: upsizing the whole path at once mostly feeds
+     itself through the increased pin loads *)
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < 60 do
+    incr iter;
+    let timing = Timing.analyze ~env lib asg in
+    let best = ref timing.Timing.critical_delay in
+    let path = Timing.critical_path asg timing in
+    let improved = ref false in
+    Array.iter
+      (fun id ->
+        if not (Circuit.is_input c id) then begin
+          let cell = Assignment.get asg id in
+          match next_size cell.Cell_params.size with
+          | Some s ->
+            Assignment.set asg id { cell with Cell_params.size = s };
+            let after = (Timing.analyze ~env lib asg).Timing.critical_delay in
+            if after < !best -. 1e-9 then begin
+              best := after;
+              improved := true
+            end
+            else Assignment.set asg id cell
+          | None -> ()
+        end)
+      path;
+    if not !improved then continue := false
+  done;
+  asg
+
+let optimize ?(config = default_config) ?masking lib baseline =
+  let c = Assignment.circuit baseline in
+  let n = Circuit.node_count c in
+  let rng = Ser_rng.Rng.create config.seed in
+  let masking =
+    match masking with
+    | Some m -> m
+    | None -> Analysis.compute_masking config.aserta c
+  in
+  let baseline_metrics, baseline_analysis =
+    Cost.measure ~config:config.aserta ~masking ~objective:config.objective lib
+      baseline
+  in
+  let clock_period =
+    1.2 *. baseline_analysis.Analysis.timing.Timing.critical_delay
+  in
+  let measure asg =
+    Cost.measure ~config:config.aserta ~masking ~objective:config.objective
+      ~clock_period lib asg
+  in
+  let timing0 = baseline_analysis.Analysis.timing in
+  let paths = Paths.k_worst_paths baseline timing0 ~k:config.k_paths in
+  let t_matrix, cols = Paths.topology_matrix baseline paths in
+  let col_of = Array.make n (-1) in
+  Array.iteri (fun j id -> col_of.(id) <- j) cols;
+  (* project the on-path components of a full delta vector onto null(T) *)
+  let project delta =
+    let sub = Array.map (fun id -> delta.(id)) cols in
+    let sub' = Matrix.project_onto_nullspace t_matrix sub in
+    let out = Array.copy delta in
+    Array.iteri (fun j id -> out.(id) <- sub'.(j)) cols;
+    out
+  in
+  let d0 = timing0.Timing.delays in
+  let assignment_of delta =
+    let targets =
+      Array.init n (fun id ->
+          if Circuit.is_input c id then 0.
+          else Float.max 0.5 (d0.(id) +. delta.(id)))
+    in
+    Matching.match_delays ~options:config.matching lib baseline ~targets
+  in
+  let evals = ref 0 in
+  let best_cost = ref Float.max_float in
+  let best_delta = ref (Array.make n 0.) in
+  let objective delta =
+    incr evals;
+    let asg = assignment_of delta in
+    let m, _ = measure asg in
+    let cost =
+      Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+        ~baseline:baseline_metrics m
+    in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_delta := Array.copy delta
+    end;
+    cost
+  in
+  (* search directions: slow down the softest gates (projected), plus a
+     few random projected directions *)
+  let soft_order =
+    let idx =
+      Array.to_list (Array.init n Fun.id)
+      |> List.filter (fun id -> not (Circuit.is_input c id))
+    in
+    List.sort
+      (fun a b ->
+        compare baseline_analysis.Analysis.unreliability.(b)
+          baseline_analysis.Analysis.unreliability.(a))
+      idx
+  in
+  let normalize v =
+    let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+    if norm < 1e-9 then None else Some (Array.map (fun x -> x /. norm) v)
+  in
+  let soft_dirs =
+    soft_order
+    |> List.filteri (fun i _ -> i < config.n_soft_directions)
+    |> List.filter_map (fun id ->
+           let d = Array.make n 0. in
+           d.(id) <- 1.;
+           normalize (project d))
+  in
+  let random_dirs =
+    List.init config.n_random_directions (fun _ ->
+        let d =
+          Array.init n (fun id ->
+              if Circuit.is_input c id then 0. else Ser_rng.Rng.gaussian rng)
+        in
+        normalize (project d))
+    |> List.filter_map Fun.id
+  in
+  let directions = Array.of_list (soft_dirs @ random_dirs) in
+  let search =
+    Ser_opt.Minimize.direction_search ~f:objective ~x0:(Array.make n 0.)
+      ~directions ~step:config.step ~shrink:0.5 ~min_step:0.75
+      ~max_evals:config.max_evals ()
+  in
+  let trace = ref search.Ser_opt.Minimize.trace in
+  if config.annealing_steps > 0 then begin
+    let neighbor rng x =
+      let d = Array.copy x in
+      let kicks = 1 + Ser_rng.Rng.int rng 3 in
+      let delta = Array.make n 0. in
+      for _ = 1 to kicks do
+        match soft_order with
+        | [] -> ()
+        | _ ->
+          let id = List.nth soft_order (Ser_rng.Rng.int rng (min 64 (List.length soft_order))) in
+          delta.(id) <- delta.(id) +. (config.step *. Ser_rng.Rng.gaussian rng)
+      done;
+      let p = project delta in
+      Array.iteri (fun i v -> d.(i) <- d.(i) +. v) p;
+      d
+    in
+    let sa =
+      Ser_opt.Minimize.simulated_annealing ~rng ~f:objective
+        ~x0:!best_delta ~neighbor ~t0:0.05 ~t_end:1e-4
+        ~steps:config.annealing_steps ()
+    in
+    trace := !trace @ sa.Ser_opt.Minimize.trace
+  end;
+  let search_assignment = assignment_of !best_delta in
+  let optimized = search_assignment in
+  (* Discrete greedy refinement (extension over the paper's pure
+     delay-assignment method): revisit the softest gates and try their
+     whole variant menu directly, keeping any change that lowers the
+     Eq. 5 cost. The VDD-ordering constraint is enforced against the
+     current neighbours; primary inputs are assumed driven from the
+     highest rail. *)
+  let optimized =
+    if config.greedy_passes = 0 then optimized
+    else begin
+      let asg = Assignment.copy optimized in
+      let metrics, analysis = measure asg in
+      let cur_cost =
+        ref
+          (Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+             ~baseline:baseline_metrics metrics)
+      in
+      let cur_analysis = ref analysis in
+      if !cur_cost < !best_cost then best_cost := !cur_cost;
+      for _pass = 1 to config.greedy_passes do
+        let order =
+          let idx =
+            Array.to_list (Array.init n Fun.id)
+            |> List.filter (fun id -> not (Circuit.is_input c id))
+          in
+          List.sort
+            (fun a b ->
+              compare
+                (!cur_analysis).Analysis.unreliability.(b)
+                (!cur_analysis).Analysis.unreliability.(a))
+            idx
+          |> List.filteri (fun i _ -> i < config.greedy_gates)
+        in
+        List.iter
+          (fun g ->
+            let nd = Circuit.node c g in
+            let current = Assignment.get asg g in
+            let max_succ_vdd =
+              Array.fold_left
+                (fun acc s -> Float.max acc (Assignment.get asg s).Cell_params.vdd)
+                0. nd.fanout
+            in
+            let min_driver_vdd =
+              Array.fold_left
+                (fun acc f ->
+                  if Circuit.is_input c f then acc
+                  else Float.min acc (Assignment.get asg f).Cell_params.vdd)
+                Float.max_float nd.fanin
+            in
+            let cands =
+              Library.variants lib nd.kind (Array.length nd.fanin)
+              |> List.filter (fun (p : Cell_params.t) ->
+                     p.size <= config.matching.Matching.max_size +. 1e-9
+                     && p.vdd >= max_succ_vdd -. 1e-9
+                     && p.vdd <= min_driver_vdd +. 1e-9
+                     && not (Cell_params.equal p current))
+            in
+            (* cap the menu deterministically to bound the eval budget *)
+            let cands =
+              let len = List.length cands in
+              if len <= 24 then cands
+              else
+                let stride = (len + 23) / 24 in
+                List.filteri (fun i _ -> i mod stride = 0) cands
+            in
+            let kept = ref current in
+            List.iter
+              (fun cand ->
+                Assignment.set asg g cand;
+                incr evals;
+                let m, a = measure asg in
+                let cost =
+                  Cost.eval ~weights:config.weights
+                    ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
+                in
+                if cost < !cur_cost then begin
+                  cur_cost := cost;
+                  cur_analysis := a;
+                  kept := cand
+                end
+                else Assignment.set asg g !kept)
+              cands)
+          order
+      done;
+      ignore cur_analysis;
+      if !cur_cost < !best_cost then best_cost := !cur_cost;
+      asg
+    end
+  in
+  (* Optional replay gate: the probabilistic objective can be gamed by
+     the independence approximations on large reconvergent circuits, so
+     re-judge the candidates with the independent vector-replay
+     estimator and keep the one it prefers. *)
+  let optimized, guard_choice =
+    if config.replay_guard <= 0 then (optimized, None)
+    else begin
+      let replay asg =
+        Aserta.Measured.unreliability ~vectors:config.replay_guard
+          ~charge:config.aserta.Analysis.charge ~env:config.aserta.Analysis.env
+          lib asg
+      in
+      let candidates =
+        [ ("greedy", optimized); ("search", search_assignment);
+          ("baseline", baseline) ]
+      in
+      let scored = List.map (fun (n, a) -> (replay a, n, a)) candidates in
+      let best =
+        List.fold_left
+          (fun (bu, bn, ba) (u, n, a) ->
+            if u < bu -. 1e-9 then (u, n, a) else (bu, bn, ba))
+          (match scored with x :: _ -> x | [] -> assert false)
+          scored
+      in
+      let _, n, a = best in
+      (a, Some n)
+    end
+  in
+  let optimized_metrics, optimized_analysis = measure optimized in
+  (* never return something worse than the baseline (by the cost) *)
+  let optimized, optimized_metrics, optimized_analysis, guard_choice =
+    let base_cost =
+      Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+        ~baseline:baseline_metrics baseline_metrics
+    in
+    let opt_cost =
+      Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+        ~baseline:baseline_metrics optimized_metrics
+    in
+    if guard_choice = None && opt_cost >= base_cost then
+      (baseline, baseline_metrics, baseline_analysis, guard_choice)
+    else (optimized, optimized_metrics, optimized_analysis, guard_choice)
+  in
+  {
+    baseline;
+    optimized;
+    guard_choice;
+    baseline_metrics;
+    optimized_metrics;
+    baseline_analysis;
+    optimized_analysis;
+    masking;
+    cost_trace = !trace;
+    evals = !evals;
+  }

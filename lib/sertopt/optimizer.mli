@@ -1,0 +1,107 @@
+(** SERTOPT's top level (Section 4): starting from a speed-optimized
+    baseline, vary the gate delay assignment inside the nullspace of
+    the path-topology matrix T — so the constrained path delays are
+    preserved — re-match each candidate assignment to the discrete
+    library, and keep the assignment minimising the Eq. 5 cost.
+
+    The delay-assignment search is a direction search (plus optional
+    simulated annealing) over delta vectors projected onto
+    [null(T)]; the projection is computed with the small [K x K]
+    system of {!Ser_linalg.Matrix.project_onto_nullspace}, never an
+    explicit basis. The logical-masking data of ASERTA is computed
+    once and reused by every cost evaluation. *)
+
+type config = {
+  aserta : Aserta.Analysis.config;
+  objective : Cost.objective;
+      (** what the U term of Eq. 5 measures: fixed-charge unreliability
+          (the paper) or a charge-spectrum FIT (extension). With the
+          spectrum objective the latching clock is frozen at 1.2x the
+          baseline critical delay for all candidates. *)
+  weights : Cost.weights;
+  delay_slack : float;   (** tolerated fractional delay increase *)
+  k_paths : int;         (** rows of the topology matrix *)
+  n_soft_directions : int;
+      (** search directions targeting the highest-U_i gates *)
+  n_random_directions : int;
+  step : float;          (** initial delay perturbation, ps *)
+  max_evals : int;       (** cost-evaluation budget for the search *)
+  seed : int;
+  matching : Matching.options;
+  annealing_steps : int; (** extra SA refinement steps; 0 disables *)
+  greedy_passes : int;
+      (** discrete per-gate refinement sweeps after the delay-assignment
+          search (an extension over the paper; set 0 for the pure
+          nullspace method) *)
+  greedy_gates : int; (** gates (softest first) visited per sweep *)
+  replay_guard : int;
+      (** 0 disables. Otherwise: after the search, replay this many
+          random vectors through the independent vector-replay
+          estimator ({!Aserta.Measured}) for the baseline, the pure
+          delay-assignment result and the greedy result, and return the
+          candidate with the lowest replayed unreliability. Guards
+          against the optimizer overfitting the independence
+          approximations of Eq. 2 on large reconvergent circuits (the
+          probabilistic U can improve while actual-vector behaviour
+          worsens). *)
+}
+
+val default_config : config
+
+type result = {
+  baseline : Ser_sta.Assignment.t;
+  optimized : Ser_sta.Assignment.t;
+  guard_choice : string option;
+      (** with [replay_guard > 0]: which candidate the replay gate chose
+          ("greedy", "search" or "baseline"); [None] when disabled *)
+  baseline_metrics : Cost.metrics;
+  optimized_metrics : Cost.metrics;
+  baseline_analysis : Aserta.Analysis.t;
+  optimized_analysis : Aserta.Analysis.t;
+  masking : Aserta.Analysis.masking;
+  cost_trace : float list; (** improving cost values, oldest first *)
+  evals : int;
+}
+
+val unreliability_reduction : result -> float
+(** [1 - U_opt / U_base], the paper's "Decrease in Unreliability". *)
+
+type knob_summary = {
+  changed_gates : int;
+  upsized : int;
+  downsized : int;
+  longer_channel : int;
+  shorter_channel : int;
+  vdd_raised : int;
+  vdd_lowered : int;
+  vth_raised : int;
+  vth_lowered : int;
+  vdds_used : float list; (** distinct supplies in the optimized circuit *)
+  vths_used : float list;
+}
+
+val knob_summary : result -> knob_summary
+(** How the optimizer actually moved the four knobs — the "VDDs used" /
+    "Vths used" columns of Table 1 plus a change breakdown. *)
+
+val pp_knob_summary : Format.formatter -> knob_summary -> unit
+
+val size_for_speed :
+  ?env:Ser_sta.Timing.env ->
+  ?max_size:float ->
+  Ser_cell.Library.t ->
+  Ser_netlist.Circuit.t ->
+  Ser_sta.Assignment.t
+(** Greedy critical-path upsizing at the nominal corner — the stand-in
+    for the paper's Design-Compiler speed optimization that produces
+    the baseline circuits. *)
+
+val optimize :
+  ?config:config ->
+  ?masking:Aserta.Analysis.masking ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  result
+(** Run SERTOPT on a baseline assignment. Pass [masking] to reuse
+    already-computed logical-masking data (it depends only on the
+    circuit and the vector count/seed). *)

@@ -1,0 +1,125 @@
+module Gate = Ser_netlist.Gate
+module Cell_params = Ser_device.Cell_params
+
+(* Enumerate input combinations producing [want] at the output, and pick
+   the one with the fewest inputs at the controlling value: that leaves
+   the weakest restoring network on, the worst case for strike
+   recovery. *)
+let dc_for_output (p : Cell_params.t) ~want =
+  let n = p.fanin in
+  let best = ref None in
+  for code = 0 to (1 lsl n) - 1 do
+    let ins = Array.init n (fun k -> code land (1 lsl k) <> 0) in
+    if Gate.eval_bool p.kind ins = want then begin
+      let cost =
+        match Gate.controlling_value p.kind with
+        | Some cv -> Array.fold_left (fun acc b -> if b = cv then acc + 1 else acc) 0 ins
+        | None -> 0
+      in
+      match !best with
+      | Some (c, _) when c <= cost -> ()
+      | Some _ | None -> best := Some (cost, ins)
+    end
+  done;
+  match !best with
+  | Some (_, ins) -> ins
+  | None -> invalid_arg "Char.dc_for_output: output value unreachable"
+
+let sensitizing_dc (p : Cell_params.t) ~pin =
+  if pin < 0 || pin >= p.fanin then invalid_arg "Char.sensitizing_dc: bad pin";
+  let ins =
+    Array.init p.fanin (fun _ ->
+        match Gate.sensitizing_side_value p.kind with
+        | Some v -> v
+        | None -> false)
+  in
+  ins.(pin) <- false;
+  ins
+
+(* Build a single-cell network; returns (net, output node). *)
+let one_cell (p : Cell_params.t) ~cload =
+  let b = Engine.Build.create () in
+  let exts = Array.init p.fanin (fun _ -> Engine.Build.ext b) in
+  let out = Elaborate.add_cell b p (Array.map (fun e -> Engine.Ext e) exts) in
+  Engine.Build.add_cap b out cload;
+  (Engine.Build.finish b, out)
+
+let generated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~charge
+    ~output_low =
+  let net, out = one_cell p ~cload in
+  let dc = dc_for_output p ~want:(not output_low) in
+  let init = Engine.dc_levels net ~ext_values:dc in
+  let inputs = Array.map (fun b -> Waveform.dc (if b then p.vdd else 0.)) dc in
+  let t_start = 5. in
+  let injections =
+    [ Engine.{ inj_node = out; charge; t_start; into_node = output_low } ]
+  in
+  (* window: injection tail plus worst-case recovery at leakage-ish rates *)
+  let t_end = t_start +. Engine.strike_tail +. (charge *. 60.) +. 200. in
+  let trace =
+    Engine.simulate net ~inputs ~init ~injections ~dt ~probes:[| out |] ~t_end ()
+  in
+  let nominal = if output_low then 0. else p.vdd in
+  Measure.glitch_width ~times:trace.Engine.times ~values:trace.Engine.voltages.(0)
+    ~nominal ~vdd:p.vdd
+
+let propagated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_width =
+  let net, out = one_cell p ~cload in
+  let dc = sensitizing_dc p ~pin:0 in
+  let init = Engine.dc_levels net ~ext_values:dc in
+  let t0 = 5. in
+  let inputs =
+    Array.mapi
+      (fun i b ->
+        if i = 0 then
+          Waveform.glitch ~t0 ~base:0. ~peak:p.vdd ~half_width:input_width ()
+        else Waveform.dc (if b then p.vdd else 0.))
+      dc
+  in
+  let t_end = t0 +. (2. *. input_width) +. 400. in
+  let trace =
+    Engine.simulate net ~inputs ~init ~dt ~probes:[| out |]
+      ~min_time:(t0 +. (2. *. input_width) +. 20.) ~t_end ()
+  in
+  let nominal = init.(out) in
+  Measure.glitch_width ~times:trace.Engine.times ~values:trace.Engine.voltages.(0)
+    ~nominal ~vdd:p.vdd
+
+let delay_one_direction ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_ramp
+    ~rising =
+  let net, out = one_cell p ~cload in
+  let dc = sensitizing_dc p ~pin:0 in
+  let dc = Array.mapi (fun i b -> if i = 0 then not rising else b) dc in
+  let init = Engine.dc_levels net ~ext_values:dc in
+  let t0 = 10. in
+  let from, to_ = if rising then (0., p.vdd) else (p.vdd, 0.) in
+  let inputs =
+    Array.mapi
+      (fun i b ->
+        if i = 0 then Waveform.step ~t0 ~ramp:(Float.max input_ramp 0.5) ~from ~to_ ()
+        else Waveform.dc (if b then p.vdd else 0.))
+      dc
+  in
+  let t_end = t0 +. input_ramp +. 600. in
+  let trace =
+    Engine.simulate net ~inputs ~init ~dt ~probes:[| out |]
+      ~min_time:(t0 +. input_ramp +. 30.) ~t_end ()
+  in
+  let times = trace.Engine.times and values = trace.Engine.voltages.(0) in
+  let t_in_50 = t0 +. (Float.max input_ramp 0.5 /. 2.) in
+  let out_rising = values.(Array.length values - 1) > values.(0) in
+  let cross =
+    Measure.first_crossing ~times ~values ~rising:out_rising (p.vdd /. 2.)
+  in
+  let delay = match cross with Some t -> t -. t_in_50 | None -> Float.max_float in
+  let ramp =
+    match Measure.transition_time ~times ~values ~vdd:p.vdd with
+    | Some r -> r
+    | None -> 0.
+  in
+  (delay, ramp)
+
+let delay_and_ramp ?dt (p : Cell_params.t) ~cload ~input_ramp =
+  let d_rise, r_rise = delay_one_direction ?dt p ~cload ~input_ramp ~rising:true in
+  let d_fall, r_fall = delay_one_direction ?dt p ~cload ~input_ramp ~rising:false in
+  (Float.max d_rise d_fall, Float.max r_rise r_fall)

@@ -1,0 +1,43 @@
+(** Transient characterisation of a single cell — the measurements the
+    paper obtains from SPICE to fill its look-up tables.
+
+    All functions build a one-cell analog network with the requested
+    load, stimulate it, and measure the output waveform. They are
+    deterministic and self-contained; the cell library memoises their
+    results on grids. *)
+
+val generated_glitch_width :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  charge:float ->
+  output_low:bool ->
+  float
+(** Width (ps at VDD/2) of the glitch a [charge] fC strike produces on
+    the cell output. Side inputs are set to the worst-case (weakest
+    restoring network) DC combination producing the requested output
+    state. *)
+
+val propagated_glitch_width :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  input_width:float ->
+  float
+(** Width of the output glitch when input pin 0 carries a full-swing
+    triangular glitch of duration [input_width] (at half amplitude) and
+    the remaining pins hold non-controlling values. *)
+
+val delay_and_ramp :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  input_ramp:float ->
+  float * float
+(** Worst-case (over rise/fall) propagation delay and the 10–90%
+    output transition time for a switching event on pin 0. *)
+
+val sensitizing_dc : Ser_device.Cell_params.t -> pin:int -> bool array
+(** DC values for all pins that sensitise [pin] (non-controlling side
+    inputs; [pin] itself is set to the value that makes the output
+    high for an inverting gate path analysis). Exposed for tests. *)

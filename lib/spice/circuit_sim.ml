@@ -1,0 +1,119 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Cell_params = Ser_device.Cell_params
+
+type config = {
+  po_cap : float;
+  pi_rail : float;
+  dt : float;
+  charge : float;
+}
+
+let default_config = { po_cap = 1.0; pi_rail = 1.0; dt = 0.5; charge = 16. }
+
+let logic_values (c : Circuit.t) input_values =
+  if Array.length input_values <> Array.length c.inputs then
+    invalid_arg "Circuit_sim.logic_values: wrong input vector length";
+  let v = Array.make (Circuit.node_count c) false in
+  Array.iteri (fun pos id -> v.(id) <- input_values.(pos)) c.inputs;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if nd.kind <> Gate.Input then
+        v.(nd.id) <- Gate.eval_bool nd.kind (Array.map (fun f -> v.(f)) nd.fanin))
+    c.nodes;
+  v
+
+let strike_po_widths ?(config = default_config) (c : Circuit.t) ~assignment
+    ~input_values ~strike =
+  if strike < 0 || strike >= Circuit.node_count c then
+    invalid_arg "Circuit_sim.strike_po_widths: bad gate id";
+  if Circuit.is_input c strike then
+    invalid_arg "Circuit_sim.strike_po_widths: cannot strike a primary input";
+  let values = logic_values c input_values in
+  let cone = Circuit.fanout_cone c strike in
+  let in_cone = Array.make (Circuit.node_count c) false in
+  Array.iter (fun id -> in_cone.(id) <- true) cone;
+  let b = Engine.Build.create () in
+  (* map circuit node id -> engine signal *)
+  let signal_of = Hashtbl.create 64 in
+  let ext_values = ref [] in
+  let ext_inputs = ref [] in
+  let signal_for id =
+    match Hashtbl.find_opt signal_of id with
+    | Some s -> s
+    | None ->
+      (* outside-cone driver: DC source at its logic value *)
+      let e = Engine.Build.ext b in
+      let rail =
+        if Circuit.is_input c id then config.pi_rail
+        else (assignment id).Cell_params.vdd
+      in
+      let volt = if values.(id) then rail else 0. in
+      ext_values := values.(id) :: !ext_values;
+      ext_inputs := Waveform.dc volt :: !ext_inputs;
+      let s = Engine.Ext e in
+      Hashtbl.replace signal_of id s;
+      s
+  in
+  (* elaborate cone gates in id (topological) order *)
+  let out_node = Hashtbl.create 64 in
+  (* the fan-out cone of a gate never contains primary inputs *)
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      let ins = Array.map signal_for nd.fanin in
+      let out = Elaborate.add_cell b (assignment id) ins in
+      Hashtbl.replace signal_of id (Engine.Node out);
+      Hashtbl.replace out_node id out)
+    cone;
+  (* primary-output loads *)
+  Array.iter
+    (fun po_id ->
+      match Hashtbl.find_opt out_node po_id with
+      | Some n -> Engine.Build.add_cap b n config.po_cap
+      | None -> ())
+    c.outputs;
+  let net = Engine.Build.finish b in
+  let ext_bools = Array.of_list (List.rev !ext_values) in
+  let inputs = Array.of_list (List.rev !ext_inputs) in
+  let init = Engine.dc_levels net ~ext_values:ext_bools in
+  let strike_node = Hashtbl.find out_node strike in
+  let t_start = 5. in
+  let injections =
+    [ Engine.{
+        inj_node = strike_node;
+        charge = config.charge;
+        t_start;
+        into_node = not values.(strike);
+      } ]
+  in
+  (* window: injection + generated width + propagation through the cone *)
+  let cone_depth =
+    let lv = Circuit.levels_from_inputs c in
+    Array.fold_left (fun acc id -> max acc lv.(id)) 0 cone
+    - (Circuit.levels_from_inputs c).(strike)
+  in
+  let t_end =
+    t_start +. Engine.strike_tail +. (config.charge *. 40.)
+    +. (float_of_int (cone_depth + 2) *. 120.)
+  in
+  let pos_in_cone =
+    Array.to_list c.outputs
+    |> List.mapi (fun pos id -> (pos, id))
+    |> List.filter (fun (_, id) -> in_cone.(id) && Hashtbl.mem out_node id)
+  in
+  let probes = Array.of_list (List.map (fun (_, id) -> Hashtbl.find out_node id) pos_in_cone) in
+  if Array.length probes = 0 then []
+  else begin
+    let trace = Engine.simulate net ~inputs ~init ~injections ~dt:config.dt ~probes ~t_end () in
+    List.mapi
+      (fun k (pos, id) ->
+        let vdd = (assignment id).Cell_params.vdd in
+        let nominal = if values.(id) then vdd else 0. in
+        let w =
+          Measure.glitch_width ~times:trace.Engine.times
+            ~values:trace.Engine.voltages.(k) ~nominal ~vdd
+        in
+        (pos, w))
+      pos_in_cone
+  end

@@ -1,0 +1,38 @@
+(** Golden-reference transient simulation of particle strikes in a full
+    circuit — the role SPICE plays in the paper's Fig. 3 and in the
+    validation columns of Table 1.
+
+    Only the fan-out cone of the struck gate is elaborated; everything
+    outside the cone is replaced by DC sources at the logic values
+    implied by the input vector, which is exact for a single-strike
+    transient. *)
+
+type config = {
+  po_cap : float;   (** latch input capacitance at each primary output, fF *)
+  pi_rail : float;  (** drive voltage of primary inputs, V *)
+  dt : float;       (** integration step, ps *)
+  charge : float;   (** injected charge, fC *)
+}
+
+val default_config : config
+(** 1.0 fF, 1.0 V, 0.5 ps, 16 fC (the paper's Fig. 1 charge). *)
+
+val strike_po_widths :
+  ?config:config ->
+  Ser_netlist.Circuit.t ->
+  assignment:(int -> Ser_device.Cell_params.t) ->
+  input_values:bool array ->
+  strike:int ->
+  (int * float) list
+(** [strike_po_widths c ~assignment ~input_values ~strike] injects the
+    configured charge at the output of gate [strike] (polarity chosen
+    from its logic value under [input_values]) and returns the glitch
+    width observed at every reachable primary output, as
+    [(output position, width in ps)] pairs, including zero widths.
+    [assignment] maps gate ids to cell parameters; [input_values] is
+    indexed like [c.inputs]. Raises [Invalid_argument] if [strike] is a
+    primary input or out of range. *)
+
+val logic_values : Ser_netlist.Circuit.t -> bool array -> bool array
+(** Zero-delay logic evaluation: value of every node under an input
+    vector (indexed by node id). *)

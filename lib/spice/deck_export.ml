@@ -1,0 +1,276 @@
+module Gate = Ser_netlist.Gate
+module Circuit = Ser_netlist.Circuit
+module P = Ser_device.Cell_params
+module M = Ser_device.Mosfet
+
+(* LEVEL=1 KP matched to the alpha-power drive at the nominal overdrive
+   (0.8 V): KP/2 * (Vov)^2 = beta * Vov^alpha. Amps per V^2. *)
+let kp_of beta alpha =
+  let vov = 0.8 in
+  2. *. beta *. (vov ** (alpha -. 2.)) *. 1e-3
+
+let model_name pol vth =
+  Printf.sprintf "%s_vt%03d" (match pol with M.Nmos -> "mn" | M.Pmos -> "mp")
+    (int_of_float (vth *. 1000.))
+
+let model_card pol vth =
+  let dev = match pol with M.Nmos -> M.nmos ~vth | M.Pmos -> M.pmos ~vth in
+  let kind = match pol with M.Nmos -> "NMOS" | M.Pmos -> "PMOS" in
+  let vto = match pol with M.Nmos -> vth | M.Pmos -> -.vth in
+  Printf.sprintf ".model %s %s (LEVEL=1 VTO=%.3f KP=%.4e LAMBDA=0.05 CGSO=%.3e CGDO=%.3e)"
+    (model_name pol vth) kind vto
+    (kp_of dev.M.beta dev.M.alpha)
+    (M.c_overlap *. 1e-6) (* fF/nm -> F/m *)
+    (M.c_overlap *. 1e-6)
+
+let cell_id (p : P.t) =
+  Printf.sprintf "%s%d_x%d_l%d_v%d_t%d"
+    (String.lowercase_ascii (Gate.to_string p.P.kind))
+    p.P.fanin
+    (int_of_float (p.P.size *. 100.))
+    (int_of_float p.P.length)
+    (int_of_float (p.P.vdd *. 1000.))
+    (int_of_float (p.P.vth *. 1000.))
+
+(* Emit primitive stages mirroring Elaborate.add_cell. Nets are local
+   strings; devices get W in meters. *)
+let emit_stages buf (p : P.t) ~pins ~out_net =
+  let wn = p.P.size *. M.w_min *. 1e-9 in
+  let wp = wn *. M.pmos_width_ratio in
+  let l = p.P.length *. 1e-9 in
+  let dev = ref 0 in
+  let node = ref 0 in
+  let fresh () =
+    incr node;
+    Printf.sprintf "x%d" !node
+  in
+  let m name d g s b model w =
+    incr dev;
+    Printf.bprintf buf "M%s_%d %s %s %s %s %s W=%.3e L=%.3e\n" name !dev d g s b
+      model w l
+  in
+  let nmod = model_name M.Nmos p.P.vth and pmod = model_name M.Pmos p.P.vth in
+  let widen k = sqrt (float_of_int k) in
+  let inv input output =
+    m "p" output input "vdd" "vdd" pmod wp;
+    m "n" output input "0" "0" nmod wn
+  in
+  let nand inputs output =
+    let k = List.length inputs in
+    let wns = wn *. widen k in
+    List.iter (fun i -> m "p" output i "vdd" "vdd" pmod wp) inputs;
+    (* series NMOS chain *)
+    let rec chain lower = function
+      | [] -> ()
+      | [ last ] -> m "n" output last lower "0" nmod wns
+      | i :: rest ->
+        let mid = fresh () in
+        m "n" mid i lower "0" nmod wns;
+        chain mid rest
+    in
+    chain "0" inputs
+  in
+  let nor inputs output =
+    let k = List.length inputs in
+    let wps = wp *. widen k in
+    List.iter (fun i -> m "n" output i "0" "0" nmod wn) inputs;
+    let rec chain upper = function
+      | [] -> ()
+      | [ last ] -> m "p" output last upper "vdd" pmod wps
+      | i :: rest ->
+        let mid = fresh () in
+        m "p" mid i upper "vdd" pmod wps;
+        chain mid rest
+    in
+    chain "vdd" inputs
+  in
+  let xor2 a b =
+    let n1 = fresh () and n2 = fresh () and n3 = fresh () and o = fresh () in
+    nand [ a; b ] n1;
+    nand [ a; n1 ] n2;
+    nand [ b; n1 ] n3;
+    nand [ n2; n3 ] o;
+    o
+  in
+  let rec xor_tree = function
+    | [] -> invalid_arg "Deck_export: empty xor"
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: b :: rest -> xor2 a b :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      xor_tree (pair xs)
+  in
+  match (p.P.kind, pins) with
+  | Gate.Input, _ -> invalid_arg "Deck_export: Input"
+  | Gate.Not, [ a ] -> inv a out_net
+  | Gate.Buf, [ a ] ->
+    let mid = fresh () in
+    inv a mid;
+    inv mid out_net
+  | Gate.Nand, ins -> nand ins out_net
+  | Gate.Nor, ins -> nor ins out_net
+  | Gate.And, ins ->
+    let mid = fresh () in
+    nand ins mid;
+    inv mid out_net
+  | Gate.Or, ins ->
+    let mid = fresh () in
+    nor ins mid;
+    inv mid out_net
+  | Gate.Xor, ins ->
+    let o = xor_tree ins in
+    (* connect via zero-volt source to alias nets *)
+    Printf.bprintf buf "V%s_alias %s %s 0\n" out_net out_net o
+  | Gate.Xnor, ins ->
+    let o = xor_tree ins in
+    inv o out_net
+  | (Gate.Not | Gate.Buf), _ -> invalid_arg "Deck_export: arity"
+
+let cell_subckt (p : P.t) =
+  let buf = Buffer.create 512 in
+  let pins = List.init p.P.fanin (fun i -> Printf.sprintf "in%d" i) in
+  (* ground is the global node 0, never a port *)
+  Printf.bprintf buf ".subckt %s %s out vdd\n" (cell_id p)
+    (String.concat " " pins);
+  emit_stages buf p ~pins ~out_net:"out";
+  Printf.bprintf buf ".ends %s\n" (cell_id p);
+  Buffer.contents buf
+
+(* 24-point PWL of the double-exponential strike current. *)
+let strike_pwl ~charge ~t_start =
+  let tau_r, tau_f = Ser_device.Gate_model.collected_charge_tau in
+  let points =
+    List.init 24 (fun i ->
+        let t = float_of_int i *. (8. *. tau_f) /. 23. in
+        let i_t =
+          charge /. (tau_f -. tau_r)
+          *. (exp (-.t /. tau_f) -. exp (-.t /. tau_r))
+        in
+        (t_start +. t, i_t))
+  in
+  (0., 0.) :: (t_start -. 0.001, 0.) :: points
+  |> List.map (fun (t, i) -> Printf.sprintf "%.3fp %.4em" t i)
+  |> String.concat " "
+
+let strike_deck ?(config = Circuit_sim.default_config) (c : Circuit.t)
+    ~assignment ~input_values ~strike =
+  if Circuit.is_input c strike then invalid_arg "Deck_export: strike on PI";
+  let values = Circuit_sim.logic_values c input_values in
+  let cone = Circuit.fanout_cone c strike in
+  let in_cone = Array.make (Circuit.node_count c) false in
+  Array.iter (fun id -> in_cone.(id) <- true) cone;
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "* strike deck: %s, gate %s, charge %.1f fC\n" c.Circuit.name
+    (Circuit.node c strike).Circuit.name config.Circuit_sim.charge;
+  (* models for every vth in use *)
+  let vths = Hashtbl.create 4 in
+  Array.iter
+    (fun id ->
+      if in_cone.(id) && not (Circuit.is_input c id) then
+        Hashtbl.replace vths (assignment id).P.vth ())
+    cone;
+  Hashtbl.iter
+    (fun vth () ->
+      Buffer.add_string buf (model_card M.Nmos vth);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (model_card M.Pmos vth);
+      Buffer.add_char buf '\n')
+    vths;
+  (* subckts for every distinct cell in the cone *)
+  let cells = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      if not (Circuit.is_input c id) then begin
+        let p = assignment id in
+        if not (Hashtbl.mem cells (cell_id p)) then begin
+          Hashtbl.replace cells (cell_id p) ();
+          Buffer.add_string buf (cell_subckt p)
+        end
+      end)
+    cone;
+  (* supplies: one rail per vdd in use, named vdd<mv> *)
+  let rails = Hashtbl.create 4 in
+  Array.iter
+    (fun id ->
+      if not (Circuit.is_input c id) then
+        Hashtbl.replace rails (assignment id).P.vdd ())
+    cone;
+  Hashtbl.iter
+    (fun vdd () ->
+      Printf.bprintf buf "Vdd%d vdd%d 0 %.2f\n"
+        (int_of_float (vdd *. 1000.))
+        (int_of_float (vdd *. 1000.))
+        vdd)
+    rails;
+  let net_of id = Printf.sprintf "n_%s" (Circuit.node c id).Circuit.name in
+  (* DC sources for nets outside the cone (and primary inputs) *)
+  let emitted_dc = Hashtbl.create 32 in
+  let ensure_dc id =
+    if not (Hashtbl.mem emitted_dc id) then begin
+      Hashtbl.replace emitted_dc id ();
+      let rail =
+        if Circuit.is_input c id then config.Circuit_sim.pi_rail
+        else (assignment id).P.vdd
+      in
+      let v = if values.(id) then rail else 0. in
+      Printf.bprintf buf "Vdc_%s %s 0 %.2f\n" (Circuit.node c id).Circuit.name
+        (net_of id) v
+    end
+  in
+  (* cone instances *)
+  Array.iter
+    (fun id ->
+      if not (Circuit.is_input c id) then begin
+        let nd = Circuit.node c id in
+        Array.iter
+          (fun f -> if not in_cone.(f) then ensure_dc f)
+          nd.Circuit.fanin;
+        let p = assignment id in
+        let rail = Printf.sprintf "vdd%d" (int_of_float (p.P.vdd *. 1000.)) in
+        let ins =
+          Array.to_list nd.Circuit.fanin |> List.map net_of |> String.concat " "
+        in
+        Printf.bprintf buf "X_%s %s %s %s %s\n" nd.Circuit.name ins
+          (net_of id) rail (cell_id p)
+      end)
+    cone;
+  (* output loads *)
+  Array.iter
+    (fun po ->
+      if in_cone.(po) then
+        Printf.bprintf buf "Cload_%s %s 0 %.3ff\n" (Circuit.node c po).Circuit.name
+          (net_of po) config.Circuit_sim.po_cap)
+    c.Circuit.outputs;
+  (* the strike *)
+  let t_start = 5. in
+  let direction = if values.(strike) then (net_of strike, "0") else ("0", net_of strike) in
+  Printf.bprintf buf "Istrike %s %s PWL(%s)\n" (fst direction) (snd direction)
+    (strike_pwl ~charge:config.Circuit_sim.charge ~t_start);
+  (* analysis and measurements *)
+  let lv = Circuit.levels_from_inputs c in
+  let depth = Array.fold_left (fun acc id -> max acc lv.(id)) 0 cone - lv.(strike) in
+  let t_end = t_start +. 200. +. (float_of_int (depth + 2) *. 120.) in
+  Printf.bprintf buf ".tran 0.5p %.0fp\n" t_end;
+  Array.iteri
+    (fun pos po ->
+      if in_cone.(po) then begin
+        let vdd = (assignment po).P.vdd in
+        let half = vdd /. 2. in
+        let rise1, fall1 =
+          if values.(po) then ("FALL=1", "RISE=1") else ("RISE=1", "FALL=1")
+        in
+        Printf.bprintf buf
+          ".measure tran w_po%d TRIG v(%s) VAL=%.3f %s TARG v(%s) VAL=%.3f %s\n"
+          pos (net_of po) half rise1 (net_of po) half fall1
+      end)
+    c.Circuit.outputs;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_strike_deck ?config path c ~assignment ~input_values ~strike =
+  let oc = open_out path in
+  output_string oc (strike_deck ?config c ~assignment ~input_values ~strike);
+  close_out oc

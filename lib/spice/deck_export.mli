@@ -1,0 +1,34 @@
+(** Export of strike scenarios as standalone SPICE decks, so any result
+    of the built-in transient engine can be cross-validated in an
+    external simulator (ngspice / HSPICE). Devices are emitted as
+    LEVEL=1 MOSFETs with parameters matched to the alpha-power model's
+    low-field limit — the decks are self-contained and runnable, with
+    the usual caveat that absolute numbers differ between device
+    models. *)
+
+val cell_subckt : Ser_device.Cell_params.t -> string
+(** A [.subckt] definition for one cell variant (name derived from the
+    parameters), built from the same Inv/NAND/NOR stage elaboration the
+    transient engine uses. *)
+
+val strike_deck :
+  ?config:Circuit_sim.config ->
+  Ser_netlist.Circuit.t ->
+  assignment:(int -> Ser_device.Cell_params.t) ->
+  input_values:bool array ->
+  strike:int ->
+  string
+(** A complete transient deck reproducing
+    {!Circuit_sim.strike_po_widths}: subcircuit library, the fan-out
+    cone of the struck gate, DC sources for everything outside it, a
+    double-exponential strike current source, [.tran] directives and
+    [.measure] statements for the glitch at every reachable output. *)
+
+val write_strike_deck :
+  ?config:Circuit_sim.config ->
+  string ->
+  Ser_netlist.Circuit.t ->
+  assignment:(int -> Ser_device.Cell_params.t) ->
+  input_values:bool array ->
+  strike:int ->
+  unit

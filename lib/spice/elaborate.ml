@@ -1,0 +1,54 @@
+module Gate = Ser_netlist.Gate
+
+let xor2 b params a c =
+  let n1 = Engine.Build.add_stage b Engine.Nand_p params [| a; c |] in
+  let n2 = Engine.Build.add_stage b Engine.Nand_p params [| a; Engine.Node n1 |] in
+  let n3 = Engine.Build.add_stage b Engine.Nand_p params [| c; Engine.Node n1 |] in
+  Engine.Build.add_stage b Engine.Nand_p params
+    [| Engine.Node n2; Engine.Node n3 |]
+
+let rec xor_tree b params = function
+  | [] -> invalid_arg "Elaborate.xor_tree: empty"
+  | [ Engine.Node n ] -> n
+  | [ (Engine.Ext _ as single) ] ->
+    (* lone external input: buffer through two inverters to obtain a node *)
+    let n = Engine.Build.add_stage b Engine.Inv params [| single |] in
+    Engine.Build.add_stage b Engine.Inv params [| Engine.Node n |]
+  | signals ->
+    let rec pair = function
+      | a :: c :: rest -> Engine.Node (xor2 b params a c) :: pair rest
+      | [ single ] -> [ single ]
+      | [] -> []
+    in
+    xor_tree b params (pair signals)
+
+let add_cell b (params : Ser_device.Cell_params.t) inputs =
+  if Array.length inputs <> params.fanin then
+    invalid_arg "Elaborate.add_cell: arity mismatch";
+  let inv signal = Engine.Build.add_stage b Engine.Inv params [| signal |] in
+  match params.kind with
+  | Gate.Input -> invalid_arg "Elaborate.add_cell: Input is not a cell"
+  | Gate.Not -> inv inputs.(0)
+  | Gate.Buf ->
+    let n = inv inputs.(0) in
+    inv (Engine.Node n)
+  | Gate.Nand -> Engine.Build.add_stage b Engine.Nand_p params inputs
+  | Gate.Nor -> Engine.Build.add_stage b Engine.Nor_p params inputs
+  | Gate.And ->
+    let n = Engine.Build.add_stage b Engine.Nand_p params inputs in
+    inv (Engine.Node n)
+  | Gate.Or ->
+    let n = Engine.Build.add_stage b Engine.Nor_p params inputs in
+    inv (Engine.Node n)
+  | Gate.Xor -> xor_tree b params (Array.to_list inputs)
+  | Gate.Xnor ->
+    let n = xor_tree b params (Array.to_list inputs) in
+    inv (Engine.Node n)
+
+let stage_count (params : Ser_device.Cell_params.t) =
+  match params.kind with
+  | Gate.Input -> 0
+  | Gate.Not | Gate.Nand | Gate.Nor -> 1
+  | Gate.Buf | Gate.And | Gate.Or -> 2
+  | Gate.Xor -> 4 * (params.fanin - 1)
+  | Gate.Xnor -> (4 * (params.fanin - 1)) + 1

@@ -1,0 +1,19 @@
+(** Elaboration of logical gates into primitive CMOS stages.
+
+    NOT/NAND/NOR map to single stages; BUF/AND/OR get an output
+    inverter; XOR/XNOR use the classic 4-NAND expansion (which is also
+    how c1355 implements c499's XORs). All stages of one logical gate
+    share its {!Ser_device.Cell_params.t} knobs. *)
+
+val add_cell :
+  Engine.Build.t ->
+  Ser_device.Cell_params.t ->
+  Engine.signal array ->
+  int
+(** [add_cell b params inputs] appends the stage network of the gate
+    kind in [params] and returns the node index of its final output.
+    [inputs] length must equal [params.fanin]. Raises
+    [Invalid_argument] for [Input] or arity mismatch. *)
+
+val stage_count : Ser_device.Cell_params.t -> int
+(** Number of primitive stages {!add_cell} would create. *)

@@ -1,0 +1,301 @@
+module Mosfet = Ser_device.Mosfet
+module Cell_params = Ser_device.Cell_params
+
+type prim = Inv | Nand_p | Nor_p
+
+type signal = Ext of int | Node of int
+
+type stage = {
+  prim : prim;
+  cell : Cell_params.t;
+  inputs : signal array;
+  out : int;
+  (* cached device parameters *)
+  nmos : Mosfet.t;
+  pmos : Mosfet.t;
+  wl_n : float; (* effective W/L of one series NMOS device *)
+  wl_p : float;
+  n_series : int; (* series depth of the NMOS network *)
+  p_series : int;
+}
+
+type net = {
+  stages : stage array;
+  n_nodes : int;
+  n_ext : int;
+  node_cap : float array;
+  node_vdd : float array;
+}
+
+type injection = {
+  inj_node : int;
+  charge : float;
+  t_start : float;
+  into_node : bool;
+}
+
+let tau_rise, tau_fall = Ser_device.Gate_model.collected_charge_tau
+let strike_tail = 8. *. tau_fall
+
+let stage_widths (cell : Cell_params.t) prim arity =
+  let wn = cell.size *. Mosfet.w_min in
+  let wp = wn *. Mosfet.pmos_width_ratio in
+  let n_series, p_series =
+    match prim with
+    | Inv -> (1, 1)
+    | Nand_p -> (arity, 1)
+    | Nor_p -> (1, arity)
+  in
+  let widen s = sqrt (float_of_int s) in
+  let wl_n = wn *. widen n_series /. cell.length /. float_of_int n_series in
+  let wl_p = wp *. widen p_series /. cell.length /. float_of_int p_series in
+  (wl_n, wl_p, n_series, p_series)
+
+(* Gate capacitance presented by one input pin of a stage. *)
+let pin_cap (cell : Cell_params.t) prim arity =
+  let wn = cell.size *. Mosfet.w_min in
+  let wp = wn *. Mosfet.pmos_width_ratio in
+  let n_series, p_series =
+    match prim with Inv -> (1, 1) | Nand_p -> (arity, 1) | Nor_p -> (1, arity)
+  in
+  let widen s = sqrt (float_of_int s) in
+  let gate_cap w = (Mosfet.cox_area *. w *. cell.length) +. (Mosfet.c_overlap *. w) in
+  gate_cap (wn *. widen n_series) +. gate_cap (wp *. widen p_series)
+
+(* Junction capacitance a stage contributes to its own output node. *)
+let junction_cap (cell : Cell_params.t) prim arity =
+  let wn = cell.size *. Mosfet.w_min in
+  let wp = wn *. Mosfet.pmos_width_ratio in
+  let n_par, p_par =
+    match prim with Inv -> (1, 1) | Nand_p -> (1, arity) | Nor_p -> (arity, 1)
+  in
+  (Mosfet.c_junction
+   *. ((wn *. float_of_int n_par) +. (wp *. float_of_int p_par))
+   *. 0.7)
+  +. 0.15
+
+module Build = struct
+  type b = {
+    mutable stages_rev : stage list;
+    mutable n_nodes : int;
+    mutable n_ext : int;
+    mutable caps : (int * float) list;
+    mutable vdds : (int * float) list;
+  }
+
+  type t = b
+
+  let create () = { stages_rev = []; n_nodes = 0; n_ext = 0; caps = []; vdds = [] }
+
+  let ext b =
+    let i = b.n_ext in
+    b.n_ext <- i + 1;
+    i
+
+  let add_cap b node c = b.caps <- (node, c) :: b.caps
+
+  let add_stage b prim cell inputs =
+    let arity = Array.length inputs in
+    (match prim with
+    | Inv -> if arity <> 1 then invalid_arg "Engine.Build.add_stage: Inv arity"
+    | Nand_p | Nor_p ->
+      if arity < 2 then invalid_arg "Engine.Build.add_stage: NAND/NOR arity");
+    Array.iter
+      (function
+        | Ext i -> if i < 0 || i >= b.n_ext then invalid_arg "Engine.Build: bad ext"
+        | Node n -> if n < 0 || n >= b.n_nodes then invalid_arg "Engine.Build: bad node")
+      inputs;
+    let out = b.n_nodes in
+    b.n_nodes <- out + 1;
+    let wl_n, wl_p, n_series, p_series = stage_widths cell prim arity in
+    let stage =
+      {
+        prim;
+        cell;
+        inputs;
+        out;
+        nmos = Mosfet.nmos ~vth:cell.vth;
+        pmos = Mosfet.pmos ~vth:cell.vth;
+        wl_n;
+        wl_p;
+        n_series;
+        p_series;
+      }
+    in
+    b.stages_rev <- stage :: b.stages_rev;
+    add_cap b out (junction_cap cell prim arity);
+    b.vdds <- (out, cell.vdd) :: b.vdds;
+    (* pin loading on the driven nodes *)
+    let pc = pin_cap cell prim arity in
+    Array.iter (function Node n -> add_cap b n pc | Ext _ -> ()) inputs;
+    out
+
+  let finish b =
+    let stages = Array.of_list (List.rev b.stages_rev) in
+    let node_cap = Array.make (max b.n_nodes 1) 0. in
+    List.iter (fun (n, c) -> node_cap.(n) <- node_cap.(n) +. c) b.caps;
+    let node_vdd = Array.make (max b.n_nodes 1) 1. in
+    List.iter (fun (n, v) -> node_vdd.(n) <- v) b.vdds;
+    { stages; n_nodes = b.n_nodes; n_ext = b.n_ext; node_cap; node_vdd }
+end
+
+let n_nodes net = net.n_nodes
+let n_ext net = net.n_ext
+let node_vdd net n = net.node_vdd.(n)
+
+(* Net restoring current into a stage's output node (mA): pull-up minus
+   pull-down. Series networks conduct at the rate of their most-off
+   device; parallel networks sum. *)
+let stage_current st read vout =
+  let vdd = st.cell.vdd in
+  let arity = Array.length st.inputs in
+  match st.prim with
+  | Inv ->
+    let vin = read st.inputs.(0) in
+    let i_dn = Mosfet.drain_current st.nmos ~w_over_l:st.wl_n ~vgs:vin ~vds:vout in
+    let i_up =
+      Mosfet.drain_current st.pmos ~w_over_l:st.wl_p ~vgs:(vdd -. vin)
+        ~vds:(vdd -. vout)
+    in
+    i_up -. i_dn
+  | Nand_p ->
+    (* NMOS in series: weakest gate limits; PMOS in parallel: sum *)
+    let i_dn = ref infinity in
+    let i_up = ref 0. in
+    for k = 0 to arity - 1 do
+      let vin = read st.inputs.(k) in
+      let idn = Mosfet.drain_current st.nmos ~w_over_l:st.wl_n ~vgs:vin ~vds:vout in
+      if idn < !i_dn then i_dn := idn;
+      i_up :=
+        !i_up
+        +. Mosfet.drain_current st.pmos ~w_over_l:st.wl_p ~vgs:(vdd -. vin)
+             ~vds:(vdd -. vout)
+    done;
+    !i_up -. !i_dn
+  | Nor_p ->
+    let i_up = ref infinity in
+    let i_dn = ref 0. in
+    for k = 0 to arity - 1 do
+      let vin = read st.inputs.(k) in
+      let iup =
+        Mosfet.drain_current st.pmos ~w_over_l:st.wl_p ~vgs:(vdd -. vin)
+          ~vds:(vdd -. vout)
+      in
+      if iup < !i_up then i_up := iup;
+      i_dn :=
+        !i_dn +. Mosfet.drain_current st.nmos ~w_over_l:st.wl_n ~vgs:vin ~vds:vout
+    done;
+    !i_up -. !i_dn
+
+let strike_current charge t =
+  if t <= 0. then 0.
+  else
+    charge /. (tau_fall -. tau_rise)
+    *. (exp (-.t /. tau_fall) -. exp (-.t /. tau_rise))
+
+type trace = { times : float array; voltages : float array array }
+
+let simulate net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
+    ?probes ~t_end () =
+  if Array.length inputs <> net.n_ext then
+    invalid_arg "Engine.simulate: wrong number of input waveforms";
+  if Array.length init <> net.n_nodes then
+    invalid_arg "Engine.simulate: wrong init length";
+  let probes =
+    match probes with
+    | Some p -> p
+    | None -> Array.init net.n_nodes Fun.id
+  in
+  let min_time =
+    match min_time with
+    | Some t -> t
+    | None ->
+      List.fold_left
+        (fun acc inj -> Float.max acc (inj.t_start +. strike_tail))
+        (10. *. dt) injections
+  in
+  let v = Array.copy init in
+  let deriv = Array.make net.n_nodes 0. in
+  let deriv2 = Array.make net.n_nodes 0. in
+  let compute_derivs time state out =
+    Array.fill out 0 net.n_nodes 0.;
+    let read = function
+      | Ext i -> Waveform.eval inputs.(i) time
+      | Node n -> state.(n)
+    in
+    Array.iter
+      (fun st -> out.(st.out) <- out.(st.out) +. stage_current st read state.(st.out))
+      net.stages;
+    List.iter
+      (fun inj ->
+        let i = strike_current inj.charge (time -. inj.t_start) in
+        let i = if inj.into_node then i else -.i in
+        out.(inj.inj_node) <- out.(inj.inj_node) +. i)
+      injections;
+    for n = 0 to net.n_nodes - 1 do
+      out.(n) <- out.(n) /. Float.max net.node_cap.(n) 1e-4
+    done
+  in
+  let n_steps = int_of_float (ceil (t_end /. dt)) in
+  let times = Array.make (n_steps + 1) 0. in
+  let recorded = Array.map (fun _ -> Array.make (n_steps + 1) 0.) probes in
+  let record step =
+    Array.iteri (fun k node -> recorded.(k).(step) <- v.(node)) probes
+  in
+  record 0;
+  let tmp = Array.make net.n_nodes 0. in
+  let quiet_steps = ref 0 in
+  let final_step = ref n_steps in
+  (try
+     for step = 1 to n_steps do
+       let t0 = float_of_int (step - 1) *. dt in
+       (* Heun's method with rail clamping *)
+       compute_derivs t0 v deriv;
+       for n = 0 to net.n_nodes - 1 do
+         tmp.(n) <-
+           Ser_util.Floatx.clamp ~lo:(-0.3) ~hi:(net.node_vdd.(n) +. 0.3)
+             (v.(n) +. (dt *. deriv.(n)))
+       done;
+       compute_derivs (t0 +. dt) tmp deriv2;
+       let max_rate = ref 0. in
+       for n = 0 to net.n_nodes - 1 do
+         let d = 0.5 *. (deriv.(n) +. deriv2.(n)) in
+         if Float.abs d > !max_rate then max_rate := Float.abs d;
+         v.(n) <-
+           Ser_util.Floatx.clamp ~lo:(-0.3) ~hi:(net.node_vdd.(n) +. 0.3)
+             (v.(n) +. (dt *. d))
+       done;
+       times.(step) <- t0 +. dt;
+       record step;
+       (* early exit once everything has settled *)
+       if !max_rate < 1e-4 then incr quiet_steps else quiet_steps := 0;
+       if !quiet_steps >= 4 && t0 +. dt >= min_time then begin
+         final_step := step;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let len = !final_step + 1 in
+  {
+    times = Array.sub times 0 len;
+    voltages = Array.map (fun tr -> Array.sub tr 0 len) recorded;
+  }
+
+let dc_levels net ~ext_values =
+  if Array.length ext_values <> net.n_ext then
+    invalid_arg "Engine.dc_levels: wrong ext count";
+  let v = Array.make net.n_nodes false in
+  let read = function Ext i -> ext_values.(i) | Node n -> v.(n) in
+  (* stages were added in topological order by construction *)
+  Array.iter
+    (fun st ->
+      let ins = Array.map read st.inputs in
+      let value =
+        match st.prim with
+        | Inv -> not ins.(0)
+        | Nand_p -> not (Array.for_all Fun.id ins)
+        | Nor_p -> not (Array.exists Fun.id ins)
+      in
+      v.(st.out) <- value)
+    net.stages;
+  Array.mapi (fun n b -> if b then net.node_vdd.(n) else 0.) v

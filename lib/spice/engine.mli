@@ -1,0 +1,91 @@
+(** Nonlinear transient simulation of CMOS stage networks.
+
+    This is the repository's stand-in for SPICE: gates are elaborated
+    into primitive CMOS stages (inverter, NAND, NOR; XOR becomes its
+    4-NAND expansion at a higher layer), each output node integrates
+
+    {v C dV/dt = I_pullup(Vins, V) - I_pulldown(Vins, V) + I_strike(t) v}
+
+    with alpha-power-law device currents, using Heun's method with a
+    fixed step and rail clamping. Particle strikes are the standard
+    double-exponential current pulse. *)
+
+type prim = Inv | Nand_p | Nor_p
+(** Primitive single-stage CMOS structures. *)
+
+type signal = Ext of int | Node of int
+(** A stage input: an externally driven waveform or another stage's
+    output node. *)
+
+type net
+(** An elaborated analog network. *)
+
+type injection = {
+  inj_node : int;
+  charge : float;  (** fC; non-negative *)
+  t_start : float; (** ps *)
+  into_node : bool; (** [true] injects (upsets a low node), [false]
+                        removes charge (upsets a high node) *)
+}
+
+(** {1 Building} *)
+
+module Build : sig
+  type t
+
+  val create : unit -> t
+
+  val ext : t -> int
+  (** Allocate an external input slot; returns its index. *)
+
+  val add_stage : t -> prim -> Ser_device.Cell_params.t -> signal array -> int
+  (** Add a stage; returns its output node index. Input arity: 1 for
+      [Inv], >= 2 for [Nand_p]/[Nor_p]. Pin and junction capacitances
+      are accumulated automatically on the affected nodes. *)
+
+  val add_cap : t -> int -> float -> unit
+  (** Add extra (load/wire) capacitance to a node, fF. *)
+
+  val finish : t -> net
+end
+
+val n_nodes : net -> int
+val n_ext : net -> int
+
+val node_vdd : net -> int -> float
+(** Supply rail of the stage driving a node. *)
+
+(** {1 Simulation} *)
+
+type trace = {
+  times : float array;
+  voltages : float array array; (** [voltages.(k)] is the trace of the
+                                    k-th probed node *)
+}
+
+val simulate :
+  net ->
+  inputs:Waveform.t array ->
+  init:float array ->
+  ?injections:injection list ->
+  ?dt:float ->
+  ?min_time:float ->
+  ?probes:int array ->
+  t_end:float ->
+  unit ->
+  trace
+(** Integrate from [init] (one voltage per node) to [t_end] ps.
+    [inputs] must have length {!n_ext}. [dt] defaults to 0.5 ps.
+    Integration stops early — never before [min_time] (default: after
+    every injection tail) — once all node derivatives are negligible
+    for a few consecutive steps. [probes] defaults to all nodes.
+    Raises [Invalid_argument] on arity mismatches. *)
+
+val dc_levels : net -> ext_values:bool array -> float array
+(** Steady-state rail voltages implied by boolean external inputs,
+    obtained by logic evaluation of the stage network. Suitable as
+    [init]. *)
+
+val strike_tail : float
+(** Time (ps) after [t_start] by which a strike's current pulse is
+    essentially over. *)

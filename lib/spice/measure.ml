@@ -1,0 +1,53 @@
+let segment_time_above t0 t1 v0 v1 th =
+  (* time within [t0,t1] where the linear segment exceeds th *)
+  let dt = t1 -. t0 in
+  if v0 > th && v1 > th then dt
+  else if v0 <= th && v1 <= th then 0.
+  else
+    let f = (th -. v0) /. (v1 -. v0) in
+    if v0 <= th then dt *. (1. -. f) else dt *. f
+
+let time_above ~times ~values th =
+  let acc = ref 0. in
+  for i = 0 to Array.length times - 2 do
+    acc := !acc +. segment_time_above times.(i) times.(i + 1) values.(i) values.(i + 1) th
+  done;
+  !acc
+
+let time_below ~times ~values th =
+  let neg = Array.map (fun v -> -.v) values in
+  time_above ~times ~values:neg (-.th)
+
+let glitch_width ~times ~values ~nominal ~vdd =
+  let th = vdd /. 2. in
+  if nominal < th then time_above ~times ~values th
+  else time_below ~times ~values th
+
+let peak_excursion ~times ~values ~nominal =
+  ignore times;
+  Array.fold_left (fun acc v -> Float.max acc (Float.abs (v -. nominal))) 0. values
+
+let first_crossing ~times ~values ~rising th =
+  let n = Array.length times in
+  let rec loop i =
+    if i >= n - 1 then None
+    else
+      let v0 = values.(i) and v1 = values.(i + 1) in
+      let crossed = if rising then v0 < th && v1 >= th else v0 > th && v1 <= th in
+      if crossed then
+        let f = (th -. v0) /. (v1 -. v0) in
+        Some (Ser_util.Floatx.lerp times.(i) times.(i + 1) f)
+      else loop (i + 1)
+  in
+  loop 0
+
+let transition_time ~times ~values ~vdd =
+  let lo = 0.1 *. vdd and hi = 0.9 *. vdd in
+  match (first_crossing ~times ~values ~rising:true lo,
+         first_crossing ~times ~values ~rising:true hi) with
+  | Some t_lo, Some t_hi when t_hi > t_lo -> Some (t_hi -. t_lo)
+  | _ -> (
+    match (first_crossing ~times ~values ~rising:false hi,
+           first_crossing ~times ~values ~rising:false lo) with
+    | Some t_hi, Some t_lo when t_lo > t_hi -> Some (t_lo -. t_hi)
+    | _ -> None)

@@ -1,0 +1,30 @@
+(** Waveform measurements: glitch widths, crossings, propagation
+    delays. All functions take parallel [times]/[values] arrays as
+    produced by {!Engine.simulate}. *)
+
+val time_above : times:float array -> values:float array -> float -> float
+(** Total time the signal spends strictly above a threshold, with
+    linear interpolation of the crossing instants. *)
+
+val time_below : times:float array -> values:float array -> float -> float
+
+val glitch_width :
+  times:float array -> values:float array -> nominal:float -> vdd:float -> float
+(** Width of the excursion away from the nominal rail value, measured
+    at VDD/2 — the paper's glitch-duration convention. For a nominally
+    low node this is {!time_above} VDD/2; for a nominally high node,
+    {!time_below} VDD/2. [nominal] is the rail voltage (0 or vdd). *)
+
+val peak_excursion :
+  times:float array -> values:float array -> nominal:float -> float
+(** Largest |V - nominal| over the trace. *)
+
+val first_crossing :
+  times:float array -> values:float array -> rising:bool -> float -> float option
+(** Time of the first crossing of a threshold in the given direction. *)
+
+val transition_time :
+  times:float array -> values:float array -> vdd:float -> float option
+(** 10%–90% duration of the first full transition found in the trace
+    (either direction). [None] when the signal never spans both
+    levels. *)

@@ -1,0 +1,45 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module Cell_params = Ser_device.Cell_params
+
+type t = {
+  circuit : Circuit.t;
+  cells : Cell_params.t option array;
+}
+
+let uniform lib (c : Circuit.t) =
+  let cells =
+    Array.map
+      (fun (nd : Circuit.node) ->
+        if nd.kind = Gate.Input then None
+        else Some (Ser_cell.Library.nominal lib nd.kind (Array.length nd.fanin)))
+      c.nodes
+  in
+  { circuit = c; cells }
+
+let copy t = { t with cells = Array.copy t.cells }
+
+let get t id =
+  if id < 0 || id >= Array.length t.cells then invalid_arg "Assignment.get: bad id";
+  match t.cells.(id) with
+  | Some p -> p
+  | None -> invalid_arg "Assignment.get: primary input has no cell"
+
+let set t id (p : Cell_params.t) =
+  let nd = Circuit.node t.circuit id in
+  if nd.kind = Gate.Input then invalid_arg "Assignment.set: primary input";
+  if p.kind <> nd.kind || p.fanin <> Array.length nd.fanin then
+    invalid_arg "Assignment.set: cell does not match gate";
+  t.cells.(id) <- Some p
+
+let fold_gates t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun id cell -> match cell with Some p -> acc := f !acc id p | None -> ())
+    t.cells;
+  !acc
+
+let circuit t = t.circuit
+
+let total_area lib t =
+  fold_gates t ~init:0. ~f:(fun acc _ p -> acc +. Ser_cell.Library.area lib p)

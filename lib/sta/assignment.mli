@@ -1,0 +1,25 @@
+(** A cell assignment: which library variant implements each gate. *)
+
+type t
+(** Mutable mapping from gate id to {!Ser_device.Cell_params.t}.
+    Primary-input ids have no cell. *)
+
+val uniform : Ser_cell.Library.t -> Ser_netlist.Circuit.t -> t
+(** Every gate at the library's nominal corner. *)
+
+val copy : t -> t
+
+val get : t -> int -> Ser_device.Cell_params.t
+(** Raises [Invalid_argument] for a primary input or out-of-range id. *)
+
+val set : t -> int -> Ser_device.Cell_params.t -> unit
+(** Raises [Invalid_argument] if the variant's kind or fan-in does not
+    match the gate. *)
+
+val fold_gates : t -> init:'a -> f:('a -> int -> Ser_device.Cell_params.t -> 'a) -> 'a
+(** Fold over (gate id, cell) pairs in id order. *)
+
+val circuit : t -> Ser_netlist.Circuit.t
+
+val total_area : Ser_cell.Library.t -> t -> float
+(** Sum of cell areas. *)

@@ -1,0 +1,69 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+
+type path = int array
+
+(* Branch-and-bound path peeling: states are suffixes (gate .. PO) with
+   an optimistic estimate arrival(gate) + delay(suffix after gate);
+   expanding the max-estimate state toward the worst fanin preserves
+   the estimate, so states pop in true path-delay order. *)
+type state = { head : int; suffix : int list }
+
+let k_worst_paths asg (timing : Timing.t) ~k =
+  let c = Assignment.circuit asg in
+  let heap = Ser_util.Heap.create () in
+  Array.iter
+    (fun po ->
+      Ser_util.Heap.push heap timing.arrival.(po) { head = po; suffix = [ po ] })
+    c.outputs;
+  let results = ref [] in
+  let n_found = ref 0 in
+  while !n_found < k && not (Ser_util.Heap.is_empty heap) do
+    match Ser_util.Heap.pop_max heap with
+    | None -> ()
+    | Some (est, st) ->
+      let nd = Circuit.node c st.head in
+      if nd.kind = Gate.Input then begin
+        results := (est, Array.of_list st.suffix) :: !results;
+        incr n_found
+      end
+      else
+        Array.iter
+          (fun f ->
+            let est' =
+              est -. timing.arrival.(st.head) +. timing.delays.(st.head)
+              +. timing.arrival.(f)
+            in
+            Ser_util.Heap.push heap est' { head = f; suffix = f :: st.suffix })
+          nd.fanin
+  done;
+  !results |> List.rev |> List.map snd |> Array.of_list
+
+let path_delay (timing : Timing.t) path =
+  Array.fold_left (fun acc id -> acc +. timing.delays.(id)) 0. path
+
+let topology_matrix asg paths =
+  let c = Assignment.circuit asg in
+  let on_path = Array.make (Circuit.node_count c) false in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun id -> if not (Circuit.is_input c id) then on_path.(id) <- true)
+        p)
+    paths;
+  let cols = ref [] in
+  Array.iteri (fun id b -> if b then cols := id :: !cols) on_path;
+  let cols = Array.of_list (List.rev !cols) in
+  let col_of = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri (fun j id -> col_of.(id) <- j) cols;
+  let t = Ser_linalg.Matrix.create (Array.length paths) (Array.length cols) in
+  Array.iteri
+    (fun row p ->
+      Array.iter
+        (fun id -> if col_of.(id) >= 0 then Ser_linalg.Matrix.set t row col_of.(id) 1.)
+        p)
+    paths;
+  (t, cols)
+
+let gate_delay_vector (timing : Timing.t) cols =
+  Array.map (fun id -> timing.delays.(id)) cols

@@ -1,0 +1,28 @@
+(** Critical-path enumeration and the binary path-topology matrix T of
+    the paper's Section 4 ([T.(p).(g) = 1] iff gate [g] lies on path
+    [p], so [T d] is the vector of path delays).
+
+    Full path enumeration is exponential; SERTOPT uses the K worst
+    paths, which dominate the delay constraint, and re-validates timing
+    with a full STA inside its cost function. *)
+
+type path = int array
+(** Node ids along a path, primary input first, primary output last. *)
+
+val k_worst_paths : Assignment.t -> Timing.t -> k:int -> path array
+(** The [k] largest-delay PI-to-PO paths in non-increasing delay order
+    (fewer if the circuit has fewer paths). Deterministic. *)
+
+val path_delay : Timing.t -> path -> float
+(** Sum of gate delays along the path. *)
+
+val topology_matrix :
+  Assignment.t -> path array -> Ser_linalg.Matrix.t * int array
+(** [(t, cols)] where [t] is |paths| x |gates-on-any-path| and
+    [cols.(j)] is the node id of column [j]. Gates on no listed path
+    are omitted (their delay never affects the constrained paths). *)
+
+val gate_delay_vector : Timing.t -> int array -> float array
+(** Delays of the given gate columns, so that
+    [Matrix.mat_vec t (gate_delay_vector timing cols)] reproduces the
+    path delays. *)

@@ -1,0 +1,55 @@
+(** N-dimensional rectilinear look-up tables with multilinear
+    interpolation.
+
+    This is the data structure behind the paper's statement that "ASERTA
+    uses linear-interpolation inside the look-up tables to compute output
+    values for arbitrary values of input parameters". Axes are strictly
+    increasing sample grids; queries outside the grid are clamped to the
+    boundary (constant extrapolation), matching the behaviour of NLDM
+    timing libraries. *)
+
+type t
+(** An immutable table: axes plus a dense value array. *)
+
+val create : axes:float array array -> values:float array -> t
+(** [create ~axes ~values] builds a table. [values] is stored row-major
+    with the last axis fastest. Raises [Invalid_argument] if an axis is
+    empty or not strictly increasing, or if the value count does not
+    equal the product of axis lengths. Axes of length 1 are allowed and
+    behave as constants along that dimension. *)
+
+val build : axes:float array array -> f:(float array -> float) -> t
+(** [build ~axes ~f] samples [f] at every grid point. The argument array
+    passed to [f] is reused; copy it if you keep it. *)
+
+val dims : t -> int
+(** Number of axes. *)
+
+val axes : t -> float array array
+(** The axis grids (copies). *)
+
+val eval : t -> float array -> float
+(** Multilinear interpolation at a query point; clamped outside the
+    grid. Raises [Invalid_argument] if the query arity differs from
+    {!dims}. *)
+
+val eval1 : t -> float -> float
+(** Convenience for 1-D tables. *)
+
+val eval2 : t -> float -> float -> float
+(** Convenience for 2-D tables. *)
+
+val grid_value : t -> int array -> float
+(** Value stored at a grid index (no interpolation). *)
+
+val map : (float -> float) -> t -> t
+(** Pointwise transformation of the stored values. *)
+
+val merge : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination of two tables on identical grids. Raises
+    [Invalid_argument] when the grids differ. *)
+
+val interpolate_1d : xs:float array -> ys:float array -> float -> float
+(** Stand-alone piecewise-linear interpolation over sample pairs, with
+    boundary clamping. This is the primitive ASERTA uses to look up
+    expected output glitch widths between the 10 sample widths. *)

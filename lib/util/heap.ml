@@ -1,0 +1,68 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable len : int;
+}
+
+let create () = { prio = Array.make 16 0.; data = Array.make 16 None; len = 0 }
+
+let size h = h.len
+let is_empty h = h.len = 0
+
+let grow h =
+  let n = Array.length h.prio in
+  let prio = Array.make (2 * n) 0. in
+  let data = Array.make (2 * n) None in
+  Array.blit h.prio 0 prio 0 h.len;
+  Array.blit h.data 0 data 0 h.len;
+  h.prio <- prio;
+  h.data <- data
+
+let swap h i j =
+  let p = h.prio.(i) and d = h.data.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.data.(i) <- h.data.(j);
+  h.prio.(j) <- p;
+  h.data.(j) <- d
+
+let push h p x =
+  if h.len = Array.length h.prio then grow h;
+  h.prio.(h.len) <- p;
+  h.data.(h.len) <- Some x;
+  h.len <- h.len + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.prio.(parent) < h.prio.(i) then begin
+        swap h parent i;
+        up parent
+      end
+    end
+  in
+  up (h.len - 1)
+
+let pop_max h =
+  if h.len = 0 then None
+  else begin
+    let p = h.prio.(0) and d = h.data.(0) in
+    h.len <- h.len - 1;
+    h.prio.(0) <- h.prio.(h.len);
+    h.data.(0) <- h.data.(h.len);
+    h.data.(h.len) <- None;
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let best = ref i in
+      if l < h.len && h.prio.(l) > h.prio.(!best) then best := l;
+      if r < h.len && h.prio.(r) > h.prio.(!best) then best := r;
+      if !best <> i then begin
+        swap h i !best;
+        down !best
+      end
+    in
+    down 0;
+    match d with Some x -> Some (p, x) | None -> None
+  end
+
+let peek_max h =
+  if h.len = 0 then None
+  else match h.data.(0) with Some x -> Some (h.prio.(0), x) | None -> None

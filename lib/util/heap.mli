@@ -1,0 +1,15 @@
+(** Mutable binary max-heap keyed by float priority. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert with a priority. *)
+
+val pop_max : 'a t -> (float * 'a) option
+(** Remove and return the highest-priority entry. *)
+
+val peek_max : 'a t -> (float * 'a) option

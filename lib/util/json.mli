@@ -1,0 +1,19 @@
+(** Minimal JSON emitter (no parsing, no external dependency) for
+    machine-readable report export. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise; [indent] (default true) pretty-prints with 2-space
+    indentation. Numbers render as integers when exact, otherwise with
+    up to 6 significant digits; NaN/infinities become [null]. *)
+
+val int : int -> t
+val field_opt : string -> t option -> (string * t) list
+(** Helper: an optional object field ([[]] when [None]). *)

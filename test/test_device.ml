@@ -1,0 +1,206 @@
+module M = Ser_device.Mosfet
+module P = Ser_device.Cell_params
+module G = Ser_device.Gate_model
+module Gate = Ser_netlist.Gate
+
+let nominal_inv = P.nominal Gate.Not 1
+
+(* ------------------------- mosfet ------------------------- *)
+
+let test_cutoff_small () =
+  let m = M.nmos ~vth:0.2 in
+  let i = M.drain_current m ~w_over_l:1.4 ~vgs:0.0 ~vds:1.0 in
+  Alcotest.(check bool) "off current tiny" true (i < 1e-4);
+  Alcotest.(check bool) "off current positive" true (i > 0.)
+
+let test_vds_zero () =
+  let m = M.nmos ~vth:0.2 in
+  Alcotest.(check (float 0.)) "no vds no current" 0.
+    (M.drain_current m ~w_over_l:1.4 ~vgs:1.0 ~vds:0.)
+
+let test_monotone_vgs () =
+  let m = M.nmos ~vth:0.2 in
+  let i v = M.drain_current m ~w_over_l:1.4 ~vgs:v ~vds:1.0 in
+  Alcotest.(check bool) "increasing in vgs" true
+    (i 0.4 < i 0.6 && i 0.6 < i 0.8 && i 0.8 < i 1.0)
+
+let test_monotone_vds_linear () =
+  let m = M.nmos ~vth:0.2 in
+  let i v = M.drain_current m ~w_over_l:1.4 ~vgs:1.0 ~vds:v in
+  Alcotest.(check bool) "increasing in vds below sat" true
+    (i 0.05 < i 0.1 && i 0.1 < i 0.3);
+  (* deep saturation is flat *)
+  Alcotest.(check (float 1e-12)) "flat in saturation" (i 0.9) (i 1.0)
+
+let test_saturation_current () =
+  let m = M.nmos ~vth:0.2 in
+  let isat = M.saturation_current m ~w_over_l:1.43 ~vgs:1.0 in
+  (* calibration target: ~60 uA for a size-1 NMOS *)
+  Alcotest.(check bool) "calibrated drive" true (isat > 0.04 && isat < 0.08)
+
+let test_leakage_vth () =
+  let hi = M.leakage_current (M.nmos ~vth:0.1) ~w_over_l:1.4 ~vdd:1.0 in
+  let lo = M.leakage_current (M.nmos ~vth:0.3) ~w_over_l:1.4 ~vdd:1.0 in
+  Alcotest.(check bool) "two vth steps >> 10x leakage" true (hi /. lo > 10.)
+
+let test_pmos_weaker () =
+  let n = M.saturation_current (M.nmos ~vth:0.2) ~w_over_l:1.4 ~vgs:1.0 in
+  let p = M.saturation_current (M.pmos ~vth:0.2) ~w_over_l:1.4 ~vgs:1.0 in
+  Alcotest.(check bool) "pmos mobility lower" true (p < n)
+
+(* ------------------------- cell params ------------------------- *)
+
+let test_params_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "neg size" true (bad (fun () -> P.v ~size:(-1.) Gate.Not 1));
+  Alcotest.(check bool) "short length" true (bad (fun () -> P.v ~length:50. Gate.Not 1));
+  Alcotest.(check bool) "vth >= vdd" true (bad (fun () -> P.v ~vdd:0.8 ~vth:0.9 Gate.Not 1));
+  Alcotest.(check bool) "input kind" true (bad (fun () -> P.v Gate.Input 0));
+  Alcotest.(check bool) "bad fanin" true (bad (fun () -> P.v Gate.Nand 1));
+  Alcotest.(check bool) "ok" false (bad (fun () -> P.v Gate.Nand 4))
+
+let test_params_order () =
+  let a = P.v ~size:1. Gate.Not 1 and b = P.v ~size:2. Gate.Not 1 in
+  Alcotest.(check bool) "compare total order" true (P.compare a b <> 0);
+  Alcotest.(check bool) "equal reflexive" true (P.equal a a);
+  Alcotest.(check bool) "to_string mentions kind" true
+    (String.length (P.to_string a) > 3)
+
+(* ------------------------- gate model ------------------------- *)
+
+let test_stages () =
+  Alcotest.(check int) "not" 1 (List.length (G.stages nominal_inv));
+  Alcotest.(check int) "buf" 2 (List.length (G.stages (P.nominal Gate.Buf 1)));
+  Alcotest.(check int) "nand" 1 (List.length (G.stages (P.nominal Gate.Nand 3)));
+  Alcotest.(check int) "and" 2 (List.length (G.stages (P.nominal Gate.And 2)));
+  Alcotest.(check int) "xor" 2 (List.length (G.stages (P.nominal Gate.Xor 2)))
+
+let test_input_cap_scaling () =
+  let c1 = G.input_cap nominal_inv in
+  let c4 = G.input_cap (P.v ~size:4. Gate.Not 1) in
+  Alcotest.(check bool) "positive" true (c1 > 0.);
+  Alcotest.(check bool) "scales with size" true (c4 > 3. *. c1 && c4 < 5. *. c1);
+  let cl = G.input_cap (P.v ~length:140. Gate.Not 1) in
+  Alcotest.(check bool) "grows with length" true (cl > c1)
+
+let test_delay_monotonicity () =
+  let d ?(p = nominal_inv) ?(ramp = 20.) cload = G.delay p ~input_ramp:ramp ~cload in
+  Alcotest.(check bool) "more load slower" true (d 1. < d 4. && d 4. < d 16.);
+  Alcotest.(check bool) "bigger faster" true
+    (d ~p:(P.v ~size:4. Gate.Not 1) 4. < d 4.);
+  Alcotest.(check bool) "longer slower" true
+    (d ~p:(P.v ~length:200. Gate.Not 1) 4. > d 4.);
+  Alcotest.(check bool) "low vdd slower" true
+    (d ~p:(P.v ~vdd:0.8 Gate.Not 1) 4. > d 4.);
+  Alcotest.(check bool) "high vth slower" true
+    (d ~p:(P.v ~vth:0.3 Gate.Not 1) 4. > d 4.);
+  Alcotest.(check bool) "slower input ramp slower" true (d ~ramp:80. 4. > d ~ramp:5. 4.)
+
+let test_output_ramp () =
+  let r = G.output_ramp nominal_inv ~input_ramp:20. ~cload:2. in
+  Alcotest.(check bool) "positive" true (r > 0.);
+  let r_heavy = G.output_ramp nominal_inv ~input_ramp:20. ~cload:10. in
+  Alcotest.(check bool) "heavier load slower edge" true (r_heavy > r)
+
+let test_fo4_calibration () =
+  let cin = G.input_cap nominal_inv in
+  let d = G.delay nominal_inv ~input_ramp:20. ~cload:(4. *. cin) in
+  Alcotest.(check bool) "FO4 in 10-40 ps (70nm-class)" true (d > 10. && d < 40.)
+
+let test_glitch_monotone_charge () =
+  let w q =
+    G.generated_glitch_width nominal_inv ~node_cap:2. ~charge:q ~output_low:true
+  in
+  Alcotest.(check (float 0.)) "below critical charge" 0. (w 0.5);
+  Alcotest.(check bool) "monotone" true (w 4. <= w 8. && w 8. < w 16. && w 16. < w 64.)
+
+let test_glitch_directions () =
+  (* PMOS restore (high node) is weaker -> wider glitch *)
+  let low =
+    G.generated_glitch_width nominal_inv ~node_cap:2. ~charge:16. ~output_low:true
+  in
+  let high =
+    G.generated_glitch_width nominal_inv ~node_cap:2. ~charge:16. ~output_low:false
+  in
+  Alcotest.(check bool) "weak pull-up wider" true (high >= low)
+
+let test_glitch_paper_trends () =
+  (* the Fig-1 claim: anything that slows the gate widens the glitch *)
+  let w p = G.generated_glitch_width p ~node_cap:2. ~charge:16. ~output_low:true in
+  let base = w nominal_inv in
+  Alcotest.(check bool) "bigger size narrower" true (w (P.v ~size:4. Gate.Not 1) < base);
+  Alcotest.(check bool) "longer channel wider" true (w (P.v ~length:200. Gate.Not 1) > base);
+  Alcotest.(check bool) "lower vdd wider" true (w (P.v ~vdd:0.8 Gate.Not 1) > base);
+  Alcotest.(check bool) "higher vth wider" true (w (P.v ~vth:0.3 Gate.Not 1) > base)
+
+let test_critical_charge () =
+  let q = G.critical_charge nominal_inv ~node_cap:2. ~output_low:true in
+  Alcotest.(check bool) "positive, few fC" true (q > 0.3 && q < 10.);
+  let q_big =
+    G.critical_charge (P.v ~size:8. Gate.Not 1) ~node_cap:2. ~output_low:true
+  in
+  Alcotest.(check bool) "stronger gate higher Qcrit" true (q_big > q);
+  Alcotest.(check (float 0.)) "width zero at Qcrit" 0.
+    (G.generated_glitch_width nominal_inv ~node_cap:2. ~charge:q ~output_low:true)
+
+let test_area_energy () =
+  let a1 = G.area nominal_inv in
+  Alcotest.(check bool) "positive" true (a1 > 0.);
+  Alcotest.(check bool) "size scales area" true
+    (G.area (P.v ~size:2. Gate.Not 1) > 1.8 *. a1);
+  Alcotest.(check bool) "length scales area" true
+    (G.area (P.v ~length:140. Gate.Not 1) > 1.8 *. a1);
+  Alcotest.(check bool) "nand2 bigger than inv" true
+    (G.area (P.nominal Gate.Nand 2) > a1);
+  let e1 = G.switching_energy nominal_inv ~cload:2. in
+  let e2 = G.switching_energy (P.v ~vdd:1.2 Gate.Not 1) ~cload:2. in
+  Alcotest.(check bool) "energy ~ vdd^2" true
+    (e2 /. e1 > 1.3 && e2 /. e1 < 1.6)
+
+let test_leakage_power () =
+  let p02 = G.leakage_power nominal_inv in
+  let p01 = G.leakage_power (P.v ~vth:0.1 Gate.Not 1) in
+  Alcotest.(check bool) "low vth leaks much more" true (p01 /. p02 > 5.)
+
+let test_drive_at () =
+  (* restoring current falls to ~0 as the node reaches the rail *)
+  let near_rail = G.drive_at nominal_inv G.Pull_down ~vout:0.01 in
+  let mid = G.drive_at nominal_inv G.Pull_down ~vout:0.5 in
+  Alcotest.(check bool) "monotone in displacement" true (near_rail < mid);
+  let up = G.drive_at nominal_inv G.Pull_up ~vout:0.99 in
+  Alcotest.(check bool) "pull-up symmetric logic" true (up < G.drive_at nominal_inv G.Pull_up ~vout:0.5)
+
+let () =
+  Alcotest.run "ser_device"
+    [
+      ( "mosfet",
+        [
+          Alcotest.test_case "cutoff" `Quick test_cutoff_small;
+          Alcotest.test_case "vds zero" `Quick test_vds_zero;
+          Alcotest.test_case "monotone vgs" `Quick test_monotone_vgs;
+          Alcotest.test_case "linear region" `Quick test_monotone_vds_linear;
+          Alcotest.test_case "calibration" `Quick test_saturation_current;
+          Alcotest.test_case "leakage vs vth" `Quick test_leakage_vth;
+          Alcotest.test_case "pmos weaker" `Quick test_pmos_weaker;
+        ] );
+      ( "cell params",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "ordering" `Quick test_params_order;
+        ] );
+      ( "gate model",
+        [
+          Alcotest.test_case "stage decomposition" `Quick test_stages;
+          Alcotest.test_case "input cap" `Quick test_input_cap_scaling;
+          Alcotest.test_case "delay monotonicity" `Quick test_delay_monotonicity;
+          Alcotest.test_case "output ramp" `Quick test_output_ramp;
+          Alcotest.test_case "FO4 calibration" `Quick test_fo4_calibration;
+          Alcotest.test_case "glitch vs charge" `Quick test_glitch_monotone_charge;
+          Alcotest.test_case "glitch directions" `Quick test_glitch_directions;
+          Alcotest.test_case "paper Fig-1 trends" `Quick test_glitch_paper_trends;
+          Alcotest.test_case "critical charge" `Quick test_critical_charge;
+          Alcotest.test_case "area & energy" `Quick test_area_energy;
+          Alcotest.test_case "leakage power" `Quick test_leakage_power;
+          Alcotest.test_case "drive_at" `Quick test_drive_at;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module Circuit = Ser_netlist.Circuit
+module J = Ser_util.Json
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let count_substring ~sub s =
+  let m = String.length sub in
+  let rec loop i acc =
+    if i + m > String.length s then acc
+    else if String.sub s i m = sub then loop (i + 1) (acc + 1)
+    else loop (i + 1) acc
+  in
+  if m = 0 then 0 else loop 0 0
+
+(* ---------------- json ---------------- *)
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (J.to_string J.Null);
+  Alcotest.(check string) "bool" "true" (J.to_string (J.Bool true));
+  Alcotest.(check string) "int-like" "42" (J.to_string (J.Num 42.));
+  Alcotest.(check string) "float" "1.5" (J.to_string (J.Num 1.5));
+  Alcotest.(check string) "nan becomes null" "null" (J.to_string (J.Num Float.nan));
+  Alcotest.(check string) "string" "\"hi\"" (J.to_string (J.Str "hi"))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (J.to_string (J.Str "a\"b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (J.to_string (J.Str "a\nb"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (J.to_string (J.Str "a\\b"))
+
+let test_json_compound () =
+  let v = J.Obj [ ("xs", J.List [ J.int 1; J.int 2 ]); ("e", J.Obj []) ] in
+  let compact = J.to_string ~indent:false v in
+  Alcotest.(check string) "compact" "{\"xs\": [1,2],\"e\": {}}" compact;
+  let pretty = J.to_string v in
+  Alcotest.(check bool) "pretty has newlines" true (contains ~sub:"\n" pretty);
+  Alcotest.(check (list (pair string (of_pp (fun _ _ -> ())))))
+    "field_opt none" [] (J.field_opt "x" None)
+
+let test_analysis_json () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = Ser_cell.Library.create () in
+  let asg = Ser_sta.Assignment.uniform lib c in
+  let cfg = { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 500 } in
+  let a = Aserta.Analysis.run ~config:cfg lib asg in
+  let json = Ser_repro.Report.analysis_to_json asg a in
+  let s = J.to_string json in
+  Alcotest.(check bool) "has total" true (contains ~sub:"total_unreliability" s);
+  Alcotest.(check int) "six gates exported" 6 (count_substring ~sub:"\"kind\"" s);
+  (* top filter *)
+  let s2 = J.to_string (Ser_repro.Report.analysis_to_json ~top:2 asg a) in
+  Alcotest.(check int) "top 2" 2 (count_substring ~sub:"\"kind\"" s2)
+
+(* ---------------- dot ---------------- *)
+
+let test_dot_structure () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let dot = Ser_netlist.Dot_export.to_dot c in
+  Alcotest.(check bool) "digraph" true (contains ~sub:"digraph \"c17\"" dot);
+  Alcotest.(check int) "11 nodes" 11 (count_substring ~sub:"style=filled" dot);
+  (* 6 gates x 2 fanins = 12 edges *)
+  Alcotest.(check int) "12 edges" 12 (count_substring ~sub:" -> " dot);
+  Alcotest.(check int) "5 input diamonds" 5 (count_substring ~sub:"diamond" dot);
+  Alcotest.(check int) "2 output doublecircles" 2
+    (count_substring ~sub:"doublecircle" dot)
+
+let test_dot_annotation () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let annotation =
+    {
+      Ser_netlist.Dot_export.label = (fun id -> if id = 5 then Some "hot" else None);
+      heat = (fun id -> if id = 5 then 1. else 0.);
+    }
+  in
+  let dot = Ser_netlist.Dot_export.to_dot ~annotation c in
+  Alcotest.(check bool) "label present" true (contains ~sub:"hot" dot);
+  Alcotest.(check bool) "full heat red" true (contains ~sub:"#ff0000" dot)
+
+(* ---------------- spice deck ---------------- *)
+
+let test_deck_structure () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = Ser_cell.Library.create () in
+  let asg = Ser_sta.Assignment.uniform lib c in
+  let deck =
+    Ser_spice.Deck_export.strike_deck c
+      ~assignment:(Ser_sta.Assignment.get asg)
+      ~input_values:[| true; false; true; true; false |]
+      ~strike:6
+  in
+  Alcotest.(check bool) ".tran present" true (contains ~sub:".tran" deck);
+  Alcotest.(check bool) ".end present" true (contains ~sub:".end" deck);
+  Alcotest.(check bool) "strike source" true (contains ~sub:"Istrike" deck);
+  Alcotest.(check bool) "models" true (contains ~sub:".model mn_vt200 NMOS" deck);
+  (* gate 6 ("11") reaches both outputs *)
+  Alcotest.(check int) "two measures" 2 (count_substring ~sub:".measure" deck);
+  Alcotest.(check bool) "subckt defined once" true
+    (count_substring ~sub:".subckt nand2_x100" deck = 1)
+
+let test_deck_polarity () =
+  (* strike on a low node injects into it: current source 0 -> node *)
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = Ser_cell.Library.create () in
+  let asg = Ser_sta.Assignment.uniform lib c in
+  (* gate 5 ("10" = NAND(1,3)) with inputs all-ones is 0 *)
+  let deck =
+    Ser_spice.Deck_export.strike_deck c
+      ~assignment:(Ser_sta.Assignment.get asg)
+      ~input_values:[| true; true; true; true; true |]
+      ~strike:5
+  in
+  Alcotest.(check bool) "injects into low node" true
+    (contains ~sub:"Istrike 0 n_10" deck)
+
+let test_cell_subckt () =
+  let p = Ser_device.Cell_params.nominal Ser_netlist.Gate.Xor 2 in
+  let s = Ser_spice.Deck_export.cell_subckt p in
+  (* 4-NAND expansion: 4 nands x 4 transistors = 16 devices *)
+  Alcotest.(check int) "16 devices" 16
+    (count_substring ~sub:"\nM" ("\n" ^ s) - 0);
+  Alcotest.(check bool) "subckt ends" true (contains ~sub:".ends" s)
+
+(* ---------------- liberty ---------------- *)
+
+let test_liberty () =
+  let lib = Ser_cell.Library.create () in
+  let cells =
+    [
+      Ser_device.Cell_params.nominal Ser_netlist.Gate.Nand 2;
+      Ser_device.Cell_params.v ~size:4. Ser_netlist.Gate.Nand 2;
+    ]
+  in
+  let text = Ser_cell.Liberty_export.library lib ~cells in
+  Alcotest.(check bool) "library group" true (contains ~sub:"library (ser70)" text);
+  Alcotest.(check int) "two cells" 2 (count_substring ~sub:"  cell (" text);
+  Alcotest.(check bool) "function" true (contains ~sub:"!(A0 & A1)" text);
+  Alcotest.(check bool) "nldm tables" true (contains ~sub:"cell_rise" text);
+  Alcotest.(check bool) "glitch extension" true (contains ~sub:"ser_glitch_width" text);
+  Alcotest.(check int) "balanced braces" (count_substring ~sub:"{" text)
+    (count_substring ~sub:"}" text)
+
+let () =
+  Alcotest.run "exports"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "compound" `Quick test_json_compound;
+          Alcotest.test_case "analysis report" `Quick test_analysis_json;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "structure" `Quick test_dot_structure;
+          Alcotest.test_case "annotation" `Quick test_dot_annotation;
+        ] );
+      ( "spice deck",
+        [
+          Alcotest.test_case "structure" `Quick test_deck_structure;
+          Alcotest.test_case "strike polarity" `Quick test_deck_polarity;
+          Alcotest.test_case "cell subckt" `Quick test_cell_subckt;
+        ] );
+      ("liberty", [ Alcotest.test_case "document" `Quick test_liberty ]);
+    ]

@@ -1,0 +1,217 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module T = Ser_harden.Transforms
+module Bitsim = Ser_logicsim.Bitsim
+
+let test_majority3 () =
+  let b = Circuit.Builder.create () in
+  let x = Circuit.Builder.add_input b "x" in
+  let y = Circuit.Builder.add_input b "y" in
+  let z = Circuit.Builder.add_input b "z" in
+  let m = T.majority3 b x y z in
+  Circuit.Builder.set_output b m;
+  let c = Circuit.Builder.build_exn b in
+  for code = 0 to 7 do
+    let vec = [| code land 1 = 1; code land 2 = 2; code land 4 = 4 |] in
+    let expect = (if vec.(0) then 1 else 0) + (if vec.(1) then 1 else 0)
+                 + (if vec.(2) then 1 else 0) >= 2 in
+    let values = Bitsim.eval_vector c vec in
+    Alcotest.(check bool) (Printf.sprintf "maj %d" code) expect values.(m)
+  done
+
+let test_tmr_function_preserved () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let t = T.tmr c in
+  Alcotest.(check int) "same PO count" 2 (Array.length t.Circuit.outputs);
+  Alcotest.(check int) "same PI count" 5 (Array.length t.Circuit.inputs);
+  for code = 0 to 31 do
+    let vec = Array.init 5 (fun i -> (code lsr i) land 1 = 1) in
+    let v0 = Bitsim.eval_vector c vec in
+    let v1 = Bitsim.eval_vector t vec in
+    Array.iteri
+      (fun pos o ->
+        Alcotest.(check bool) "same function" v0.(o)
+          v1.(t.Circuit.outputs.(pos)))
+      c.Circuit.outputs
+  done
+
+let test_tmr_overhead () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let t = T.tmr c in
+  (* 3 copies + 4 voter gates per output *)
+  Alcotest.(check int) "gate count" ((3 * 6) + (4 * 2)) (Circuit.gate_count t)
+
+let test_tmr_masks_internal_strikes () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let t = T.tmr c in
+  (* a strike on any gate of copy A never flips a voted output *)
+  let copy_a_gate = Option.get (Circuit.find_by_name t "10_a") in
+  let rng = Ser_rng.Rng.create 3 in
+  for _ = 1 to 20 do
+    let vec = Array.map (fun _ -> Ser_rng.Rng.bool rng) t.Circuit.inputs in
+    let det = Ser_logicsim.Probs.detection_counts_for_vector t vec ~strike:copy_a_gate in
+    Array.iter (fun hit -> Alcotest.(check bool) "voted out" false hit) det
+  done
+
+let test_tmr_voter_strikes_visible () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let t = T.tmr c in
+  (* the final voter OR gate is a PO: flipping it must be visible *)
+  let po = t.Circuit.outputs.(0) in
+  let vec = Array.make 5 true in
+  let det = Ser_logicsim.Probs.detection_counts_for_vector t vec ~strike:po in
+  Alcotest.(check bool) "voter strike detected" true det.(0)
+
+let test_ced_function_preserved () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let d = T.duplicate_with_compare c in
+  Alcotest.(check int) "data + err outputs" 3 (Array.length d.Circuit.outputs);
+  for code = 0 to 31 do
+    let vec = Array.init 5 (fun i -> (code lsr i) land 1 = 1) in
+    let v0 = Bitsim.eval_vector c vec in
+    let v1 = Bitsim.eval_vector d vec in
+    Array.iteri
+      (fun pos o ->
+        Alcotest.(check bool) "data outputs" v0.(o) v1.(d.Circuit.outputs.(pos)))
+      c.Circuit.outputs;
+    (* no fault: error flag silent *)
+    Alcotest.(check bool) "flag silent" false v1.(d.Circuit.outputs.(2))
+  done
+
+let test_ced_full_coverage () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let d = T.duplicate_with_compare c in
+  let cov = T.ced_coverage ~vectors:10 d in
+  Alcotest.(check bool) "found corrupting strikes" true (cov.T.corrupting_strikes > 0);
+  Alcotest.(check int) "all detected" cov.T.corrupting_strikes cov.T.detected
+
+let test_ced_on_bigger_circuit () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let d = T.duplicate_with_compare c in
+  Alcotest.(check int) "outputs" (7 + 1) (Array.length d.Circuit.outputs);
+  Alcotest.(check bool) "roughly doubled" true
+    (Circuit.gate_count d > 2 * Circuit.gate_count c)
+
+(* ----------------- selective TMR ----------------- *)
+
+let test_selective_tmr_function_preserved () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  (* protect a band of mid-circuit gates *)
+  let protect =
+    Array.init (Circuit.node_count c) (fun id ->
+        (not (Circuit.is_input c id)) && id mod 3 = 0)
+  in
+  let t = T.selective_tmr c ~protect in
+  let rng = Ser_rng.Rng.create 41 in
+  for _ = 1 to 15 do
+    let vec = Array.map (fun _ -> Ser_rng.Rng.bool rng) c.Circuit.inputs in
+    let v0 = Bitsim.eval_vector c vec in
+    let v1 = Bitsim.eval_vector t vec in
+    Array.iteri
+      (fun pos o ->
+        Alcotest.(check bool) "same function" v0.(o)
+          v1.(t.Circuit.outputs.(pos)))
+      c.Circuit.outputs
+  done
+
+let test_selective_tmr_masks_protected () =
+  let c = Ser_circuits.Iscas.c17 () in
+  (* protect gate "11" (id 6) only *)
+  let protect = Array.make (Circuit.node_count c) false in
+  protect.(6) <- true;
+  let t = T.selective_tmr c ~protect in
+  (* a strike on any triplicated copy of 11 must never reach an output *)
+  let copy = Option.get (Circuit.find_by_name t "11_t0") in
+  let rng = Ser_rng.Rng.create 13 in
+  for _ = 1 to 32 do
+    let vec = Array.map (fun _ -> Ser_rng.Rng.bool rng) t.Circuit.inputs in
+    let det = Ser_logicsim.Probs.detection_counts_for_vector t vec ~strike:copy in
+    Array.iter (fun hit -> Alcotest.(check bool) "masked" false hit) det
+  done
+
+let test_selective_tmr_cost_scales () =
+  let c = Ser_circuits.Iscas.load "c880" in
+  let none = Array.make (Circuit.node_count c) false in
+  let t0 = T.selective_tmr c ~protect:none in
+  Alcotest.(check int) "no protection, no overhead" (Circuit.gate_count c)
+    (Circuit.gate_count t0);
+  let all =
+    Array.init (Circuit.node_count c) (fun id -> not (Circuit.is_input c id))
+  in
+  let t1 = T.selective_tmr c ~protect:all in
+  Alcotest.(check bool) "full protection ~ TMR size" true
+    (Circuit.gate_count t1 > 3 * Circuit.gate_count c);
+  let protect =
+    Array.init (Circuit.node_count c) (fun id ->
+        (not (Circuit.is_input c id)) && id mod 5 = 0)
+  in
+  let t2 = T.selective_tmr c ~protect in
+  Alcotest.(check bool) "partial in between" true
+    (Circuit.gate_count t2 > Circuit.gate_count t0
+     && Circuit.gate_count t2 < Circuit.gate_count t1)
+
+let test_selective_tmr_reduces_u () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = Ser_cell.Library.create () in
+  let cfg = { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 1500 } in
+  let u circuit =
+    (Aserta.Analysis.run ~config:cfg lib (Ser_sta.Assignment.uniform lib circuit))
+      .Aserta.Analysis.total
+  in
+  let asg = Ser_sta.Assignment.uniform lib c in
+  let masking = Aserta.Analysis.compute_masking cfg c in
+  let analysis = Aserta.Analysis.run_electrical cfg lib asg masking in
+  (* protecting everything EXCEPT the voter/PO frontier still leaves the
+     frontier exposed, so compare against protecting the soft interior *)
+  let protect = T.softest_gates analysis ~fraction:0.3 in
+  let hardened = T.selective_tmr c ~protect in
+  Alcotest.(check bool) "U reduced or frontier-dominated" true
+    (u hardened < 1.15 *. u c)
+
+let test_softest_gates () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = Ser_cell.Library.create () in
+  let cfg = { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 600 } in
+  let a = Aserta.Analysis.run ~config:cfg lib (Ser_sta.Assignment.uniform lib c) in
+  let half = T.softest_gates a ~fraction:0.5 in
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 half in
+  Alcotest.(check int) "half of 6 gates" 3 count;
+  Array.iteri
+    (fun id b ->
+      if Circuit.is_input c id then
+        Alcotest.(check bool) "inputs never protected" false b)
+    half;
+  try
+    ignore (T.softest_gates a ~fraction:1.5);
+    Alcotest.fail "bad fraction accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "ser_harden"
+    [
+      ( "tmr",
+        [
+          Alcotest.test_case "majority3 truth table" `Quick test_majority3;
+          Alcotest.test_case "function preserved" `Quick test_tmr_function_preserved;
+          Alcotest.test_case "overhead structure" `Quick test_tmr_overhead;
+          Alcotest.test_case "internal strikes masked" `Quick test_tmr_masks_internal_strikes;
+          Alcotest.test_case "voter strikes visible" `Quick test_tmr_voter_strikes_visible;
+        ] );
+      ( "ced",
+        [
+          Alcotest.test_case "function preserved" `Quick test_ced_function_preserved;
+          Alcotest.test_case "full coverage" `Quick test_ced_full_coverage;
+          Alcotest.test_case "bigger circuit" `Quick test_ced_on_bigger_circuit;
+        ] );
+      ( "selective tmr",
+        [
+          Alcotest.test_case "function preserved" `Quick
+            test_selective_tmr_function_preserved;
+          Alcotest.test_case "protected strikes masked" `Quick
+            test_selective_tmr_masks_protected;
+          Alcotest.test_case "cost scales with region" `Quick
+            test_selective_tmr_cost_scales;
+          Alcotest.test_case "U impact bounded" `Slow test_selective_tmr_reduces_u;
+          Alcotest.test_case "softest_gates" `Quick test_softest_gates;
+        ] );
+    ]

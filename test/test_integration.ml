@@ -1,0 +1,229 @@
+(* Cross-module integration tests: full analysis/optimization flows,
+   agreement between the three estimation paths (probabilistic ASERTA,
+   vector-replay ASERTA, transient golden), and smoke tests of the
+   experiment drivers. *)
+
+module Circuit = Ser_netlist.Circuit
+module L = Ser_cell.Library
+module A = Ser_sta.Assignment
+module Analysis = Aserta.Analysis
+
+let quick = { Analysis.default_config with Analysis.vectors = 2000; seed = 77 }
+
+let test_bench_roundtrip_preserves_unreliability () =
+  (* serialising a circuit to .bench and back must not change ASERTA's
+     answer (same topology, same names, same order) *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let text = Ser_netlist.Bench_format.to_string c in
+  let c' = Result.get_ok (Ser_netlist.Bench_format.parse_string text) in
+  let lib = L.create () in
+  let u circuit =
+    (Analysis.run ~config:quick lib (A.uniform lib circuit)).Analysis.total
+  in
+  Alcotest.(check (float 1e-6)) "same unreliability" (u c) (u c')
+
+let test_three_estimates_agree_on_ranking () =
+  (* per-gate unreliability from the probabilistic analysis and from
+     the 100-vector replay must rank gates consistently *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = L.create () in
+  let asg = A.uniform lib c in
+  let analysis = Analysis.run ~config:quick lib asg in
+  let replay = Aserta.Measured.per_gate_unreliability ~vectors:100 lib asg in
+  let ids =
+    Array.to_list (Array.init (Circuit.node_count c) Fun.id)
+    |> List.filter (fun id -> not (Circuit.is_input c id))
+  in
+  let xs = Array.of_list (List.map (fun id -> analysis.Analysis.unreliability.(id)) ids) in
+  let ys = Array.of_list (List.map (fun id -> replay.(id)) ids) in
+  let r = Ser_linalg.Stats.spearman xs ys in
+  Alcotest.(check bool) (Printf.sprintf "rank correlation %.2f" r) true (r > 0.6)
+
+let test_golden_transient_agrees_on_c17 () =
+  (* transient golden vs Eq-1 replay, gate by gate, same vector *)
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = L.create () in
+  let asg = A.uniform lib c in
+  let timing = Ser_sta.Timing.analyze lib asg in
+  let vec = [| true; true; false; true; false |] in
+  for gate = 5 to 10 do
+    let golden =
+      Ser_spice.Circuit_sim.strike_po_widths c ~assignment:(A.get asg)
+        ~input_values:vec ~strike:gate
+    in
+    let replay =
+      Aserta.Measured.strike_widths lib asg ~timing ~input_values:vec
+        ~charge:16. ~gate
+    in
+    List.iter
+      (fun (pos, w_replay) ->
+        let w_golden = List.assoc pos golden in
+        (* agreement on maskedness; widths within a factor of ~2.5 when
+           both see a glitch *)
+        if w_replay > 15. || w_golden > 15. then begin
+          Alcotest.(check bool)
+            (Printf.sprintf "gate %d PO %d both see glitch (%.1f vs %.1f)"
+               gate pos w_replay w_golden)
+            true
+            (w_replay > 5. && w_golden > 5.);
+          let ratio = w_golden /. Float.max 1e-9 w_replay in
+          Alcotest.(check bool)
+            (Printf.sprintf "gate %d PO %d widths comparable (%.2f)" gate pos ratio)
+            true
+            (ratio > 0.3 && ratio < 3.5)
+        end)
+      replay.Aserta.Measured.po_widths
+  done
+
+let test_fig3_correlation () =
+  (* the Fig 3 headline: strong ASERTA-vs-golden correlation *)
+  let r = Ser_repro.Fig3.run ~vectors:4 ~seed:3 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pearson %.3f > 0.8" r.Ser_repro.Fig3.pearson)
+    true
+    (r.Ser_repro.Fig3.pearson > 0.8);
+  Alcotest.(check bool) "points present" true
+    (List.length r.Ser_repro.Fig3.points > 20)
+
+let test_fig1_fig2_shapes () =
+  let fig1 = Ser_repro.Fig12.fig1 ~points:3 () in
+  let fig2 = Ser_repro.Fig12.fig2 ~points:3 () in
+  let series label t = List.find (fun s -> s.Ser_repro.Fig12.variable = label) t.Ser_repro.Fig12.series in
+  let widths s = List.map (fun p -> p.Ser_repro.Fig12.width) s.Ser_repro.Fig12.points in
+  let decreasing = function
+    | a :: b :: _ when a > b -> true
+    | _ -> false
+  in
+  let increasing = function
+    | a :: b :: _ when a < b -> true
+    | _ -> false
+  in
+  (* Fig 1: bigger size -> narrower generated glitch; longer channel -> wider *)
+  Alcotest.(check bool) "fig1 size decreasing" true (decreasing (widths (series "size" fig1)));
+  Alcotest.(check bool) "fig1 length increasing" true (increasing (widths (series "length" fig1)));
+  Alcotest.(check bool) "fig1 vth increasing" true (increasing (widths (series "vth" fig1)));
+  (* Fig 2: bigger size -> less attenuation -> wider propagated glitch *)
+  Alcotest.(check bool) "fig2 size increasing" true (increasing (widths (series "size" fig2)));
+  Alcotest.(check bool) "fig2 length decreasing" true (decreasing (widths (series "length" fig2)));
+  (* render shape *)
+  let text = Ser_repro.Fig12.render fig1 in
+  Alcotest.(check bool) "render non-empty" true (String.length text > 100)
+
+let test_end_to_end_optimize_improves_replay () =
+  (* the optimization found by SERTOPT must also look better to the
+     independent vector-replay estimate *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib =
+    L.create ~axes:(L.restrict ~vdds:[ 0.8; 1.0 ] ~vths:[ 0.2; 0.3 ] L.default_axes) ()
+  in
+  let baseline = Sertopt.Optimizer.size_for_speed lib c in
+  let config =
+    {
+      Sertopt.Optimizer.default_config with
+      Sertopt.Optimizer.aserta = quick;
+      max_evals = 40;
+      greedy_passes = 1;
+      greedy_gates = 120;
+    }
+  in
+  let r = Sertopt.Optimizer.optimize ~config lib baseline in
+  let u_base = Aserta.Measured.unreliability ~vectors:40 lib r.Sertopt.Optimizer.baseline in
+  let u_opt = Aserta.Measured.unreliability ~vectors:40 lib r.Sertopt.Optimizer.optimized in
+  Alcotest.(check bool)
+    (Printf.sprintf "replay also improves (%.0f -> %.0f)" u_base u_opt)
+    true
+    (u_opt < u_base)
+
+let test_cli_circuit_loading_path () =
+  (* generate -> write file -> parse file: the CLI round trip *)
+  let c = Ser_circuits.Iscas.load "c880" in
+  let path = Filename.temp_file "ser_test" ".bench" in
+  Ser_netlist.Bench_format.write_file path c;
+  (match Ser_netlist.Bench_format.parse_file path with
+  | Ok c' ->
+    Alcotest.(check int) "gates preserved" (Circuit.gate_count c)
+      (Circuit.gate_count c')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_table1_driver () =
+  let t =
+    Ser_repro.Table1.run ~with_measured:true ~only:[ "c432" ] ()
+  in
+  (match t.Ser_repro.Table1.rows with
+  | [ row ] ->
+    Alcotest.(check string) "circuit" "c432" row.Ser_repro.Table1.circuit;
+    Alcotest.(check bool) "some reduction" true
+      (row.Ser_repro.Table1.reduction_aserta > 0.05);
+    Alcotest.(check bool) "delay ratio sane" true
+      (row.Ser_repro.Table1.delay_ratio < 1.15);
+    Alcotest.(check bool) "replay column present" true
+      (row.Ser_repro.Table1.reduction_measured <> None);
+    Alcotest.(check bool) "baseline U positive" true
+      (row.Ser_repro.Table1.baseline_u > 0.)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  let text = Ser_repro.Table1.render t in
+  Alcotest.(check bool) "render mentions circuit" true
+    (String.length text > 100)
+
+let test_knob_summary () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib =
+    L.create ~axes:(L.restrict ~vdds:[ 0.8; 1.0 ] ~vths:[ 0.2; 0.3 ] L.default_axes) ()
+  in
+  let baseline = Sertopt.Optimizer.size_for_speed lib c in
+  let config =
+    {
+      Sertopt.Optimizer.default_config with
+      Sertopt.Optimizer.aserta = quick;
+      max_evals = 20;
+      greedy_passes = 1;
+      greedy_gates = 40;
+    }
+  in
+  let r = Sertopt.Optimizer.optimize ~config lib baseline in
+  let s = Sertopt.Optimizer.knob_summary r in
+  Alcotest.(check bool) "something changed" true
+    (s.Sertopt.Optimizer.changed_gates > 0);
+  Alcotest.(check bool) "menu respected" true
+    (List.for_all (fun v -> v = 0.8 || v = 1.0) s.Sertopt.Optimizer.vdds_used);
+  let text =
+    Format.asprintf "%a" Sertopt.Optimizer.pp_knob_summary s
+  in
+  Alcotest.(check bool) "pretty-prints" true (String.length text > 40)
+
+let test_ablation_smoke () =
+  let s = Ser_repro.Ablation.sample_count ~counts:[ 4; 10 ] () in
+  Alcotest.(check bool) "sample_count report" true (String.length s > 50);
+  let v = Ser_repro.Ablation.vector_convergence ~counts:[ 100; 1000 ] () in
+  Alcotest.(check bool) "vector report" true (String.length v > 50);
+  let q = Ser_repro.Ablation.charge_sweep ~charges:[ 8.; 16. ] () in
+  Alcotest.(check bool) "charge report" true (String.length q > 50)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "bench round-trip U" `Slow
+            test_bench_roundtrip_preserves_unreliability;
+          Alcotest.test_case "estimates rank-agree" `Slow
+            test_three_estimates_agree_on_ranking;
+          Alcotest.test_case "golden vs replay on c17" `Quick
+            test_golden_transient_agrees_on_c17;
+          Alcotest.test_case "optimize improves replay" `Slow
+            test_end_to_end_optimize_improves_replay;
+          Alcotest.test_case "file round trip" `Quick test_cli_circuit_loading_path;
+        ] );
+      ( "paper figures",
+        [
+          Alcotest.test_case "fig3 correlation" `Slow test_fig3_correlation;
+          Alcotest.test_case "fig1/fig2 shapes" `Slow test_fig1_fig2_shapes;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "ablation smoke" `Slow test_ablation_smoke;
+          Alcotest.test_case "table1 driver" `Slow test_table1_driver;
+          Alcotest.test_case "knob summary" `Slow test_knob_summary;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+module M = Ser_linalg.Matrix
+module S = Ser_linalg.Stats
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let test_create_init () =
+  let m = M.init 2 3 (fun r c -> float_of_int ((r * 10) + c)) in
+  checkf "0,0" 0. (M.get m 0 0);
+  checkf "1,2" 12. (M.get m 1 2);
+  let z = M.create 2 2 in
+  checkf "zero" 0. (M.get z 1 1)
+
+let test_of_rows () =
+  let m = M.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  checkf "1,0" 3. (M.get m 1 0);
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows")
+    (fun () -> ignore (M.of_rows [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_identity_mul () =
+  let a = M.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let i = M.identity 2 in
+  let ai = M.mul a i in
+  for r = 0 to 1 do
+    for c = 0 to 1 do
+      checkf "a*I = a" (M.get a r c) (M.get ai r c)
+    done
+  done
+
+let test_mul_known () =
+  let a = M.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = M.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let ab = M.mul a b in
+  checkf "0,0" 19. (M.get ab 0 0);
+  checkf "0,1" 22. (M.get ab 0 1);
+  checkf "1,0" 43. (M.get ab 1 0);
+  checkf "1,1" 50. (M.get ab 1 1)
+
+let test_transpose () =
+  let a = M.init 2 3 (fun r c -> float_of_int ((r * 3) + c)) in
+  let t = M.transpose a in
+  Alcotest.(check int) "rows" 3 t.M.rows;
+  checkf "swap" (M.get a 1 2) (M.get t 2 1);
+  let tt = M.transpose t in
+  for r = 0 to 1 do
+    for c = 0 to 2 do
+      checkf "involution" (M.get a r c) (M.get tt r c)
+    done
+  done
+
+let test_mat_vec () =
+  let a = M.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let y = M.mat_vec a [| 1.; 1. |] in
+  checkf "row0" 3. y.(0);
+  checkf "row1" 7. y.(1);
+  let z = M.vec_mat [| 1.; 1. |] a in
+  checkf "col0" 4. z.(0);
+  checkf "col1" 6. z.(1)
+
+let test_rank () =
+  Alcotest.(check int) "full rank" 2
+    (M.rank (M.of_rows [| [| 1.; 0. |]; [| 0.; 1. |] |]));
+  Alcotest.(check int) "rank deficient" 1
+    (M.rank (M.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |]));
+  Alcotest.(check int) "zero matrix" 0 (M.rank (M.create 3 3))
+
+let test_rref_pivots () =
+  let m = M.of_rows [| [| 0.; 2.; 4. |]; [| 1.; 1.; 1. |] |] in
+  let r, pivots = M.rref m in
+  Alcotest.(check (list int)) "pivot cols" [ 0; 1 ] pivots;
+  checkf "leading one" 1. (M.get r 0 0);
+  checkf "eliminated" 0. (M.get r 1 0)
+
+let test_nullspace_known () =
+  (* x + y + z = 0 has a 2-dimensional kernel *)
+  let m = M.of_rows [| [| 1.; 1.; 1. |] |] in
+  let basis = M.nullspace m in
+  Alcotest.(check int) "dimension" 2 (Array.length basis);
+  Array.iter
+    (fun v ->
+      let r = M.mat_vec m v in
+      checkf6 "in kernel" 0. r.(0))
+    basis
+
+let nullspace_prop =
+  QCheck.Test.make ~name:"nullspace vectors satisfy T v = 0" ~count:100
+    QCheck.(
+      pair (int_range 1 5)
+        (pair (int_range 1 6) small_nat))
+    (fun (rows, (cols, seed)) ->
+      let rng = Ser_rng.Rng.create seed in
+      let m =
+        M.init rows cols (fun _ _ -> float_of_int (Ser_rng.Rng.int rng 3) -. 1.)
+      in
+      let basis = M.nullspace m in
+      let rank = M.rank m in
+      Array.length basis = cols - rank
+      && Array.for_all
+           (fun v ->
+             Array.for_all (fun x -> Float.abs x < 1e-7) (M.mat_vec m v))
+           basis)
+
+let test_solve_known () =
+  let a = M.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  match M.solve a [| 5.; 10. |] with
+  | None -> Alcotest.fail "solvable system"
+  | Some x ->
+    checkf6 "x0" 1. x.(0);
+    checkf6 "x1" 3. x.(1)
+
+let test_solve_singular () =
+  let a = M.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.(check bool) "singular gives None" true (M.solve a [| 1.; 1. |] = None)
+
+let solve_roundtrip_prop =
+  QCheck.Test.make ~name:"solve round-trips diagonally dominant systems"
+    ~count:100
+    QCheck.(pair (int_range 1 6) small_nat)
+    (fun (n, seed) ->
+      let rng = Ser_rng.Rng.create seed in
+      let a =
+        M.init n n (fun r c ->
+            if r = c then 10. +. Ser_rng.Rng.uniform rng
+            else Ser_rng.Rng.range rng (-1.) 1.)
+      in
+      let x = Array.init n (fun _ -> Ser_rng.Rng.range rng (-5.) 5.) in
+      let b = M.mat_vec a x in
+      match M.solve a b with
+      | None -> false
+      | Some x' ->
+        Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x')
+
+let test_solve_spd () =
+  let a = M.of_rows [| [| 4.; 1. |]; [| 1.; 3. |] |] in
+  match M.solve_spd a [| 1.; 2. |] with
+  | None -> Alcotest.fail "SPD solvable"
+  | Some x ->
+    let r = M.mat_vec a x in
+    checkf6 "residual 0" 1. r.(0);
+    checkf6 "residual 1" 2. r.(1)
+
+let test_lstsq () =
+  (* overdetermined consistent system: fit y = 2x + 1 *)
+  let a = M.of_rows [| [| 0.; 1. |]; [| 1.; 1. |]; [| 2.; 1. |] |] in
+  let b = [| 1.; 3.; 5. |] in
+  let x = M.lstsq a b in
+  checkf6 "slope" 2. x.(0);
+  checkf6 "intercept" 1. x.(1)
+
+let projection_prop =
+  QCheck.Test.make ~name:"projection lands in the nullspace and is idempotent"
+    ~count:100
+    QCheck.(pair (int_range 1 4) (pair (int_range 5 10) small_nat))
+    (fun (rows, (cols, seed)) ->
+      let rng = Ser_rng.Rng.create seed in
+      let t =
+        M.init rows cols (fun _ _ -> float_of_int (Ser_rng.Rng.int rng 2))
+      in
+      let v = Array.init cols (fun _ -> Ser_rng.Rng.range rng (-3.) 3.) in
+      let p = M.project_onto_nullspace t v in
+      let tp = M.mat_vec t p in
+      let p2 = M.project_onto_nullspace t p in
+      Array.for_all (fun x -> Float.abs x < 1e-6) tp
+      && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) p p2)
+
+let test_projection_empty () =
+  let t = M.create 0 3 in
+  let v = [| 1.; 2.; 3. |] in
+  let p = M.project_onto_nullspace t v in
+  Alcotest.(check bool) "identity on empty constraints" true (p = v)
+
+let test_scale_add () =
+  let a = M.of_rows [| [| 1.; 2. |] |] in
+  let b = M.scale 2. a in
+  checkf "scaled" 4. (M.get b 0 1);
+  let c = M.add a b in
+  checkf "added" 6. (M.get c 0 1)
+
+(* ---------------- stats ---------------- *)
+
+let test_pearson () =
+  checkf6 "perfect" 1. (S.pearson [| 1.; 2.; 3. |] [| 2.; 4.; 6. |]);
+  checkf6 "anti" (-1.) (S.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  checkf "constant" 0. (S.pearson [| 1.; 1.; 1. |] [| 1.; 2.; 3. |])
+
+let test_spearman () =
+  (* monotone nonlinear map preserves rank correlation *)
+  checkf6 "monotone" 1. (S.spearman [| 1.; 2.; 3.; 4. |] [| 1.; 8.; 27.; 64. |]);
+  checkf6 "reversed" (-1.) (S.spearman [| 1.; 2.; 3. |] [| 9.; 4.; 1. |])
+
+let test_percentile () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  checkf "median" 2.5 (S.percentile xs 50.);
+  checkf "min" 1. (S.percentile xs 0.);
+  checkf "max" 4. (S.percentile xs 100.)
+
+let test_summarize () =
+  let s = S.summarize [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "n" 4 s.S.n;
+  checkf "mean" 2.5 s.S.mean;
+  checkf "min" 1. s.S.min;
+  checkf "max" 4. s.S.max;
+  checkf "median" 2.5 s.S.median
+
+let test_rms () =
+  checkf "zero" 0. (S.rms_error [| 1.; 2. |] [| 1.; 2. |]);
+  checkf6 "known" (sqrt 29.) (S.rms_error [| 0.; 0. |] [| 3.; -7. |])
+
+let () =
+  Alcotest.run "ser_linalg"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "create/init" `Quick test_create_init;
+          Alcotest.test_case "of_rows" `Quick test_of_rows;
+          Alcotest.test_case "identity" `Quick test_identity_mul;
+          Alcotest.test_case "mul" `Quick test_mul_known;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "mat_vec/vec_mat" `Quick test_mat_vec;
+          Alcotest.test_case "scale/add" `Quick test_scale_add;
+        ] );
+      ( "elimination",
+        [
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "rref pivots" `Quick test_rref_pivots;
+          Alcotest.test_case "nullspace known" `Quick test_nullspace_known;
+          QCheck_alcotest.to_alcotest nullspace_prop;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "solve known" `Quick test_solve_known;
+          Alcotest.test_case "solve singular" `Quick test_solve_singular;
+          QCheck_alcotest.to_alcotest solve_roundtrip_prop;
+          Alcotest.test_case "solve_spd" `Quick test_solve_spd;
+          Alcotest.test_case "lstsq" `Quick test_lstsq;
+          QCheck_alcotest.to_alcotest projection_prop;
+          Alcotest.test_case "projection no constraints" `Quick test_projection_empty;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "pearson" `Quick test_pearson;
+          Alcotest.test_case "spearman" `Quick test_spearman;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "rms" `Quick test_rms;
+        ] );
+    ]

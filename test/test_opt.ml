@@ -1,0 +1,161 @@
+module Min = Ser_opt.Minimize
+
+let test_golden_section () =
+  let x, fx = Min.golden_section ~f:(fun x -> (x -. 2.) ** 2.) ~lo:0. ~hi:5. () in
+  Alcotest.(check (float 1e-4)) "argmin" 2. x;
+  Alcotest.(check (float 1e-6)) "min" 0. fx
+
+let test_golden_section_boundary () =
+  (* monotone function: minimum at an endpoint *)
+  let x, _ = Min.golden_section ~f:(fun x -> x) ~lo:1. ~hi:3. () in
+  Alcotest.(check bool) "near lower end" true (x < 1.01)
+
+let test_golden_section_validation () =
+  try
+    ignore (Min.golden_section ~f:Fun.id ~lo:2. ~hi:1. ());
+    Alcotest.fail "empty interval accepted"
+  with Invalid_argument _ -> ()
+
+let quadratic x =
+  ((x.(0) -. 1.) ** 2.) +. (2. *. ((x.(1) +. 3.) ** 2.)) +. 0.5
+
+let test_coordinate_descent () =
+  let r = Min.coordinate_descent ~f:quadratic ~x0:[| 0.; 0. |] () in
+  Alcotest.(check (float 1e-2)) "x0" 1. r.Min.x.(0);
+  Alcotest.(check (float 1e-2)) "x1" (-3.) r.Min.x.(1);
+  Alcotest.(check bool) "trace improves" true
+    (match r.Min.trace with
+    | first :: _ -> r.Min.fx <= first
+    | [] -> false)
+
+let test_coordinate_descent_budget () =
+  let count = ref 0 in
+  let f x =
+    incr count;
+    quadratic x
+  in
+  let r = Min.coordinate_descent ~f ~x0:[| 10.; 10. |] ~max_evals:25 () in
+  Alcotest.(check bool) "budget respected" true (!count <= 25);
+  Alcotest.(check int) "evals reported" !count r.Min.evals
+
+let test_direction_search_span () =
+  (* only one direction: the search cannot move along the other axis *)
+  let r =
+    Min.direction_search ~f:quadratic ~x0:[| 0.; 0. |]
+      ~directions:[| [| 1.; 0. |] |] ()
+  in
+  Alcotest.(check (float 1e-2)) "moves along e0" 1. r.Min.x.(0);
+  Alcotest.(check (float 0.)) "frozen along e1" 0. r.Min.x.(1)
+
+let test_direction_search_empty () =
+  let r = Min.direction_search ~f:quadratic ~x0:[| 5.; 5. |] ~directions:[||] () in
+  Alcotest.(check (float 0.)) "no directions no motion" 5. r.Min.x.(0)
+
+let test_direction_search_diagonal () =
+  (* a diagonal direction reaches points coordinate descent cannot *)
+  let f x = ((x.(0) -. x.(1)) ** 2.) +. ((x.(0) +. x.(1) -. 4.) ** 2.) in
+  let r =
+    Min.direction_search ~f ~x0:[| 0.; 0. |]
+      ~directions:[| [| 1.; 1. |]; [| 1.; -1. |] |] ()
+  in
+  Alcotest.(check (float 1e-2)) "x0" 2. r.Min.x.(0);
+  Alcotest.(check (float 1e-2)) "x1" 2. r.Min.x.(1)
+
+let test_annealing_improves () =
+  let rng = Ser_rng.Rng.create 4 in
+  let neighbor rng x =
+    Array.map (fun v -> v +. (0.3 *. Ser_rng.Rng.gaussian rng)) x
+  in
+  let f x =
+    (* a bumpy 1-D landscape with global minimum at x = 2 *)
+    ((x.(0) -. 2.) ** 2.) +. (0.5 *. sin (5. *. x.(0)))
+  in
+  let r =
+    Min.simulated_annealing ~rng ~f ~x0:[| -3. |] ~neighbor ~steps:2000 ()
+  in
+  Alcotest.(check bool) "found a good basin" true (r.Min.fx < f [| -3. |] -. 5.);
+  Alcotest.(check bool) "near global minimum" true (Float.abs (r.Min.x.(0) -. 2.) < 1.)
+
+let test_annealing_deterministic () =
+  let f x = x.(0) ** 2. in
+  let neighbor rng x = [| x.(0) +. Ser_rng.Rng.gaussian rng |] in
+  let run seed =
+    let rng = Ser_rng.Rng.create seed in
+    (Min.simulated_annealing ~rng ~f ~x0:[| 5. |] ~neighbor ~steps:200 ()).Min.fx
+  in
+  Alcotest.(check (float 0.)) "same seed same result" (run 8) (run 8)
+
+let test_annealing_returns_best () =
+  (* even if the walk wanders off, the best-ever point is returned *)
+  let f x = Float.abs x.(0) in
+  let neighbor rng x = [| x.(0) +. (10. *. Ser_rng.Rng.gaussian rng) |] in
+  let rng = Ser_rng.Rng.create 21 in
+  let r = Min.simulated_annealing ~rng ~f ~x0:[| 100. |] ~neighbor ~steps:500 () in
+  Alcotest.(check bool) "best no worse than start" true (r.Min.fx <= 100.)
+
+let test_genetic_quadratic () =
+  let rng = Ser_rng.Rng.create 6 in
+  let r =
+    Min.genetic ~rng ~f:quadratic ~x0:[| 8.; 8. |] ~population:24
+      ~generations:60 ~sigma:2. ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "near optimum (%.3f, %.3f)" r.Min.x.(0) r.Min.x.(1))
+    true
+    (Float.abs (r.Min.x.(0) -. 1.) < 0.3 && Float.abs (r.Min.x.(1) +. 3.) < 0.3)
+
+let test_genetic_deterministic () =
+  let run seed =
+    let rng = Ser_rng.Rng.create seed in
+    (Min.genetic ~rng ~f:quadratic ~x0:[| 0.; 0. |] ()).Min.fx
+  in
+  Alcotest.(check (float 0.)) "same seed same result" (run 2) (run 2)
+
+let test_genetic_elitism () =
+  (* the best fitness never worsens across generations *)
+  let rng = Ser_rng.Rng.create 9 in
+  let r = Min.genetic ~rng ~f:quadratic ~x0:[| 3.; 3. |] ~generations:20 () in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "trace non-increasing" true (non_increasing r.Min.trace)
+
+let test_genetic_validation () =
+  let rng = Ser_rng.Rng.create 1 in
+  try
+    ignore (Min.genetic ~rng ~f:quadratic ~x0:[| 0. |] ~population:1 ());
+    Alcotest.fail "population 1 accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "ser_opt"
+    [
+      ( "golden section",
+        [
+          Alcotest.test_case "quadratic" `Quick test_golden_section;
+          Alcotest.test_case "boundary" `Quick test_golden_section_boundary;
+          Alcotest.test_case "validation" `Quick test_golden_section_validation;
+        ] );
+      ( "pattern search",
+        [
+          Alcotest.test_case "coordinate descent" `Quick test_coordinate_descent;
+          Alcotest.test_case "eval budget" `Quick test_coordinate_descent_budget;
+          Alcotest.test_case "direction span" `Quick test_direction_search_span;
+          Alcotest.test_case "no directions" `Quick test_direction_search_empty;
+          Alcotest.test_case "diagonal directions" `Quick test_direction_search_diagonal;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "improves" `Quick test_annealing_improves;
+          Alcotest.test_case "deterministic" `Quick test_annealing_deterministic;
+          Alcotest.test_case "returns best" `Quick test_annealing_returns_best;
+        ] );
+      ( "genetic",
+        [
+          Alcotest.test_case "quadratic" `Quick test_genetic_quadratic;
+          Alcotest.test_case "deterministic" `Quick test_genetic_deterministic;
+          Alcotest.test_case "elitism" `Quick test_genetic_elitism;
+          Alcotest.test_case "validation" `Quick test_genetic_validation;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+module Pipeline = Ser_pipeline.Pipeline
+module Circuit = Ser_netlist.Circuit
+module Bitsim = Ser_logicsim.Bitsim
+
+let quick_aserta =
+  { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 800 }
+
+(* Evaluate a pipeline of slices by wiring nets name-to-name and compare
+   against the original circuit's outputs. *)
+let compose_eval slices original vec =
+  let env = Hashtbl.create 128 in
+  Array.iteri
+    (fun pos id -> Hashtbl.replace env (Circuit.node original id).Circuit.name vec.(pos))
+    original.Circuit.inputs;
+  List.iter
+    (fun (s : Circuit.t) ->
+      let stage_vec =
+        Array.map
+          (fun id ->
+            match Hashtbl.find_opt env (Circuit.node s id).Circuit.name with
+            | Some v -> v
+            | None -> Alcotest.failf "missing net %s" (Circuit.node s id).Circuit.name)
+          s.Circuit.inputs
+      in
+      let values = Bitsim.eval_vector s stage_vec in
+      Array.iter
+        (fun o -> Hashtbl.replace env (Circuit.node s o).Circuit.name values.(o))
+        s.Circuit.outputs)
+    slices;
+  Array.map
+    (fun po -> Hashtbl.find env (Circuit.node original po).Circuit.name)
+    original.Circuit.outputs
+
+let test_split_equivalence circuit stages () =
+  let c = Ser_circuits.Iscas.load circuit in
+  let slices = Pipeline.split_by_levels c ~stages in
+  Alcotest.(check int) "slice count" stages (List.length slices);
+  let rng = Ser_rng.Rng.create 17 in
+  for _ = 1 to 25 do
+    let vec = Array.map (fun _ -> Ser_rng.Rng.bool rng) c.Circuit.inputs in
+    let composed = compose_eval slices c vec in
+    let direct = Bitsim.eval_vector c vec in
+    Array.iteri
+      (fun pos po ->
+        Alcotest.(check bool) "same output" direct.(po) composed.(pos))
+      c.Circuit.outputs
+  done
+
+let test_split_gate_conservation () =
+  let c = Ser_circuits.Iscas.load "c880" in
+  let slices = Pipeline.split_by_levels c ~stages:4 in
+  let total = List.fold_left (fun acc s -> acc + Circuit.gate_count s) 0 slices in
+  Alcotest.(check int) "gates conserved" (Circuit.gate_count c) total
+
+let test_split_validation () =
+  let c = Ser_circuits.Iscas.c17 () in
+  (try
+     ignore (Pipeline.split_by_levels c ~stages:0);
+     Alcotest.fail "0 stages accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Pipeline.split_by_levels c ~stages:99);
+    Alcotest.fail "too many stages accepted"
+  with Invalid_argument _ -> ()
+
+let test_create_validation () =
+  try
+    ignore (Pipeline.create []);
+    Alcotest.fail "empty pipeline accepted"
+  with Invalid_argument _ -> ()
+
+let test_flipflop_count () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let p1 = Pipeline.create [ c ] in
+  Alcotest.(check int) "one stage" 2 (Pipeline.flipflop_count p1);
+  let p2 = Pipeline.create [ c; c ] in
+  Alcotest.(check int) "two stages" 4 (Pipeline.flipflop_count p2)
+
+let test_analyze_report () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let p = Pipeline.create [ c ] in
+  let r = Pipeline.analyze ~aserta:quick_aserta p in
+  Alcotest.(check bool) "positive" true (r.Pipeline.total > 0.);
+  Alcotest.(check int) "one stage entry" 1 (List.length r.Pipeline.stage_ser);
+  let parts =
+    r.Pipeline.ff_ser
+    +. List.fold_left (fun acc (_, v) -> acc +. v) 0. r.Pipeline.stage_ser
+  in
+  Alcotest.(check (float 1e-9)) "total = parts" r.Pipeline.total parts;
+  Alcotest.(check bool) "min period sane" true (r.Pipeline.min_period > 25.)
+
+let test_faster_clock_higher_ser () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let p = Pipeline.create [ c ] in
+  let base = Pipeline.analyze ~aserta:quick_aserta p in
+  let slow =
+    Pipeline.analyze ~aserta:quick_aserta
+      ~clock_period:(3. *. base.Pipeline.min_period) p
+  in
+  Alcotest.(check bool) "slower clock fewer captures" true
+    (slow.Pipeline.total < base.Pipeline.total)
+
+let test_clock_below_minimum_rejected () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let p = Pipeline.create [ c ] in
+  let base = Pipeline.analyze ~aserta:quick_aserta p in
+  try
+    ignore
+      (Pipeline.analyze ~aserta:quick_aserta
+         ~clock_period:(base.Pipeline.min_period /. 2.) p);
+    Alcotest.fail "infeasible clock accepted"
+  with Invalid_argument _ -> ()
+
+let test_deeper_pipeline_higher_ser () =
+  let c = Ser_circuits.Iscas.load "c880" in
+  let ser k =
+    let slices = Pipeline.split_by_levels c ~stages:k in
+    (Pipeline.analyze ~aserta:quick_aserta (Pipeline.create slices)).Pipeline.total
+  in
+  let s1 = ser 1 and s4 = ser 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "super-pipelining raises SER (%.1f -> %.1f)" s1 s4)
+    true (s4 > s1)
+
+let test_ff_fit_scaling () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let p = Pipeline.create [ c ] in
+  let a = Pipeline.analyze ~aserta:quick_aserta ~ff_fit:0. p in
+  let b = Pipeline.analyze ~aserta:quick_aserta ~ff_fit:1. p in
+  Alcotest.(check (float 1e-9)) "ff term linear" 2.
+    (b.Pipeline.total -. a.Pipeline.total)
+
+let () =
+  Alcotest.run "ser_pipeline"
+    [
+      ( "slicing",
+        [
+          Alcotest.test_case "c17 x2 equivalence" `Quick (test_split_equivalence "c17" 2);
+          Alcotest.test_case "c432 x3 equivalence" `Quick (test_split_equivalence "c432" 3);
+          Alcotest.test_case "c880 x5 equivalence" `Quick (test_split_equivalence "c880" 5);
+          Alcotest.test_case "gate conservation" `Quick test_split_gate_conservation;
+          Alcotest.test_case "validation" `Quick test_split_validation;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "flip-flop count" `Quick test_flipflop_count;
+          Alcotest.test_case "report structure" `Quick test_analyze_report;
+          Alcotest.test_case "frequency trend" `Quick test_faster_clock_higher_ser;
+          Alcotest.test_case "infeasible clock" `Quick test_clock_below_minimum_rejected;
+          Alcotest.test_case "depth trend" `Slow test_deeper_pipeline_higher_ser;
+          Alcotest.test_case "ff fit scaling" `Quick test_ff_fit_scaling;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+module Rng = Ser_rng.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differ = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differ := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differ
+
+let test_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 2)
+
+let int_bounds_prop =
+  QCheck.Test.make ~name:"int within bound" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_nat)
+    (fun (bound, seed) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_int_bound_one () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int rng 1)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_uniform_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng in
+    if u < 0. || u >= 1. then Alcotest.fail "uniform out of [0,1)"
+  done
+
+let test_uniform_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let g = Rng.gaussian rng in
+    sum := !sum +. g;
+    sq := !sq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.) < 0.1)
+
+let test_bernoulli () =
+  let rng = Rng.create 17 in
+  let n = 10_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (Float.abs (p -. 0.3) < 0.03)
+
+let shuffle_permutation_prop =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair (list small_int) small_nat)
+    (fun (xs, seed) ->
+      let a = Array.of_list xs in
+      let rng = Rng.create seed in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_choose () =
+  let rng = Rng.create 19 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng a in
+    if v < 1 || v > 3 then Alcotest.fail "choose out of range"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_choose_weighted () =
+  let rng = Rng.create 23 in
+  (* zero-weight element must never be picked *)
+  for _ = 1 to 500 do
+    let v = Rng.choose_weighted rng [| ("never", 0.); ("always", 1.) |] in
+    Alcotest.(check string) "never pick zero weight" "always" v
+  done;
+  (* frequencies follow weights *)
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 10_000 do
+    let v = Rng.choose_weighted rng [| ("a", 3.); ("b", 1.) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = float_of_int (Hashtbl.find counts "a") in
+  Alcotest.(check bool) "3:1 ratio" true (a > 7200. && a < 7800.);
+  Alcotest.check_raises "bad weights"
+    (Invalid_argument "Rng.choose_weighted: non-positive total weight")
+    (fun () -> ignore (Rng.choose_weighted rng [| ("x", 0.) |]))
+
+let test_range () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 1000 do
+    let v = Rng.range rng 5. 7. in
+    if v < 5. || v >= 7. then Alcotest.fail "range out of bounds"
+  done
+
+let () =
+  Alcotest.run "ser_rng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split_independent;
+        ] );
+      ( "distributions",
+        [
+          QCheck_alcotest.to_alcotest int_bounds_prop;
+          Alcotest.test_case "int bound 1" `Quick test_int_bound_one;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "range" `Quick test_range;
+        ] );
+      ( "collections",
+        [
+          QCheck_alcotest.to_alcotest shuffle_permutation_prop;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+        ] );
+    ]

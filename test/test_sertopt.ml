@@ -1,0 +1,278 @@
+module Circuit = Ser_netlist.Circuit
+module Gate = Ser_netlist.Gate
+module L = Ser_cell.Library
+module A = Ser_sta.Assignment
+module T = Ser_sta.Timing
+module P = Ser_device.Cell_params
+module Matching = Sertopt.Matching
+module Cost = Sertopt.Cost
+module Opt = Sertopt.Optimizer
+
+let lib_small () =
+  L.create ~axes:(L.restrict ~vdds:[ 0.8; 1.0 ] ~vths:[ 0.2; 0.3 ] L.default_axes) ()
+
+let quick_aserta = { Aserta.Analysis.default_config with Aserta.Analysis.vectors = 1500 }
+
+(* ---------------- matching ---------------- *)
+
+let vdd_ordering_ok c asg =
+  (* every driver's VDD >= every reader's VDD *)
+  let ok = ref true in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if nd.Circuit.kind <> Gate.Input then begin
+        let v = (A.get asg nd.Circuit.id).P.vdd in
+        Array.iter
+          (fun f ->
+            if not (Circuit.is_input c f) then
+              if (A.get asg f).P.vdd < v -. 1e-9 then ok := false)
+          nd.Circuit.fanin
+      end)
+    c.Circuit.nodes;
+  !ok
+
+let test_match_identity () =
+  (* matching the baseline's own delays reproduces similar timing *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let asg = A.uniform lib c in
+  let t0 = T.analyze lib asg in
+  let matched = Matching.match_delays lib asg ~targets:t0.T.delays in
+  let t1 = T.analyze lib matched in
+  Alcotest.(check bool)
+    (Printf.sprintf "critical delay within 10%% (%.1f vs %.1f)"
+       t1.T.critical_delay t0.T.critical_delay)
+    true
+    (Float.abs (t1.T.critical_delay -. t0.T.critical_delay)
+     /. t0.T.critical_delay
+    < 0.1)
+
+let test_match_vdd_ordering () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = L.create () in
+  (* full menu incl. 1.2 V *)
+  let asg = A.uniform lib c in
+  let t0 = T.analyze lib asg in
+  let rng = Ser_rng.Rng.create 12 in
+  for _ = 1 to 5 do
+    let targets =
+      Array.map (fun d -> Float.max 0.5 (d +. Ser_rng.Rng.range rng (-15.) 25.)) t0.T.delays
+    in
+    let matched = Matching.match_delays lib asg ~targets in
+    Alcotest.(check bool) "VDD ordering holds" true (vdd_ordering_ok c matched)
+  done
+
+let test_match_slower_targets () =
+  (* asking for uniformly slower gates must slow the circuit *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let asg = A.uniform lib c in
+  let t0 = T.analyze lib asg in
+  let targets = Array.map (fun d -> d *. 2.5) t0.T.delays in
+  let matched = Matching.match_delays lib asg ~targets in
+  let t1 = T.analyze lib matched in
+  Alcotest.(check bool) "slower" true (t1.T.critical_delay > 1.3 *. t0.T.critical_delay)
+
+let test_match_max_size () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let asg = A.uniform lib c in
+  let t0 = T.analyze lib asg in
+  let targets = Array.map (fun d -> Float.max 0.5 (d *. 0.3)) t0.T.delays in
+  let options = { Matching.default_options with Matching.max_size = 2. } in
+  let matched = Matching.match_delays ~options lib asg ~targets in
+  A.fold_gates matched ~init:() ~f:(fun () _ cell ->
+      Alcotest.(check bool) "size cap" true (cell.P.size <= 2.0 +. 1e-9))
+
+let test_achievable_range () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let asg = A.uniform lib c in
+  let timing = T.analyze lib asg in
+  let lo, hi = Matching.achievable_delay_range lib asg ~timing 40 in
+  Alcotest.(check bool) "lo < hi" true (lo < hi);
+  Alcotest.(check bool) "current inside" true
+    (timing.T.delays.(40) >= lo -. 1e-9 && timing.T.delays.(40) <= hi +. 1e-9)
+
+(* ---------------- cost ---------------- *)
+
+let m0 = { Cost.unreliability = 100.; delay = 500.; energy = 50.; area = 20. }
+
+let test_cost_identity () =
+  Alcotest.(check (float 1e-9)) "baseline cost = sum of weights"
+    (1.0 +. 0.2 +. 0.15 +. 0.1)
+    (Cost.eval ~baseline:m0 m0)
+
+let test_cost_monotone () =
+  let better = { m0 with Cost.unreliability = 50. } in
+  let worse = { m0 with Cost.unreliability = 150. } in
+  Alcotest.(check bool) "less U cheaper" true
+    (Cost.eval ~baseline:m0 better < Cost.eval ~baseline:m0 m0);
+  Alcotest.(check bool) "more U dearer" true
+    (Cost.eval ~baseline:m0 worse > Cost.eval ~baseline:m0 m0)
+
+let test_cost_delay_penalty () =
+  let slight = { m0 with Cost.delay = 520. } in (* +4%, inside slack *)
+  let violating = { m0 with Cost.delay = 600. } in (* +20% *)
+  let c_slight = Cost.eval ~baseline:m0 slight -. Cost.eval ~baseline:m0 m0 in
+  let c_viol = Cost.eval ~baseline:m0 violating -. Cost.eval ~baseline:m0 m0 in
+  Alcotest.(check bool) "inside slack only the W2 term" true (c_slight < 0.05);
+  Alcotest.(check bool) "violation heavily penalised" true (c_viol > 5.)
+
+let test_cost_weights () =
+  let w = { Cost.w_unrel = 0.; w_delay = 0.; w_energy = 1.; w_area = 0. } in
+  let m = { m0 with Cost.energy = 100. } in
+  Alcotest.(check (float 1e-9)) "pure energy ratio" 2.
+    (Cost.eval ~weights:w ~baseline:m0 m)
+
+let test_ratios () =
+  let m = { Cost.unreliability = 50.; delay = 550.; energy = 100.; area = 40. } in
+  let r = Cost.ratios ~baseline:m0 m in
+  Alcotest.(check (float 1e-9)) "u" 0.5 r.Cost.unreliability;
+  Alcotest.(check (float 1e-9)) "t" 1.1 r.Cost.delay;
+  Alcotest.(check (float 1e-9)) "e" 2. r.Cost.energy;
+  Alcotest.(check (float 1e-9)) "a" 2. r.Cost.area
+
+(* ---------------- optimizer ---------------- *)
+
+let test_size_for_speed () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let uniform = A.uniform lib c in
+  let sized = Opt.size_for_speed lib c in
+  let d_uniform = (T.analyze lib uniform).T.critical_delay in
+  let d_sized = (T.analyze lib sized).T.critical_delay in
+  Alcotest.(check bool)
+    (Printf.sprintf "speed opt helps (%.1f -> %.1f)" d_uniform d_sized)
+    true (d_sized < d_uniform)
+
+let test_optimize_c432 () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let config =
+    {
+      Opt.default_config with
+      Opt.aserta = quick_aserta;
+      max_evals = 40;
+      greedy_passes = 1;
+      greedy_gates = 80;
+    }
+  in
+  let r = Opt.optimize ~config lib baseline in
+  (* meaningful reduction with bounded delay increase *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reduction %.1f%%" (100. *. Opt.unreliability_reduction r))
+    true
+    (Opt.unreliability_reduction r > 0.10);
+  let ratios = Cost.ratios ~baseline:r.Opt.baseline_metrics r.Opt.optimized_metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay ratio %.2f" ratios.Cost.delay)
+    true
+    (ratios.Cost.delay < 1.10);
+  (* the optimized assignment still satisfies the VDD ordering *)
+  Alcotest.(check bool) "VDD ordering" true (vdd_ordering_ok c r.Opt.optimized);
+  (* never worse than baseline by construction *)
+  Alcotest.(check bool) "never worse" true
+    (r.Opt.optimized_metrics.Cost.unreliability
+     <= r.Opt.baseline_metrics.Cost.unreliability +. 1e-9)
+
+let test_optimize_deterministic () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let config =
+    { Opt.default_config with Opt.aserta = quick_aserta; max_evals = 20;
+      greedy_passes = 1; greedy_gates = 6 }
+  in
+  let r1 = Opt.optimize ~config lib baseline in
+  let r2 = Opt.optimize ~config lib baseline in
+  Alcotest.(check (float 1e-12)) "same result"
+    r1.Opt.optimized_metrics.Cost.unreliability
+    r2.Opt.optimized_metrics.Cost.unreliability
+
+let test_optimize_pure_nullspace () =
+  (* the paper's pure method (no greedy) must at least not regress *)
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let config =
+    { Opt.default_config with Opt.aserta = quick_aserta; max_evals = 60;
+      greedy_passes = 0 }
+  in
+  let r = Opt.optimize ~config lib baseline in
+  Alcotest.(check bool) "no regression" true
+    (r.Opt.optimized_metrics.Cost.unreliability
+     <= r.Opt.baseline_metrics.Cost.unreliability +. 1e-9)
+
+let test_replay_guard () =
+  let c = Ser_circuits.Iscas.load "c432" in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let config =
+    { Opt.default_config with Opt.aserta = quick_aserta; max_evals = 20;
+      greedy_passes = 1; greedy_gates = 40; replay_guard = 25 }
+  in
+  let r = Opt.optimize ~config lib baseline in
+  (* the guard must have made a choice *)
+  (match r.Opt.guard_choice with
+  | Some ("greedy" | "search" | "baseline") -> ()
+  | Some other -> Alcotest.failf "unexpected choice %S" other
+  | None -> Alcotest.fail "guard disabled?");
+  (* and the chosen circuit must not be worse than baseline under the
+     replay metric the guard used *)
+  let u asg = Aserta.Measured.unreliability ~vectors:25 lib asg in
+  Alcotest.(check bool) "replay no worse than baseline" true
+    (u r.Opt.optimized <= u r.Opt.baseline +. 1e-9);
+  (* without the guard the field is None *)
+  let r0 =
+    Opt.optimize
+      ~config:{ config with Opt.replay_guard = 0; max_evals = 5; greedy_passes = 0 }
+      lib baseline
+  in
+  Alcotest.(check bool) "no guard no choice" true (r0.Opt.guard_choice = None)
+
+let test_masking_override () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let masking = Aserta.Analysis.compute_masking quick_aserta c in
+  let config =
+    { Opt.default_config with Opt.aserta = quick_aserta; max_evals = 10;
+      greedy_passes = 0 }
+  in
+  let a = Opt.optimize ~config ~masking lib baseline in
+  let b = Opt.optimize ~config lib baseline in
+  Alcotest.(check (float 1e-12)) "masking reuse equivalent"
+    a.Opt.baseline_metrics.Cost.unreliability
+    b.Opt.baseline_metrics.Cost.unreliability
+
+let () =
+  Alcotest.run "sertopt"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "identity targets" `Quick test_match_identity;
+          Alcotest.test_case "VDD ordering" `Slow test_match_vdd_ordering;
+          Alcotest.test_case "slower targets" `Quick test_match_slower_targets;
+          Alcotest.test_case "max size" `Quick test_match_max_size;
+          Alcotest.test_case "achievable range" `Quick test_achievable_range;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "identity" `Quick test_cost_identity;
+          Alcotest.test_case "monotone in U" `Quick test_cost_monotone;
+          Alcotest.test_case "delay penalty" `Quick test_cost_delay_penalty;
+          Alcotest.test_case "weights" `Quick test_cost_weights;
+          Alcotest.test_case "ratios" `Quick test_ratios;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "size_for_speed" `Quick test_size_for_speed;
+          Alcotest.test_case "c432 improves" `Slow test_optimize_c432;
+          Alcotest.test_case "deterministic" `Slow test_optimize_deterministic;
+          Alcotest.test_case "pure nullspace no regression" `Slow test_optimize_pure_nullspace;
+          Alcotest.test_case "replay guard" `Slow test_replay_guard;
+          Alcotest.test_case "masking override" `Quick test_masking_override;
+        ] );
+    ]

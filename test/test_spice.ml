@@ -1,0 +1,390 @@
+module W = Ser_spice.Waveform
+module Measure = Ser_spice.Measure
+module Engine = Ser_spice.Engine
+module Char = Ser_spice.Char
+module P = Ser_device.Cell_params
+module Gate = Ser_netlist.Gate
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* ------------------------- waveforms ------------------------- *)
+
+let test_dc () =
+  let w = W.dc 0.7 in
+  checkf 0. "anywhere" 0.7 (W.eval w 123.);
+  checkf 0. "negative time" 0.7 (W.eval w (-5.))
+
+let test_pwl () =
+  let w = W.pwl [ (0., 0.); (10., 1.) ] in
+  checkf 1e-9 "start" 0. (W.eval w 0.);
+  checkf 1e-9 "mid" 0.5 (W.eval w 5.);
+  checkf 1e-9 "end hold" 1. (W.eval w 100.);
+  (try
+     ignore (W.pwl [ (1., 0.); (1., 1.) ]);
+     Alcotest.fail "non-increasing accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (W.pwl []);
+    Alcotest.fail "empty accepted"
+  with Invalid_argument _ -> ()
+
+let test_step_glitch () =
+  let s = W.step ~t0:5. ~ramp:10. ~from:0. ~to_:1. () in
+  checkf 1e-9 "before" 0. (W.eval s 0.);
+  checkf 1e-9 "middle" 0.5 (W.eval s 10.);
+  checkf 1e-9 "after" 1. (W.eval s 20.);
+  let g = W.glitch ~t0:0. ~base:0. ~peak:1. ~half_width:20. () in
+  (* half-amplitude width must be 20 ps *)
+  let times = Array.init 400 (fun i -> float_of_int i /. 4.) in
+  let values = Array.map (fun t -> W.eval g t) times in
+  checkf 0.6 "half width" 20. (Measure.time_above ~times ~values 0.5)
+
+(* ------------------------- measurements ------------------------- *)
+
+let test_time_above () =
+  let times = [| 0.; 1.; 2.; 3. |] in
+  let values = [| 0.; 1.; 1.; 0. |] in
+  (* crosses 0.5 at t=0.5 and t=2.5 *)
+  checkf 1e-9 "triangle-ish" 2. (Measure.time_above ~times ~values 0.5);
+  (* above + below = total span *)
+  checkf 1e-9 "below" 1. (Measure.time_below ~times ~values 0.5);
+  checkf 1e-9 "never above" 0. (Measure.time_above ~times ~values 2.)
+
+let test_glitch_width_convention () =
+  let times = [| 0.; 1.; 2. |] in
+  let dip = [| 1.; 0.; 1. |] in
+  checkf 1e-9 "high node dip" 1.
+    (Measure.glitch_width ~times ~values:dip ~nominal:1. ~vdd:1.);
+  let bump = [| 0.; 1.; 0. |] in
+  checkf 1e-9 "low node bump" 1.
+    (Measure.glitch_width ~times ~values:bump ~nominal:0. ~vdd:1.)
+
+let test_first_crossing () =
+  let times = [| 0.; 10. |] and values = [| 0.; 1. |] in
+  (match Measure.first_crossing ~times ~values ~rising:true 0.25 with
+  | Some t -> checkf 1e-9 "rising cross" 2.5 t
+  | None -> Alcotest.fail "expected crossing");
+  Alcotest.(check bool) "no falling crossing" true
+    (Measure.first_crossing ~times ~values ~rising:false 0.25 = None)
+
+let test_transition_time () =
+  let times = Array.init 101 float_of_int in
+  let values = Array.map (fun t -> Float.min 1. (t /. 100.)) times in
+  match Measure.transition_time ~times ~values ~vdd:1. with
+  | Some r -> checkf 1e-6 "10-90 of linear ramp" 80. r
+  | None -> Alcotest.fail "expected transition"
+
+let test_peak_excursion () =
+  let times = [| 0.; 1.; 2. |] in
+  checkf 1e-9 "peak" 0.8
+    (Measure.peak_excursion ~times ~values:[| 0.; 0.8; 0.1 |] ~nominal:0.)
+
+(* ------------------------- engine ------------------------- *)
+
+let inv = P.nominal Gate.Not 1
+
+let test_dc_levels () =
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n1 = Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e |] in
+  let n2 =
+    Engine.Build.add_stage b Engine.Nand_p (P.nominal Gate.Nand 2)
+      [| Engine.Ext e; Engine.Node n1 |]
+  in
+  let net = Engine.Build.finish b in
+  (* e=1: n1 = 0, n2 = nand(1,0) = 1 *)
+  let v = Engine.dc_levels net ~ext_values:[| true |] in
+  checkf 1e-9 "inverter low" 0. v.(n1);
+  checkf 1e-9 "nand high" 1. v.(n2);
+  let v0 = Engine.dc_levels net ~ext_values:[| false |] in
+  checkf 1e-9 "inverter high" 1. v0.(n1);
+  checkf 1e-9 "nand high again" 1. v0.(n2)
+
+let test_build_validation () =
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  (try
+     ignore (Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e; Engine.Ext e |]);
+     Alcotest.fail "inv arity 2 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Engine.Build.add_stage b Engine.Nand_p (P.nominal Gate.Nand 2) [| Engine.Ext e |]);
+     Alcotest.fail "nand arity 1 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Engine.Build.add_stage b Engine.Inv inv [| Engine.Node 5 |]);
+    Alcotest.fail "bad node accepted"
+  with Invalid_argument _ -> ()
+
+let test_inverter_switching () =
+  (* a step input must switch the output rail-to-rail *)
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n = Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e |] in
+  Engine.Build.add_cap b n 2.;
+  let net = Engine.Build.finish b in
+  let init = Engine.dc_levels net ~ext_values:[| false |] in
+  let trace =
+    Engine.simulate net
+      ~inputs:[| W.step ~t0:10. ~ramp:5. ~from:0. ~to_:1. () |]
+      ~init ~dt:0.25 ~min_time:50. ~probes:[| n |] ~t_end:300. ()
+  in
+  let values = trace.Engine.voltages.(0) in
+  checkf 1e-6 "starts high" 1. values.(0);
+  Alcotest.(check bool) "ends low" true
+    (values.(Array.length values - 1) < 0.05)
+
+let test_settle_early_exit () =
+  (* nothing happens: the simulation should stop well before t_end *)
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n = Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e |] in
+  let net = Engine.Build.finish b in
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  let trace =
+    Engine.simulate net ~inputs:[| W.dc 1. |] ~init ~dt:0.5 ~min_time:20.
+      ~probes:[| n |] ~t_end:100_000. ()
+  in
+  Alcotest.(check bool) "early exit" true
+    (Array.length trace.Engine.times < 1000)
+
+let test_strike_polarity () =
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n = Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e |] in
+  Engine.Build.add_cap b n 1.;
+  let net = Engine.Build.finish b in
+  (* input high -> output low; inject charge to kick it up *)
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  let trace =
+    Engine.simulate net ~inputs:[| W.dc 1. |] ~init
+      ~injections:[ Engine.{ inj_node = n; charge = 16.; t_start = 5.; into_node = true } ]
+      ~dt:0.25 ~probes:[| n |] ~t_end:500. ()
+  in
+  let peak =
+    Measure.peak_excursion ~times:trace.Engine.times
+      ~values:trace.Engine.voltages.(0) ~nominal:0.
+  in
+  Alcotest.(check bool) "glitch rose above half rail" true (peak > 0.5);
+  let final = trace.Engine.voltages.(0).(Array.length trace.Engine.times - 1) in
+  Alcotest.(check bool) "recovered" true (final < 0.1)
+
+(* ------------------------- characterisation ------------------------- *)
+
+let test_char_glitch_monotone () =
+  let w q = Char.generated_glitch_width inv ~cload:2. ~charge:q ~output_low:true in
+  checkf 0. "small charge no glitch" 0. (w 0.5);
+  Alcotest.(check bool) "monotone in charge" true (w 8. < w 16. && w 16. < w 32.)
+
+let test_char_glitch_trends () =
+  let w p = Char.generated_glitch_width p ~cload:2. ~charge:16. ~output_low:true in
+  let base = w inv in
+  Alcotest.(check bool) "size narrows" true (w (P.v ~size:4. Gate.Not 1) < base);
+  Alcotest.(check bool) "length widens" true (w (P.v ~length:200. Gate.Not 1) > base);
+  Alcotest.(check bool) "low vdd widens" true (w (P.v ~vdd:0.8 Gate.Not 1) > base);
+  Alcotest.(check bool) "high vth widens" true (w (P.v ~vth:0.3 Gate.Not 1) > base)
+
+let test_char_propagation_eq1_shape () =
+  (* the paper's Eq-1 regimes: narrow glitches die, wide pass unchanged *)
+  let d, _ = Char.delay_and_ramp inv ~cload:2. ~input_ramp:5. in
+  let narrow = Char.propagated_glitch_width inv ~cload:2. ~input_width:(0.5 *. d) in
+  checkf 0. "narrow killed" 0. narrow;
+  let wide_in = 8. *. d in
+  let wide = Char.propagated_glitch_width inv ~cload:2. ~input_width:wide_in in
+  Alcotest.(check bool)
+    (Printf.sprintf "wide preserved (%.1f -> %.1f)" wide_in wide)
+    true
+    (Float.abs (wide -. wide_in) /. wide_in < 0.25)
+
+let test_char_propagation_monotone () =
+  let w win = Char.propagated_glitch_width inv ~cload:2. ~input_width:win in
+  Alcotest.(check bool) "monotone in input width" true
+    (w 40. <= w 60. && w 60. <= w 100.)
+
+let test_char_delay_close_to_analytic () =
+  List.iter
+    (fun p ->
+      let cin = Ser_device.Gate_model.input_cap p in
+      let cload = 4. *. cin in
+      let d_t, r = Char.delay_and_ramp p ~cload ~input_ramp:20. in
+      let d_a = Ser_device.Gate_model.delay p ~input_ramp:20. ~cload in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.1f vs %.1f" (P.to_string p) d_t d_a)
+        true
+        (d_t /. d_a > 0.5 && d_t /. d_a < 2.0);
+      Alcotest.(check bool) "ramp positive" true (r > 0.))
+    [ inv; P.nominal Gate.Nand 2; P.nominal Gate.Nor 3; P.v ~size:4. Gate.Not 1 ]
+
+let test_sensitizing_dc () =
+  let nand = P.nominal Gate.Nand 3 in
+  let dc = Char.sensitizing_dc nand ~pin:1 in
+  Alcotest.(check bool) "side pins non-controlling (1 for NAND)" true
+    (dc.(0) && dc.(2));
+  Alcotest.(check bool) "active pin low" true (not dc.(1))
+
+(* ------------------------- elaborate ------------------------- *)
+
+let test_elaborate_counts () =
+  let count p =
+    let b = Engine.Build.create () in
+    let exts = Array.init p.P.fanin (fun _ -> Engine.Ext (Engine.Build.ext b)) in
+    let _ = Ser_spice.Elaborate.add_cell b p exts in
+    Engine.n_nodes (Engine.Build.finish b)
+  in
+  Alcotest.(check int) "not" 1 (count inv);
+  Alcotest.(check int) "nand3" 1 (count (P.nominal Gate.Nand 3));
+  Alcotest.(check int) "and2" 2 (count (P.nominal Gate.And 2));
+  Alcotest.(check int) "xor2 = 4 nands" 4 (count (P.nominal Gate.Xor 2));
+  Alcotest.(check int) "xnor2" 5 (count (P.nominal Gate.Xnor 2));
+  List.iter
+    (fun p ->
+      Alcotest.(check int) ("stage_count " ^ P.to_string p)
+        (Ser_spice.Elaborate.stage_count p) (count p))
+    [ inv; P.nominal Gate.And 3; P.nominal Gate.Xor 3; P.nominal Gate.Buf 1 ]
+
+let test_elaborate_logic () =
+  (* XOR expansion computes XOR at DC *)
+  let p = P.nominal Gate.Xor 2 in
+  let b = Engine.Build.create () in
+  let e0 = Engine.Build.ext b and e1 = Engine.Build.ext b in
+  let out = Ser_spice.Elaborate.add_cell b p [| Engine.Ext e0; Engine.Ext e1 |] in
+  let net = Engine.Build.finish b in
+  List.iter
+    (fun (a, c) ->
+      let v = Engine.dc_levels net ~ext_values:[| a; c |] in
+      let expect = if a <> c then 1. else 0. in
+      checkf 1e-9 (Printf.sprintf "xor %b %b" a c) expect v.(out))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+(* ------------------------- circuit sim ------------------------- *)
+
+let test_logic_values_match_bitsim () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let rng = Ser_rng.Rng.create 3 in
+  for _ = 1 to 20 do
+    let vec = Array.init 5 (fun _ -> Ser_rng.Rng.bool rng) in
+    let a = Ser_spice.Circuit_sim.logic_values c vec in
+    let b = Ser_logicsim.Bitsim.eval_vector c vec in
+    Alcotest.(check bool) "same logic" true (a = b)
+  done
+
+let test_strike_masked_vs_sensitized () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let assign _ = P.nominal Gate.Nand 2 in
+  (* with inputs 1,0,1,1,0: gate 6 ("11") strike is logically masked *)
+  let inputs = [| true; false; true; true; false |] in
+  let masked =
+    Ser_spice.Circuit_sim.strike_po_widths c ~assignment:assign
+      ~input_values:inputs ~strike:6
+  in
+  List.iter
+    (fun (_, w) -> checkf 1e-6 "masked width 0" 0. w)
+    masked;
+  let sensitized =
+    Ser_spice.Circuit_sim.strike_po_widths c ~assignment:assign
+      ~input_values:inputs ~strike:5
+  in
+  Alcotest.(check bool) "sensitized glitch visible" true
+    (List.exists (fun (_, w) -> w > 10.) sensitized)
+
+let dc_fixed_point_prop =
+  QCheck.Test.make ~name:"DC levels are fixed points of the dynamics" ~count:15
+    QCheck.(pair small_nat (int_range 1 4))
+    (fun (seed, depth) ->
+      (* random chain of inv/nand/nor stages with random DC inputs *)
+      let rng = Ser_rng.Rng.create (seed + 500) in
+      let b = Engine.Build.create () in
+      let e0 = Engine.Build.ext b and e1 = Engine.Build.ext b in
+      let prev = ref (Engine.Ext e0) in
+      for _ = 1 to depth do
+        let prim =
+          Ser_rng.Rng.choose rng [| Engine.Inv; Engine.Nand_p; Engine.Nor_p |]
+        in
+        let cell =
+          match prim with
+          | Engine.Inv -> inv
+          | Engine.Nand_p -> P.nominal Gate.Nand 2
+          | Engine.Nor_p -> P.nominal Gate.Nor 2
+        in
+        let ins =
+          match prim with
+          | Engine.Inv -> [| !prev |]
+          | Engine.Nand_p | Engine.Nor_p -> [| !prev; Engine.Ext e1 |]
+        in
+        prev := Engine.Node (Engine.Build.add_stage b prim cell ins)
+      done;
+      let net = Engine.Build.finish b in
+      let ev = [| Ser_rng.Rng.bool rng; Ser_rng.Rng.bool rng |] in
+      let init = Engine.dc_levels net ~ext_values:ev in
+      let inputs = Array.map (fun v -> W.dc (if v then 1. else 0.)) ev in
+      let trace =
+        Engine.simulate net ~inputs ~init ~dt:0.5 ~min_time:20.
+          ~t_end:400. ()
+      in
+      (* every node must stay within 100 mV of its DC level *)
+      let ok = ref true in
+      Array.iteri
+        (fun k tr ->
+          Array.iter
+            (fun v -> if Float.abs (v -. init.(k)) > 0.1 then ok := false)
+            tr)
+        trace.Engine.voltages;
+      !ok)
+
+let test_strike_rejects_inputs () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let assign _ = P.nominal Gate.Nand 2 in
+  try
+    ignore
+      (Ser_spice.Circuit_sim.strike_po_widths c ~assignment:assign
+         ~input_values:(Array.make 5 false) ~strike:0);
+    Alcotest.fail "PI strike accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "ser_spice"
+    [
+      ( "waveform",
+        [
+          Alcotest.test_case "dc" `Quick test_dc;
+          Alcotest.test_case "pwl" `Quick test_pwl;
+          Alcotest.test_case "step/glitch" `Quick test_step_glitch;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "time above/below" `Quick test_time_above;
+          Alcotest.test_case "glitch width convention" `Quick test_glitch_width_convention;
+          Alcotest.test_case "first crossing" `Quick test_first_crossing;
+          Alcotest.test_case "transition time" `Quick test_transition_time;
+          Alcotest.test_case "peak excursion" `Quick test_peak_excursion;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "dc levels" `Quick test_dc_levels;
+          Alcotest.test_case "build validation" `Quick test_build_validation;
+          Alcotest.test_case "inverter switches" `Quick test_inverter_switching;
+          Alcotest.test_case "settle early exit" `Quick test_settle_early_exit;
+          Alcotest.test_case "strike and recovery" `Quick test_strike_polarity;
+        ] );
+      ( "characterisation",
+        [
+          Alcotest.test_case "glitch monotone in charge" `Quick test_char_glitch_monotone;
+          Alcotest.test_case "Fig-1 trends (transient)" `Quick test_char_glitch_trends;
+          Alcotest.test_case "Eq-1 shape" `Quick test_char_propagation_eq1_shape;
+          Alcotest.test_case "propagation monotone" `Quick test_char_propagation_monotone;
+          Alcotest.test_case "delay vs analytic" `Quick test_char_delay_close_to_analytic;
+          Alcotest.test_case "sensitizing DC" `Quick test_sensitizing_dc;
+        ] );
+      ( "elaborate",
+        [
+          Alcotest.test_case "stage counts" `Quick test_elaborate_counts;
+          Alcotest.test_case "xor logic" `Quick test_elaborate_logic;
+        ] );
+      ( "circuit sim",
+        [
+          Alcotest.test_case "logic values" `Quick test_logic_values_match_bitsim;
+          Alcotest.test_case "masking visible" `Quick test_strike_masked_vs_sensitized;
+          QCheck_alcotest.to_alcotest dc_fixed_point_prop;
+          Alcotest.test_case "rejects PI strikes" `Quick test_strike_rejects_inputs;
+        ] );
+    ]

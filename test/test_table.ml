@@ -1,0 +1,133 @@
+module Lut = Ser_table.Lut
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let t1d () =
+  Lut.create ~axes:[| [| 0.; 1.; 2. |] |] ~values:[| 10.; 20.; 40. |]
+
+let test_1d_grid_points () =
+  let t = t1d () in
+  checkf "at 0" 10. (Lut.eval1 t 0.);
+  checkf "at 1" 20. (Lut.eval1 t 1.);
+  checkf "at 2" 40. (Lut.eval1 t 2.)
+
+let test_1d_interp () =
+  let t = t1d () in
+  checkf "mid 0-1" 15. (Lut.eval1 t 0.5);
+  checkf "mid 1-2" 30. (Lut.eval1 t 1.5);
+  checkf "quarter" 12.5 (Lut.eval1 t 0.25)
+
+let test_1d_clamp () =
+  let t = t1d () in
+  checkf "below" 10. (Lut.eval1 t (-5.));
+  checkf "above" 40. (Lut.eval1 t 100.)
+
+let test_2d_bilinear () =
+  (* f(x,y) = x + 10y sampled on a grid is reproduced exactly *)
+  let t =
+    Lut.build
+      ~axes:[| [| 0.; 1.; 3. |]; [| 0.; 2. |] |]
+      ~f:(fun q -> q.(0) +. (10. *. q.(1)))
+  in
+  checkf6 "corner" 0. (Lut.eval2 t 0. 0.);
+  checkf6 "interior" (0.5 +. 10.) (Lut.eval2 t 0.5 1.);
+  checkf6 "edge" (2. +. 20.) (Lut.eval2 t 2. 2.)
+
+let multilinear_prop =
+  (* any affine function is reproduced exactly by multilinear
+     interpolation inside the grid *)
+  QCheck.Test.make ~name:"3-D multilinear reproduces affine functions" ~count:100
+    QCheck.(
+      quad (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range (-2.) 2.)
+        (triple (float_range 0. 1.) (float_range 0. 2.) (float_range 0. 3.)))
+    (fun (a, b, c, (x, y, z)) ->
+      let f q = 1. +. (a *. q.(0)) +. (b *. q.(1)) +. (c *. q.(2)) in
+      let t =
+        Lut.build
+          ~axes:[| [| 0.; 0.4; 1. |]; [| 0.; 1.; 2. |]; [| 0.; 1.5; 3. |] |]
+          ~f
+      in
+      let got = Lut.eval t [| x; y; z |] in
+      let want = f [| x; y; z |] in
+      Float.abs (got -. want) < 1e-9)
+
+let test_singleton_axis () =
+  let t =
+    Lut.create ~axes:[| [| 5. |]; [| 0.; 1. |] |] ~values:[| 1.; 3. |]
+  in
+  checkf "constant along singleton" 2. (Lut.eval t [| 99.; 0.5 |])
+
+let test_validation () =
+  Alcotest.check_raises "non-increasing axis"
+    (Invalid_argument "Lut.create: axis not strictly increasing") (fun () ->
+      ignore (Lut.create ~axes:[| [| 1.; 1. |] |] ~values:[| 0.; 0. |]));
+  Alcotest.check_raises "empty axis" (Invalid_argument "Lut.create: empty axis")
+    (fun () -> ignore (Lut.create ~axes:[| [||] |] ~values:[||]));
+  Alcotest.check_raises "wrong count"
+    (Invalid_argument "Lut.create: value count does not match grid size")
+    (fun () -> ignore (Lut.create ~axes:[| [| 0.; 1. |] |] ~values:[| 0. |]));
+  let t = t1d () in
+  Alcotest.check_raises "arity" (Invalid_argument "Lut.eval: arity mismatch")
+    (fun () -> ignore (Lut.eval t [| 0.; 0. |]))
+
+let test_grid_value () =
+  let t = t1d () in
+  checkf "index 2" 40. (Lut.grid_value t [| 2 |]);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Lut.grid_value: index out of range") (fun () ->
+      ignore (Lut.grid_value t [| 3 |]))
+
+let test_map_merge () =
+  let t = t1d () in
+  let doubled = Lut.map (fun v -> 2. *. v) t in
+  checkf "map" 40. (Lut.eval1 doubled 1.);
+  let sum = Lut.merge ( +. ) t doubled in
+  checkf "merge" 60. (Lut.eval1 sum 1.);
+  let other = Lut.create ~axes:[| [| 0.; 9. |] |] ~values:[| 0.; 0. |] in
+  Alcotest.check_raises "grid mismatch" (Invalid_argument "Lut.merge: grid mismatch")
+    (fun () -> ignore (Lut.merge ( +. ) t other))
+
+let test_dims_axes () =
+  let t = t1d () in
+  Alcotest.(check int) "dims" 1 (Lut.dims t);
+  let axes = Lut.axes t in
+  checkf "axis copy" 2. axes.(0).(2)
+
+let test_interpolate_1d () =
+  let xs = [| 0.; 10.; 20. |] and ys = [| 0.; 100.; 150. |] in
+  checkf "mid" 50. (Lut.interpolate_1d ~xs ~ys 5.);
+  checkf "clamped low" 0. (Lut.interpolate_1d ~xs ~ys (-1.));
+  checkf "clamped high" 150. (Lut.interpolate_1d ~xs ~ys 99.);
+  checkf "singleton" 7. (Lut.interpolate_1d ~xs:[| 1. |] ~ys:[| 7. |] 42.)
+
+let build_eval_prop =
+  QCheck.Test.make ~name:"build samples f exactly at grid points" ~count:50
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let f q = (a *. q.(0) *. q.(0)) +. b in
+      let axes = [| [| -1.; 0.; 2.; 3. |] |] in
+      let t = Lut.build ~axes ~f in
+      Array.for_all
+        (fun x -> Float.abs (Lut.eval1 t x -. f [| x |]) < 1e-9)
+        axes.(0))
+
+let () =
+  Alcotest.run "ser_table"
+    [
+      ( "lut",
+        [
+          Alcotest.test_case "1d grid points" `Quick test_1d_grid_points;
+          Alcotest.test_case "1d interpolation" `Quick test_1d_interp;
+          Alcotest.test_case "1d clamping" `Quick test_1d_clamp;
+          Alcotest.test_case "2d bilinear" `Quick test_2d_bilinear;
+          QCheck_alcotest.to_alcotest multilinear_prop;
+          Alcotest.test_case "singleton axis" `Quick test_singleton_axis;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "grid_value" `Quick test_grid_value;
+          Alcotest.test_case "map/merge" `Quick test_map_merge;
+          Alcotest.test_case "dims/axes" `Quick test_dims_axes;
+          Alcotest.test_case "interpolate_1d" `Quick test_interpolate_1d;
+          QCheck_alcotest.to_alcotest build_eval_prop;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+module F = Ser_util.Floatx
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_clamp () =
+  check_float "below" 1. (F.clamp ~lo:1. ~hi:2. 0.);
+  check_float "above" 2. (F.clamp ~lo:1. ~hi:2. 3.);
+  check_float "inside" 1.5 (F.clamp ~lo:1. ~hi:2. 1.5);
+  check_float "at lo" 1. (F.clamp ~lo:1. ~hi:2. 1.);
+  check_float "degenerate" 5. (F.clamp ~lo:5. ~hi:5. 9.)
+
+let test_lerp () =
+  check_float "t=0" 3. (F.lerp 3. 7. 0.);
+  check_float "t=1" 7. (F.lerp 3. 7. 1.);
+  check_float "t=0.5" 5. (F.lerp 3. 7. 0.5);
+  check_float "extrapolate" 11. (F.lerp 3. 7. 2.)
+
+let test_inv_lerp () =
+  check_float "mid" 0.5 (F.inv_lerp 2. 4. 3.);
+  check_float "lo" 0. (F.inv_lerp 2. 4. 2.);
+  check_float "hi" 1. (F.inv_lerp 2. 4. 4.);
+  check_float "degenerate" 0. (F.inv_lerp 2. 2. 9.)
+
+let test_is_close () =
+  Alcotest.(check bool) "equal" true (F.is_close 1. 1.);
+  Alcotest.(check bool) "close" true (F.is_close 1. (1. +. 1e-12));
+  Alcotest.(check bool) "far" false (F.is_close 1. 1.1);
+  Alcotest.(check bool) "atol" true (F.is_close ~atol:0.2 1. 1.1)
+
+let test_linspace () =
+  let a = F.linspace 0. 10. 5 in
+  Alcotest.(check int) "count" 5 (Array.length a);
+  check_float "first" 0. a.(0);
+  check_float "last" 10. a.(4);
+  check_float "step" 2.5 a.(1);
+  let single = F.linspace 3. 9. 1 in
+  check_float "single" 3. single.(0)
+
+let test_logspace () =
+  let a = F.logspace 1. 100. 3 in
+  check_float "first" 1. a.(0);
+  Alcotest.(check (float 1e-9)) "mid" 10. a.(1);
+  Alcotest.(check (float 1e-9)) "last" 100. a.(2)
+
+let test_kahan_sum () =
+  (* catastrophic cancellation that naive summation gets wrong *)
+  let xs = Array.make 10_000 0.1 in
+  check_float "sum" 1000. (F.sum xs);
+  check_float "empty" 0. (F.sum [||])
+
+let test_mean_stddev () =
+  check_float "mean" 2. (F.mean [| 1.; 2.; 3. |]);
+  check_float "stddev" (sqrt (2. /. 3.)) (F.stddev [| 1.; 2.; 3. |]);
+  Alcotest.(check bool) "mean empty nan" true (Float.is_nan (F.mean [||]))
+
+let test_minmax () =
+  check_float "min" (-2.) (F.array_min [| 3.; -2.; 7. |]);
+  check_float "max" 7. (F.array_max [| 3.; -2.; 7. |]);
+  Alcotest.check_raises "empty min" (Invalid_argument "Floatx.array_min: empty")
+    (fun () -> ignore (F.array_min [||]))
+
+let test_fold_range () =
+  Alcotest.(check int) "sum 0..4" 10 (F.fold_range 5 ~init:0 ~f:( + ));
+  Alcotest.(check int) "empty" 7 (F.fold_range 0 ~init:7 ~f:( + ))
+
+let test_bracket () =
+  let axis = [| 0.; 1.; 2.; 5. |] in
+  Alcotest.(check int) "inside" 1 (F.binary_search_bracket axis 1.5);
+  Alcotest.(check int) "below" 0 (F.binary_search_bracket axis (-3.));
+  Alcotest.(check int) "above" 2 (F.binary_search_bracket axis 100.);
+  Alcotest.(check int) "at knot" 1 (F.binary_search_bracket axis 1.);
+  Alcotest.(check int) "last knot" 2 (F.binary_search_bracket axis 5.)
+
+let bracket_prop =
+  QCheck.Test.make ~name:"bracket contains query (clamped)" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 2 10) (float_range 0. 100.)) (float_range (-10.) 110.))
+    (fun (raw, q) ->
+      let axis = Array.copy raw in
+      Array.sort compare axis;
+      (* dedupe to keep strictly increasing *)
+      let uniq =
+        Array.to_list axis
+        |> List.sort_uniq compare
+        |> Array.of_list
+      in
+      QCheck.assume (Array.length uniq >= 2);
+      let i = F.binary_search_bracket uniq q in
+      let qc = F.clamp ~lo:uniq.(0) ~hi:uniq.(Array.length uniq - 1) q in
+      i >= 0
+      && i < Array.length uniq - 1
+      && uniq.(i) <= qc +. 1e-9
+      && qc <= uniq.(i + 1) +. 1e-9)
+
+let test_heap_order () =
+  let h = Ser_util.Heap.create () in
+  List.iter (fun (p, v) -> Ser_util.Heap.push h p v)
+    [ (1., "a"); (5., "b"); (3., "c"); (4., "d"); (2., "e") ];
+  Alcotest.(check int) "size" 5 (Ser_util.Heap.size h);
+  let order = ref [] in
+  let rec drain () =
+    match Ser_util.Heap.pop_max h with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "descending priority" [ "a"; "e"; "c"; "d"; "b" ]
+    !order;
+  Alcotest.(check bool) "empty" true (Ser_util.Heap.is_empty h)
+
+let heap_sort_prop =
+  QCheck.Test.make ~name:"heap pops in non-increasing priority" ~count:200
+    QCheck.(list (float_range (-100.) 100.))
+    (fun xs ->
+      let h = Ser_util.Heap.create () in
+      List.iter (fun x -> Ser_util.Heap.push h x ()) xs;
+      let popped = ref [] in
+      let rec drain () =
+        match Ser_util.Heap.pop_max h with
+        | Some (p, ()) ->
+          popped := p :: !popped;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      (* popped is built reversed, so it should be non-decreasing *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      List.length !popped = List.length xs && sorted !popped)
+
+let test_heap_peek () =
+  let h = Ser_util.Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Ser_util.Heap.peek_max h = None);
+  Ser_util.Heap.push h 2. "x";
+  Ser_util.Heap.push h 9. "y";
+  (match Ser_util.Heap.peek_max h with
+  | Some (p, v) ->
+    check_float "peek priority" 9. p;
+    Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek preserves size" 2 (Ser_util.Heap.size h)
+
+let test_ascii_table () =
+  let t = Ser_util.Ascii_table.create [ "a"; "bb" ] in
+  Ser_util.Ascii_table.add_row t [ "1"; "2" ];
+  Ser_util.Ascii_table.add_separator t;
+  Ser_util.Ascii_table.add_row t [ "333" ];
+  let s = Ser_util.Ascii_table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "|");
+  Alcotest.(check int) "five lines" 5
+    (List.length (String.split_on_char '\n' (String.trim s)));
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Ascii_table.add_row: too many cells") (fun () ->
+      Ser_util.Ascii_table.add_row t [ "1"; "2"; "3" ])
+
+let test_units () =
+  check_float "ns" 0.5 (Ser_util.Units.ns_of_ps 500.);
+  check_float "fs" 1500. (Ser_util.Units.fs_of_ps 1.5);
+  check_float "pf" 2. (Ser_util.Units.pf_of_ff 2000.);
+  check_float "ua" 3000. (Ser_util.Units.ua_of_ma 3.)
+
+let () =
+  Alcotest.run "ser_util"
+    [
+      ( "floatx",
+        [
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "lerp" `Quick test_lerp;
+          Alcotest.test_case "inv_lerp" `Quick test_inv_lerp;
+          Alcotest.test_case "is_close" `Quick test_is_close;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "min/max" `Quick test_minmax;
+          Alcotest.test_case "fold_range" `Quick test_fold_range;
+          Alcotest.test_case "bracket" `Quick test_bracket;
+          QCheck_alcotest.to_alcotest bracket_prop;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          QCheck_alcotest.to_alcotest heap_sort_prop;
+        ] );
+      ( "ascii_table",
+        [ Alcotest.test_case "render" `Quick test_ascii_table ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+    ]
