@@ -3,13 +3,37 @@
    Circuits are named either by benchmark name (c17, c432, ... -- the
    synthetic ISCAS'85-alikes) or by a path to an ISCAS .bench file. *)
 
-(* user-facing failures (bad file, unknown name) become clean cmdliner
-   errors instead of "internal error" traces *)
+(* Exit codes, so scripts can tell failure classes apart:
+   0 success (including budget-degraded results -- they are still valid),
+   2 input/parse errors (bad file, unknown circuit, malformed flags),
+   3 numerical failures (spice/aserta diagnostics),
+   4 budget diagnostics surfaced as errors. *)
+let exit_ok = 0
+let exit_input = 2
+let exit_numerical = 3
+let exit_budget = 4
+
+let exit_code_of_diag (d : Ser_util.Diag.t) =
+  match d.Ser_util.Diag.subsystem with
+  | "spice" | "cell" | "aserta" | "sertopt" -> exit_numerical
+  | "budget" -> exit_budget
+  | _ -> exit_input
+
+let render_diag d = prerr_endline ("sertool: " ^ Ser_util.Diag.to_string d)
+
+(* user-facing failures (bad file, unknown name, located diagnostics)
+   become a one-line stderr message and a classed exit code instead of
+   "internal error" traces *)
 let wrap f =
   try f () with
-  | Failure msg -> `Error (false, msg)
-  | Invalid_argument msg -> `Error (false, msg)
-  | Sys_error msg -> `Error (false, msg)
+  | Ser_util.Diag.Diag_error d ->
+    render_diag d;
+    `Ok (exit_code_of_diag d)
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+    prerr_endline ("sertool: error: " ^ msg);
+    `Ok exit_input
+
+let or_diag = function Ok v -> v | Error d -> raise (Ser_util.Diag.Diag_error d)
 
 let load_circuit spec =
   if Sys.file_exists spec then
@@ -20,7 +44,7 @@ let load_circuit spec =
     in
     match parse spec with
     | Ok c -> c
-    | Error msg -> failwith (Printf.sprintf "%s: %s" spec msg)
+    | Error d -> raise (Ser_util.Diag.Diag_error d)
   else if List.mem spec Ser_circuits.Iscas.names then
     Ser_circuits.Iscas.load spec
   else
@@ -46,12 +70,12 @@ let info_cmd spec =
   Format.printf "%s:@.%a@." c.Ser_netlist.Circuit.name
     Ser_netlist.Circuit.pp_stats
     (Ser_netlist.Circuit.stats c);
-  `Ok ()
+  `Ok exit_ok
 
 let generate_cmd name seed format output =
   wrap @@ fun () ->
   if not (List.mem name Ser_circuits.Iscas.names) then
-    `Error (false, Printf.sprintf "unknown benchmark %S" name)
+    failwith (Printf.sprintf "unknown benchmark %S" name)
   else begin
     let c = Ser_circuits.Iscas.load ~seed name in
     let render =
@@ -69,7 +93,7 @@ let generate_cmd name seed format output =
       Printf.printf "wrote %s (%d gates)\n" path
         (Ser_netlist.Circuit.gate_count c)
     | None -> print_string (render c));
-    `Ok ()
+    `Ok exit_ok
   end
 
 let analyze_cmd spec vectors charge top vdds vths json dot =
@@ -82,7 +106,7 @@ let analyze_cmd spec vectors charge top vdds vths json dot =
       Aserta.Analysis.vectors; charge }
   in
   let t0 = Unix.gettimeofday () in
-  let r = Aserta.Analysis.run ~config lib asg in
+  let r = or_diag (Aserta.Analysis.run_checked ~config lib asg) in
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "circuit %s: %d gates, critical delay %.1f ps\n"
     c.Ser_netlist.Circuit.name
@@ -138,9 +162,10 @@ let analyze_cmd spec vectors charge top vdds vths json dot =
     Ser_netlist.Dot_export.write_dot ~annotation path c;
     Printf.printf "wrote %s\n" path
   | None -> ());
-  `Ok ()
+  `Ok exit_ok
 
-let optimize_cmd spec vectors evals greedy vdds vths output json =
+let optimize_cmd spec vectors evals greedy vdds vths budget_evals timeout
+    checkpoint output json =
   wrap @@ fun () ->
   let c = load_circuit spec in
   let lib = make_library vdds vths in
@@ -154,8 +179,26 @@ let optimize_cmd spec vectors evals greedy vdds vths output json =
       greedy_passes = greedy;
     }
   in
+  let budget =
+    match (budget_evals, timeout) with
+    | None, None -> None
+    | _ ->
+      Some (Ser_util.Budget.create ?max_evals:budget_evals ?max_seconds:timeout ())
+  in
+  let initial =
+    match checkpoint with
+    | Some path when Sys.file_exists path ->
+      let cp = or_diag (Sertopt.Checkpoint.restore path ~base:baseline) in
+      Printf.printf "resuming from checkpoint %s (%d evals%s)\n" path
+        cp.Sertopt.Checkpoint.evals
+        (match cp.Sertopt.Checkpoint.cost with
+        | Some v -> Printf.sprintf ", cost %.4f" v
+        | None -> "");
+      Some cp.Sertopt.Checkpoint.assignment
+    | _ -> None
+  in
   let t0 = Unix.gettimeofday () in
-  let r = Sertopt.Optimizer.optimize ~config:cfg lib baseline in
+  let r = Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline in
   let dt = Unix.gettimeofday () -. t0 in
   let b = r.Sertopt.Optimizer.baseline_metrics in
   let o = r.Sertopt.Optimizer.optimized_metrics in
@@ -166,6 +209,20 @@ let optimize_cmd spec vectors evals greedy vdds vths output json =
   Printf.printf "area %.2fX  energy %.2fX  delay %.2fX  (%d cost evals, %.1f s)\n"
     rat.Sertopt.Cost.area rat.Sertopt.Cost.energy rat.Sertopt.Cost.delay
     r.Sertopt.Optimizer.evals dt;
+  if r.Sertopt.Optimizer.degraded then
+    print_endline
+      "budget exhausted: result is the best incumbent found so far (degraded)";
+  (match checkpoint with
+  | None -> ()
+  | Some path ->
+    let cost =
+      Sertopt.Cost.eval ~weights:cfg.Sertopt.Optimizer.weights
+        ~delay_slack:cfg.Sertopt.Optimizer.delay_slack ~baseline:b o
+    in
+    or_diag
+      (Sertopt.Checkpoint.save path ~cost ~evals:r.Sertopt.Optimizer.evals
+         r.Sertopt.Optimizer.optimized);
+    Printf.printf "wrote checkpoint %s\n" path);
   Format.printf "%a@."
     Sertopt.Optimizer.pp_knob_summary
     (Sertopt.Optimizer.knob_summary r);
@@ -187,7 +244,7 @@ let optimize_cmd spec vectors evals greedy vdds vths output json =
     Ser_repro.Report.write path (Ser_repro.Report.optimization_to_json r);
     Printf.printf "wrote %s\n" path
   | None -> ());
-  `Ok ()
+  `Ok exit_ok
 
 let rate_cmd spec vectors clock q_slope top =
   wrap @@ fun () ->
@@ -220,7 +277,7 @@ let rate_cmd spec vectors clock q_slope top =
           r.Aserta.Ser_rate.per_gate.(id)
           (100. *. r.Aserta.Ser_rate.per_gate.(id) /. r.Aserta.Ser_rate.total))
     idx;
-  `Ok ()
+  `Ok exit_ok
 
 let harden_cmd spec method_ fraction output =
   wrap @@ fun () ->
@@ -251,7 +308,7 @@ let harden_cmd spec method_ fraction output =
     Ser_netlist.Bench_format.write_file path hardened;
     Printf.printf "wrote %s\n" path
   | None -> print_string (Ser_netlist.Bench_format.to_string hardened));
-  `Ok ()
+  `Ok exit_ok
 
 let pipeline_cmd spec stages clock =
   wrap @@ fun () ->
@@ -276,7 +333,7 @@ let pipeline_cmd spec stages clock =
     r.Ser_pipeline.Pipeline.stage_ser;
   Printf.printf "  %-24s SER %10.2f\n" "flip-flops" r.Ser_pipeline.Pipeline.ff_ser;
   Printf.printf "  %-24s SER %10.2f\n" "total" r.Ser_pipeline.Pipeline.total;
-  `Ok ()
+  `Ok exit_ok
 
 let timing_cmd spec n_paths vdds vths =
   wrap @@ fun () ->
@@ -309,7 +366,7 @@ let timing_cmd spec n_paths vdds vths =
         path;
       print_newline ())
     paths;
-  `Ok ()
+  `Ok exit_ok
 
 let export_deck_cmd spec strike vector charge output =
   wrap @@ fun () ->
@@ -338,25 +395,25 @@ let export_deck_cmd spec strike vector charge output =
   Ser_spice.Deck_export.write_strike_deck ~config output c
     ~assignment:(Ser_sta.Assignment.get asg) ~input_values ~strike:strike_id;
   Printf.printf "wrote %s (strike on %s)\n" output strike;
-  `Ok ()
+  `Ok exit_ok
 
 let export_lib_cmd kind fanin output =
   wrap @@ fun () ->
   match Ser_netlist.Gate.of_string kind with
   | None | Some Ser_netlist.Gate.Input ->
-    `Error (false, Printf.sprintf "unknown gate kind %S" kind)
+    failwith (Printf.sprintf "unknown gate kind %S" kind)
   | Some k ->
     let lib = Ser_cell.Library.create () in
     let cells = Ser_cell.Library.variants lib k fanin in
     Ser_cell.Liberty_export.write output lib ~cells;
     Printf.printf "wrote %s (%d cells)\n" output (List.length cells);
-    `Ok ()
+    `Ok exit_ok
 
 let characterize_cmd kind fanin size length vdd vth =
   wrap @@ fun () ->
   match Ser_netlist.Gate.of_string kind with
   | None | Some Ser_netlist.Gate.Input ->
-    `Error (false, Printf.sprintf "unknown gate kind %S" kind)
+    failwith (Printf.sprintf "unknown gate kind %S" kind)
   | Some k ->
     let p = Ser_device.Cell_params.v ~size ~length ~vdd ~vth k fanin in
     Printf.printf "cell %s\n" (Ser_device.Cell_params.to_string p);
@@ -380,7 +437,7 @@ let characterize_cmd kind fanin size length vdd vth =
       Ser_spice.Char.generated_glitch_width p ~cload ~charge:16. ~output_low:true
     in
     Printf.printf "  glitch @16fC: %.1f ps analytic, %.1f ps transient\n" w_a w_t;
-    `Ok ()
+    `Ok exit_ok
 
 (* ------------------------------------------------------------------ *)
 
@@ -461,9 +518,25 @@ let optimize_t =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Export the optimization report as JSON.")
   in
+  let budget_evals =
+    Arg.(value & opt (some int) None & info [ "budget-evals" ] ~docv:"N"
+           ~doc:"Hard cap on cost evaluations; the best-so-far incumbent is \
+                 returned (flagged degraded) when it is hit.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline; the best-so-far incumbent is returned \
+                 (flagged degraded) when it expires.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Resume from FILE if it exists, and write the final \
+                 assignment back to it (JSON incumbent).")
+  in
   Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
     Term.(ret (const optimize_cmd $ circuit_arg $ vectors $ evals $ greedy
-               $ vdds_arg $ vths_arg $ output $ json))
+               $ vdds_arg $ vths_arg $ budget_evals $ timeout $ checkpoint
+               $ output $ json))
 
 let export_deck_t =
   let strike =
@@ -583,4 +656,4 @@ let main =
     [ info_t; generate_t; analyze_t; optimize_t; rate_t; timing_t; pipeline_t;
       harden_t; characterize_t; export_deck_t; export_lib_t ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -249,6 +249,47 @@ let run ?(config = default_config) lib asg =
   let masking = compute_masking config (Assignment.circuit asg) in
   run_electrical config lib asg masking
 
+let fail fmt = Ser_util.Diag.fail ~subsystem:"aserta" fmt
+
+let run_checked ?(config = default_config) lib asg =
+  Ser_util.Diag.guard ~subsystem:"aserta" (fun () ->
+      if config.vectors < 1 then
+        fail "config.vectors must be >= 1 (got %d)" config.vectors;
+      if (not (Float.is_finite config.charge)) || config.charge <= 0. then
+        fail "config.charge must be finite and positive (got %g)" config.charge;
+      if config.n_samples < 2 then
+        fail "config.n_samples must be >= 2 (got %d)" config.n_samples;
+      if
+        (not (Float.is_finite config.max_sample_width))
+        || config.max_sample_width <= 0.
+      then
+        fail "config.max_sample_width must be finite and positive (got %g)"
+          config.max_sample_width;
+      let t = run ~config lib asg in
+      (* unreliability is a sum of probability-weighted widths: it must
+         come out finite and non-negative. Sub-epsilon negatives are
+         floating-point noise from the interpolation and are clamped;
+         anything else is a real numerical failure. *)
+      let c = Assignment.circuit asg in
+      let unreliability =
+        Array.mapi
+          (fun id u ->
+            if not (Float.is_finite u) then
+              Ser_util.Diag.fail ~subsystem:"aserta"
+                ~context:[ Ser_util.Diag.gate (Circuit.node c id).Circuit.name ]
+                "non-finite per-gate unreliability"
+            else if u < -1e-9 then
+              Ser_util.Diag.fail ~subsystem:"aserta"
+                ~context:[ Ser_util.Diag.gate (Circuit.node c id).Circuit.name ]
+                "negative per-gate unreliability %g" u
+            else Float.max 0. u)
+          t.unreliability
+      in
+      let total = Array.fold_left ( +. ) 0. unreliability in
+      if not (Float.is_finite total) then
+        fail "non-finite total unreliability";
+      { t with unreliability; total })
+
 let successor_weight t ~gate ~succ ~po =
   pi_weight t.circuit t.masking ~gate ~succ ~po
 

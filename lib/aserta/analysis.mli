@@ -106,6 +106,18 @@ val run :
   ?config:config -> Ser_cell.Library.t -> Ser_sta.Assignment.t -> t
 (** [compute_masking] followed by [run_electrical]. *)
 
+val run_checked :
+  ?config:config ->
+  Ser_cell.Library.t ->
+  Ser_sta.Assignment.t ->
+  (t, Ser_util.Diag.t) result
+(** {!run} behind validation: rejects a nonsensical [config] (vectors
+    < 1, non-finite or non-positive charge, < 2 samples, bad top
+    sample) and a numerically poisoned answer (non-finite or negative
+    per-gate unreliability) with a located diagnostic instead of an
+    exception or silent NaN. Sub-epsilon negative [U_i] from
+    interpolation round-off is clamped to 0 and [total] re-summed. *)
+
 val sample_widths : config -> float array
 (** The sample glitch-width grid used by the electrical pass
     (geometric, topped by [max_sample_width]). *)

@@ -44,12 +44,41 @@ type t = {
   mutable timing_cache : tables Pmap.t;
   mutable glitch_cache : (Lut.t * Lut.t) Pmap.t;
       (* (node_cap, charge) grids for output_low = (true, false) *)
+  diags : Ser_util.Diag.Collector.t;
+  mutable flagged_points : int;
 }
 
 let create ?(backend = Analytic) ?(axes = default_axes) () =
   if axes.sizes = [] || axes.lengths = [] || axes.vdds = [] || axes.vths = []
   then invalid_arg "Library.create: empty axis";
-  { backend; ax = axes; timing_cache = Pmap.empty; glitch_cache = Pmap.empty }
+  {
+    backend;
+    ax = axes;
+    timing_cache = Pmap.empty;
+    glitch_cache = Pmap.empty;
+    diags = Ser_util.Diag.Collector.create ();
+    flagged_points = 0;
+  }
+
+let diagnostics t = Ser_util.Diag.Collector.list t.diags
+let flagged_points t = t.flagged_points
+
+(* A characterisation point whose transient needed guardrail
+   interventions is recorded; a point that is still non-finite falls
+   back to the analytic model rather than poisoning the table. *)
+let note_flagged t p ~what ~q (health : Ser_spice.Engine.health) =
+  t.flagged_points <- t.flagged_points + 1;
+  Ser_util.Diag.Collector.add t.diags
+    (Ser_util.Diag.make ~severity:Ser_util.Diag.Warning ~subsystem:"cell"
+       ~context:
+         [
+           ("cell", Cell_params.to_string p);
+           ("point", q);
+           ("retries", string_of_int health.Ser_spice.Engine.retries);
+           ("fallbacks", string_of_int health.Ser_spice.Engine.fallbacks);
+           ("rejects", string_of_int health.Ser_spice.Engine.rejects);
+         ]
+       (what ^ " characterisation point needed numerical intervention"))
 
 let backend t = t.backend
 let axes t = t.ax
@@ -111,7 +140,16 @@ let timing_tables t p =
   | None ->
     let axes = [| ramp_axis; cload_axis p |] in
     let measure q =
-      Ser_spice.Char.delay_and_ramp p ~cload:q.(1) ~input_ramp:q.(0)
+      let (d, r), health =
+        Ser_spice.Char.delay_and_ramp_h p ~cload:q.(1) ~input_ramp:q.(0)
+      in
+      let point = Printf.sprintf "ramp=%g cload=%g" q.(0) q.(1) in
+      if health.Ser_spice.Engine.flagged then
+        note_flagged t p ~what:"timing" ~q:point health;
+      if Float.is_finite d && Float.is_finite r then (d, r)
+      else
+        ( Gate_model.delay p ~input_ramp:q.(0) ~cload:q.(1),
+          Gate_model.output_ramp p ~input_ramp:q.(0) ~cload:q.(1) )
     in
     (* sample once per grid point, share between both tables *)
     let cache = Hashtbl.create 64 in
@@ -153,8 +191,17 @@ let glitch_tables t p =
           (* the char harness takes the external load; subtract our own
              junction contribution from the requested node capacitance *)
           let cload = Float.max 0.05 (q.(0) -. Gate_model.output_cap p) in
-          Ser_spice.Char.generated_glitch_width p ~cload ~charge:q.(1)
-            ~output_low)
+          let w, health =
+            Ser_spice.Char.generated_glitch_width_h p ~cload ~charge:q.(1)
+              ~output_low
+          in
+          let point = Printf.sprintf "ncap=%g charge=%g" q.(0) q.(1) in
+          if health.Ser_spice.Engine.flagged then
+            note_flagged t p ~what:"glitch" ~q:point health;
+          if Float.is_finite w then w
+          else
+            Gate_model.generated_glitch_width p ~node_cap:q.(0)
+              ~charge:q.(1) ~output_low)
     in
     let tb = (build true, build false) in
     t.glitch_cache <- Pmap.add p tb t.glitch_cache;

@@ -80,3 +80,14 @@ val generated_glitch_width :
 
 val warm_cache_size : t -> int
 (** Number of memoised characterisation tables (for tests/diagnostics). *)
+
+(** {1 Characterisation health} *)
+
+val diagnostics : t -> Ser_util.Diag.t list
+(** Warnings accumulated while warming transient tables: one per grid
+    point whose simulation needed numerical intervention (retry,
+    fallback, rail overshoot). Empty for the analytic backend. *)
+
+val flagged_points : t -> int
+(** Count of such points. A non-finite measurement additionally falls
+    back to the analytic model, so tables never contain NaN. *)

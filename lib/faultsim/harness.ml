@@ -1,0 +1,373 @@
+module Diag = Ser_util.Diag
+module Bench = Ser_netlist.Bench_format
+module Verilog = Ser_netlist.Verilog_format
+module Engine = Ser_spice.Engine
+module W = Ser_spice.Waveform
+module P = Ser_device.Cell_params
+module Gate = Ser_netlist.Gate
+
+type outcome =
+  | Passed
+  | Graceful of Diag.t
+  | Degraded
+  | Uncaught of exn
+
+type expect = Must_reject | Must_flag | Must_survive
+
+type scenario = {
+  name : string;
+  group : string;
+  expect : expect;
+  run : unit -> outcome;
+}
+
+let outcome_to_string = function
+  | Passed -> "passed"
+  | Graceful d -> "graceful: " ^ Diag.to_string d
+  | Degraded -> "degraded"
+  | Uncaught e -> "UNCAUGHT: " ^ Printexc.to_string e
+
+let satisfies expect outcome =
+  match (expect, outcome) with
+  | _, Uncaught _ -> false
+  | Must_reject, Graceful _ -> true
+  | Must_reject, _ -> false
+  | Must_flag, (Graceful _ | Degraded) -> true
+  | Must_flag, _ -> false
+  | Must_survive, _ -> true
+
+let run_scenario s = try s.run () with e -> Uncaught e
+
+(* -------------------- shared fixtures -------------------- *)
+
+(* The analysis/optimizer scenarios fail config validation before any
+   electrical work, so the default library is never characterised for
+   them; only the budget scenario pays for real measurements. *)
+let c17 = lazy (Ser_circuits.Iscas.load "c17")
+let lib = lazy (Ser_cell.Library.create ())
+let base_asg = lazy (Ser_sta.Assignment.uniform (Lazy.force lib) (Lazy.force c17))
+
+let of_result = function Ok _ -> Passed | Error d -> Graceful d
+
+let temp_with_contents text =
+  let path = Filename.temp_file "faultsim" ".json" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+(* -------------------- parser corruption -------------------- *)
+
+let bench name text =
+  {
+    name;
+    group = "parser";
+    expect = Must_reject;
+    run = (fun () -> of_result (Bench.parse_string text));
+  }
+
+let truncated_c17 () =
+  let text = Bench.to_string (Lazy.force c17) in
+  (* cut mid-statement: declared outputs now reference gates that were
+     defined after the cut *)
+  String.sub text 0 (String.length text / 2)
+
+let parser_scenarios () =
+  [
+    bench "truncated statement" "INPUT(a)\ny = NOT(a";
+    bench "unknown gate kind" "INPUT(a)\nOUTPUT(y)\ny = FROB(a)";
+    bench "undefined fan-in" "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)";
+    bench "duplicate definition"
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)";
+    bench "combinational cycle"
+      "INPUT(a)\nOUTPUT(y)\nx = NAND(a, y)\ny = NOT(x)";
+    bench "self loop" "INPUT(a)\nOUTPUT(y)\ny = NAND(a, y)";
+    bench "undefined output" "INPUT(a)\nOUTPUT(zzz)\ny = NOT(a)";
+    bench "zero-operand gate" "INPUT(a)\nOUTPUT(y)\ny = AND()";
+    bench "binary garbage" "\x00\xff\xfe INPUT(\x01)\n\x7f = AND(\xfe)";
+    bench "unclosed input decl" "INPUT(a\nOUTPUT(y)\ny = NOT(a)";
+    bench "stray equals" "INPUT(a)\nOUTPUT(y)\n= NOT(a)";
+    {
+      name = "truncated benchmark file";
+      group = "parser";
+      expect = Must_reject;
+      run = (fun () -> of_result (Bench.parse_string (truncated_c17 ())));
+    };
+    {
+      name = "verilog garbage";
+      group = "verilog";
+      expect = Must_reject;
+      run = (fun () -> of_result (Verilog.parse_string "module ); endmodule"));
+    };
+    {
+      name = "verilog truncated module";
+      group = "verilog";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Verilog.parse_string
+               "module m(a, y); input a; output y; not(y,"));
+    };
+  ]
+
+(* -------------------- engine corruption -------------------- *)
+
+let one_inverter () =
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n =
+    Engine.Build.add_stage b Engine.Inv (P.nominal Gate.Not 1)
+      [| Engine.Ext e |]
+  in
+  Engine.Build.add_cap b n 1.;
+  (Engine.Build.finish b, n)
+
+let sim_health ?injections ?dt ?(init = [| 0. |]) ?(t_end = 50.) () =
+  let net, _ = one_inverter () in
+  let _, h =
+    Engine.simulate_h net
+      ~inputs:[| W.dc 1.0 |]
+      ~init ?injections ?dt ~t_end ()
+  in
+  if h.Engine.flagged then Degraded else Passed
+
+let guarded f = of_result (Diag.guard ~subsystem:"spice" f)
+
+let engine_scenarios () =
+  [
+    {
+      name = "NaN initial state";
+      group = "engine";
+      expect = Must_flag;
+      run = (fun () -> sim_health ~init:[| Float.nan |] ());
+    };
+    {
+      name = "Inf initial state";
+      group = "engine";
+      expect = Must_flag;
+      run = (fun () -> sim_health ~init:[| Float.infinity |] ());
+    };
+    {
+      name = "NaN injection charge";
+      group = "engine";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          sim_health
+            ~injections:
+              [
+                {
+                  Engine.inj_node = 0;
+                  charge = Float.nan;
+                  t_start = 5.;
+                  into_node = true;
+                };
+              ]
+            ());
+    };
+    {
+      name = "extreme injection charge";
+      group = "engine";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          sim_health
+            ~injections:
+              [
+                {
+                  Engine.inj_node = 0;
+                  charge = 1e7;
+                  t_start = 5.;
+                  into_node = true;
+                };
+              ]
+            ());
+    };
+    {
+      name = "zero time step";
+      group = "engine";
+      expect = Must_reject;
+      run = (fun () -> guarded (fun () -> ignore (sim_health ~dt:0. ())));
+    };
+    {
+      name = "negative time step";
+      group = "engine";
+      expect = Must_reject;
+      run = (fun () -> guarded (fun () -> ignore (sim_health ~dt:(-1.) ())));
+    };
+    {
+      name = "NaN time step";
+      group = "engine";
+      expect = Must_reject;
+      run = (fun () -> guarded (fun () -> ignore (sim_health ~dt:Float.nan ())));
+    };
+    {
+      name = "NaN end time";
+      group = "engine";
+      expect = Must_reject;
+      run =
+        (fun () -> guarded (fun () -> ignore (sim_health ~t_end:Float.nan ())));
+    };
+    {
+      name = "wrong init length";
+      group = "engine";
+      expect = Must_reject;
+      run = (fun () -> guarded (fun () -> ignore (sim_health ~init:[||] ())));
+    };
+  ]
+
+(* -------------------- analysis corruption -------------------- *)
+
+let checked_config name mutate =
+  {
+    name;
+    group = "analysis";
+    expect = Must_reject;
+    run =
+      (fun () ->
+        let config = mutate Aserta.Analysis.default_config in
+        of_result
+          (Aserta.Analysis.run_checked ~config (Lazy.force lib)
+             (Lazy.force base_asg)));
+  }
+
+let analysis_scenarios () =
+  [
+    checked_config "zero-vector Monte Carlo" (fun c ->
+        { c with Aserta.Analysis.vectors = 0 });
+    checked_config "NaN injected charge" (fun c ->
+        { c with Aserta.Analysis.charge = Float.nan });
+    checked_config "negative injected charge" (fun c ->
+        { c with Aserta.Analysis.charge = -16. });
+    checked_config "single sample width" (fun c ->
+        { c with Aserta.Analysis.n_samples = 1 });
+    checked_config "bad top sample width" (fun c ->
+        { c with Aserta.Analysis.max_sample_width = Float.neg_infinity });
+  ]
+
+(* -------------------- optimizer / checkpoint corruption ------------ *)
+
+let restore text =
+  let path = temp_with_contents text in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      of_result (Sertopt.Checkpoint.restore path ~base:(Lazy.force base_asg)))
+
+let optimizer_scenarios () =
+  [
+    {
+      name = "missing checkpoint file";
+      group = "optimizer";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Sertopt.Checkpoint.restore "/nonexistent/faultsim-cp.json"
+               ~base:(Lazy.force base_asg)));
+    };
+    {
+      name = "garbage checkpoint";
+      group = "optimizer";
+      expect = Must_reject;
+      run = (fun () -> restore "][ not json ][");
+    };
+    {
+      name = "checkpoint for another circuit";
+      group = "optimizer";
+      expect = Must_reject;
+      run = (fun () -> restore {|{"circuit":"bogus","gates":[]}|});
+    };
+    {
+      name = "checkpoint with unknown gate";
+      group = "optimizer";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          restore
+            {|{"circuit":"c17","gates":[{"name":"ghost","kind":"NAND","fanin":2,"size":1,"length":70,"vdd":1,"vth":0.2}]}|});
+    };
+    {
+      name = "checkpoint with degenerate cell";
+      group = "optimizer";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          let nd =
+            (Ser_netlist.Circuit.node (Lazy.force c17)
+               (Lazy.force c17).Ser_netlist.Circuit.outputs.(0))
+              .Ser_netlist.Circuit.name
+          in
+          restore
+            (Printf.sprintf
+               {|{"circuit":"c17","gates":[{"name":%S,"kind":"NAND","fanin":2,"size":-4,"length":70,"vdd":1,"vth":0.2}]}|}
+               nd));
+    };
+    {
+      name = "one-evaluation optimization budget";
+      group = "optimizer";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          let lib = Lazy.force lib in
+          let baseline = Lazy.force base_asg in
+          let config =
+            {
+              Sertopt.Optimizer.default_config with
+              Sertopt.Optimizer.aserta =
+                {
+                  Aserta.Analysis.default_config with
+                  Aserta.Analysis.vectors = 200;
+                };
+              max_evals = 4;
+              greedy_passes = 1;
+            }
+          in
+          let budget = Ser_util.Budget.create ~max_evals:1 () in
+          let r = Sertopt.Optimizer.optimize ~config ~budget lib baseline in
+          if r.Sertopt.Optimizer.degraded then Degraded else Passed);
+    };
+  ]
+
+(* -------------------- util corruption -------------------- *)
+
+let util_scenarios () =
+  [
+    {
+      name = "garbage JSON text";
+      group = "util";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          match Ser_util.Json.of_string "{\"a\": }" with
+          | Ok _ -> Passed
+          | Error msg -> Graceful (Diag.error ~subsystem:"json" "%s" msg));
+    };
+    {
+      name = "mean of empty sample";
+      group = "util";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Diag.guard ~subsystem:"util" (fun () ->
+                 ignore (Ser_util.Floatx.mean [||]))));
+    };
+    {
+      name = "stddev of empty sample";
+      group = "util";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Diag.guard ~subsystem:"util" (fun () ->
+                 ignore (Ser_util.Floatx.stddev [||]))));
+    };
+  ]
+
+let scenarios () =
+  parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
+  @ optimizer_scenarios () @ util_scenarios ()
+
+let run_all () = List.map (fun s -> (s, run_scenario s)) (scenarios ())

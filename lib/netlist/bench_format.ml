@@ -1,11 +1,13 @@
+module Diag = Ser_util.Diag
+
 type statement =
   | St_input of string
   | St_output of string
   | St_gate of string * Gate.kind * string list
 
-exception Parse_error of int * string
+let subsystem = "netlist"
 
-let fail line msg = raise (Parse_error (line, msg))
+let fail line fmt = Diag.fail ~subsystem ~context:[ Diag.line line ] fmt
 
 let strip s =
   let is_space c = c = ' ' || c = '\t' || c = '\r' in
@@ -37,7 +39,7 @@ let parse_statement line s =
     let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
     let head, args = parse_call line rhs in
     (match Gate.of_string head with
-    | None -> fail line (Printf.sprintf "unknown gate kind %S" head)
+    | None -> fail line "unknown gate kind %S" head
     | Some Gate.Input -> fail line "INPUT cannot appear on the right-hand side"
     | Some kind ->
       if args = [] then fail line "gate with no inputs";
@@ -48,7 +50,7 @@ let parse_statement line s =
     | "INPUT", [ a ] -> St_input a
     | "OUTPUT", [ a ] -> St_output a
     | ("INPUT" | "OUTPUT"), _ -> fail line "INPUT/OUTPUT take one argument"
-    | _ -> fail line (Printf.sprintf "unrecognised statement %S" head))
+    | _ -> fail line "unrecognised statement %S" head)
 
 let parse_statements text =
   let stmts = ref [] in
@@ -71,46 +73,47 @@ let build_circuit ~name stmts =
     (fun (line, st) ->
       match st with
       | St_input n ->
-        if Hashtbl.mem gates n then fail line (Printf.sprintf "duplicate definition of %S" n);
+        if Hashtbl.mem gates n then fail line "duplicate definition of %S" n;
         Hashtbl.replace gates n (line, Gate.Input, []);
         inputs := n :: !inputs;
         order := n :: !order
-      | St_output n -> outputs := n :: !outputs
+      | St_output n -> outputs := (line, n) :: !outputs
       | St_gate (n, kind, args) ->
-        if Hashtbl.mem gates n then fail line (Printf.sprintf "duplicate definition of %S" n);
+        if Hashtbl.mem gates n then fail line "duplicate definition of %S" n;
         Hashtbl.replace gates n (line, kind, args);
         order := n :: !order)
     stmts;
-  ignore !inputs;
   let outputs = List.rev !outputs in
   let order = List.rev !order in
+  let line_of n =
+    match Hashtbl.find_opt gates n with Some (l, _, _) -> l | None -> 1
+  in
   (* topological sort over net names (gates may be declared in any order) *)
   let state = Hashtbl.create 256 in (* name -> [`Visiting | `Done] *)
   let sorted = ref [] in
-  let rec visit chain n =
+  let rec visit ~from ~from_line n =
     match Hashtbl.find_opt state n with
     | Some `Done -> ()
     | Some `Visiting ->
-      fail 0 (Printf.sprintf "combinational cycle through %S" n)
+      fail (line_of n) "combinational cycle through %S" n
     | None ->
       (match Hashtbl.find_opt gates n with
       | None ->
-        fail 0 (Printf.sprintf "undefined net %S referenced by %S" n chain)
-      | Some (_, _, args) ->
+        fail from_line "undefined net %S referenced by %S" n from
+      | Some (line, _, args) ->
         Hashtbl.replace state n `Visiting;
-        List.iter (visit n) args;
+        List.iter (visit ~from:n ~from_line:line) args;
         Hashtbl.replace state n `Done;
         sorted := n :: !sorted)
   in
-  List.iter (visit "<top>") order;
+  List.iter (fun n -> visit ~from:"<top>" ~from_line:(line_of n) n) order;
   let sorted = List.rev !sorted in
   let b = Circuit.Builder.create ~name () in
   let ids = Hashtbl.create 256 in
   List.iter
     (fun n ->
       match Hashtbl.find gates n with
-      | line, Gate.Input, _ ->
-        let _ = line in
+      | _line, Gate.Input, _ ->
         Hashtbl.replace ids n (Circuit.Builder.add_input b n)
       | line, kind, args ->
         let fanin =
@@ -118,7 +121,7 @@ let build_circuit ~name stmts =
             (fun a ->
               match Hashtbl.find_opt ids a with
               | Some id -> id
-              | None -> fail line (Printf.sprintf "undefined net %S" a))
+              | None -> fail line "undefined net %S" a)
             args
         in
         (* .bench uses BUF for single-input AND/OR aliases occasionally;
@@ -129,32 +132,67 @@ let build_circuit ~name stmts =
           | (Gate.Nand | Gate.Nor), [ single ] -> (Gate.Not, [ single ])
           | k, f -> (k, f)
         in
+        (* validate arity and pin distinctness here, where the source
+           line is known — Circuit.Builder's Invalid_argument is a
+           programming-error backstop, not a parse error channel *)
+        let arity = List.length fanin in
+        if arity < Gate.min_fanin kind || arity > Gate.max_fanin kind then
+          fail line "%s cannot take %d input%s" (Gate.to_string kind) arity
+            (if arity = 1 then "" else "s");
+        (match kind with
+        | Gate.Xor | Gate.Xnor ->
+          let rec dup = function
+            | a :: (b :: _ as rest) -> a = b || dup rest
+            | _ -> false
+          in
+          if dup (List.sort compare fanin) then
+            fail line "duplicate fan-in pin on %s %S" (Gate.to_string kind) n
+        | _ -> ());
         Hashtbl.replace ids n (Circuit.Builder.add_gate b ~name:n kind fanin))
     sorted;
   List.iter
-    (fun n ->
+    (fun (line, n) ->
       match Hashtbl.find_opt ids n with
       | Some id -> Circuit.Builder.set_output b id
-      | None -> fail 0 (Printf.sprintf "OUTPUT references undefined net %S" n))
+      | None -> fail line "OUTPUT references undefined net %S" n)
     outputs;
+  (* structural validation up front, where declaration lines are still
+     known — Circuit.Builder repeats these checks as a backstop but can
+     only report nameless, lineless errors *)
+  if !inputs = [] then fail 1 "circuit has no primary inputs";
+  if outputs = [] then fail 1 "circuit has no primary outputs";
+  let referenced = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ (_, _, args) -> List.iter (fun a -> Hashtbl.replace referenced a ()) args)
+    gates;
+  List.iter (fun (_, n) -> Hashtbl.replace referenced n ()) outputs;
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem referenced n) then
+        fail (line_of n) "dangling net %S (no fanout, not an output)" n)
+    order;
   match Circuit.Builder.build b with
   | Ok c -> c
-  | Error msg -> fail 0 msg
+  | Error msg -> fail 1 "%s" msg
 
 let parse_string ?(name = "netlist") text =
-  match build_circuit ~name (parse_statements text) with
-  | c -> Ok c
-  | exception Parse_error (0, msg) -> Error msg
-  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
-  | exception Invalid_argument msg -> Error msg
+  Diag.guard ~subsystem (fun () -> build_circuit ~name (parse_statements text))
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  let name = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name text
+  match
+    Diag.guard ~subsystem (fun () ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        text)
+  with
+  | Error d -> Error (Diag.with_context d [ Diag.file path ])
+  | Ok text ->
+    let name = Filename.remove_extension (Filename.basename path) in
+    (match parse_string ~name text with
+    | Ok c -> Ok c
+    | Error d -> Error (Diag.with_context d [ Diag.file path ]))
 
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 4096 in

@@ -11,13 +11,23 @@
     Gates may be declared in any order; the reader resolves forward
     references and topologically sorts before building. Real ISCAS'85
     benchmark files parse unchanged, so users with access to the
-    original suite can substitute them for the synthetic circuits. *)
+    original suite can substitute them for the synthetic circuits.
 
-val parse_string : ?name:string -> string -> (Circuit.t, string) result
-(** Parse netlist text. The error message carries a line number. *)
+    The reader is total: any input string yields [Ok] or a located
+    {!Ser_util.Diag.t}, never an exception. Every parse failure carries
+    the offending line number in its context; structural failures
+    (cycles, undefined or dangling nets) point at the responsible
+    declaration. *)
 
-val parse_file : string -> (Circuit.t, string) result
-(** Parse a file; the circuit is named after the basename. *)
+val parse_string :
+  ?name:string -> string -> (Circuit.t, Ser_util.Diag.t) result
+(** Parse netlist text. The error diagnostic carries a ["line"]
+    context entry. *)
+
+val parse_file : string -> (Circuit.t, Ser_util.Diag.t) result
+(** Parse a file; the circuit is named after the basename. I/O errors
+    and parse errors both surface as diagnostics with a ["file"]
+    context entry. *)
 
 val to_string : Circuit.t -> string
 (** Render a circuit back to .bench text (inputs, outputs, then gates

@@ -175,6 +175,24 @@ let parse_module ?name tokens =
           | (Gate.Nand | Gate.Nor), [ one ] -> (Gate.Not, [ one ])
           | k, l -> (k, l)
         in
+        (* arity and pin checks here so malformed instances surface as
+           parse errors naming the driven net, not as Invalid_argument
+           escaping from Circuit.Builder *)
+        let arity = List.length ins in
+        if arity < Gate.min_fanin kind || arity > Gate.max_fanin kind then
+          fail "%s driving %S cannot take %d input%s" (Gate.to_string kind)
+            out arity
+            (if arity = 1 then "" else "s");
+        (match kind with
+        | Gate.Xor | Gate.Xnor ->
+          let rec dup = function
+            | a :: (b :: _ as rest) -> a = b || dup rest
+            | _ -> false
+          in
+          if dup (List.sort compare ins) then
+            fail "duplicate fan-in pin on %s driving %S" (Gate.to_string kind)
+              out
+        | _ -> ());
         define out (kind, ins)
       | Instance (_, []) -> assert false)
     statements;
@@ -220,18 +238,36 @@ let parse_module ?name tokens =
   | Ok c -> c
   | Error msg -> fail "%s" msg
 
+let subsystem = "netlist"
+
 let parse_string ?name text =
   match parse_module ?name (tokenize text) with
   | c -> Ok c
-  | exception Error msg -> Result.Error msg
-  | exception Invalid_argument msg -> Result.Error msg
+  | exception Error msg ->
+    Result.Error
+      (Ser_util.Diag.make ~subsystem
+         ~context:[ ("format", "verilog") ]
+         msg)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  match
+    Ser_util.Diag.guard ~subsystem (fun () ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        text)
+  with
+  | Result.Error d -> Result.Error (Ser_util.Diag.with_context d [ Ser_util.Diag.file path ])
+  | Ok text ->
+    (match
+       parse_string
+         ~name:(Filename.remove_extension (Filename.basename path))
+         text
+     with
+    | Ok c -> Ok c
+    | Result.Error d ->
+      Result.Error (Ser_util.Diag.with_context d [ Ser_util.Diag.file path ]))
 
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 4096 in

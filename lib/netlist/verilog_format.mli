@@ -17,10 +17,14 @@
     per line. Not supported (clear errors): vectors, behavioural
     constructs, hierarchical modules. *)
 
-val parse_string : ?name:string -> string -> (Circuit.t, string) result
-(** Parse one module. [name] overrides the module name. *)
+val parse_string :
+  ?name:string -> string -> (Circuit.t, Ser_util.Diag.t) result
+(** Parse one module. [name] overrides the module name. Total on any
+    input: malformed text yields a diagnostic, never an exception. *)
 
-val parse_file : string -> (Circuit.t, string) result
+val parse_file : string -> (Circuit.t, Ser_util.Diag.t) result
+(** I/O and parse failures both surface as diagnostics with a ["file"]
+    context entry. *)
 
 val to_string : Circuit.t -> string
 (** Emit structural Verilog; round-trips through {!parse_string}. *)

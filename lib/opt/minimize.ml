@@ -3,7 +3,24 @@ type result = {
   fx : float;
   evals : int;
   trace : float list;
+  degraded : bool;
 }
+
+(* Budget plumbing: the initial point is always evaluated (so there is
+   always a valid result to return), every further evaluation first
+   checks the budget and bails out of the search loop when it is
+   spent. *)
+exception Budget_out
+
+let budget_tick = function None -> () | Some b -> Ser_util.Budget.tick b
+
+let budget_spent = function
+  | None -> false
+  | Some b -> Ser_util.Budget.exhausted b
+
+let budget_degraded = function
+  | None -> false
+  | Some b -> Ser_util.Budget.was_exhausted b
 
 let golden_ratio = (sqrt 5. -. 1.) /. 2.
 
@@ -31,50 +48,58 @@ let golden_section ~f ~lo ~hi ?tol ?(max_iter = 200) () =
   loop lo hi c (f c) d (f d) 0
 
 (* Shared pattern-search engine over a direction set. *)
-let pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals =
+let pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals
+    ~budget =
   let n = Array.length x0 in
   let x = Array.copy x0 in
   let evals = ref 0 in
   let eval p =
+    if budget_spent budget then raise Budget_out;
+    budget_tick budget;
     incr evals;
     f p
   in
-  let fx = ref (eval x) in
+  budget_tick budget;
+  incr evals;
+  let fx = ref (f x) in
   let trace = ref [ !fx ] in
   let step = ref step in
   let continue = ref true in
-  while !continue && !step >= min_step && !evals < max_evals do
-    let improved = ref false in
-    Array.iter
-      (fun dir ->
-        if !evals < max_evals then begin
-          let try_sign sign =
-            if !evals < max_evals then begin
-              let cand = Array.init n (fun i -> x.(i) +. (sign *. !step *. dir.(i))) in
-              let fc = eval cand in
-              if fc < !fx then begin
-                Array.blit cand 0 x 0 n;
-                fx := fc;
-                trace := fc :: !trace;
-                improved := true;
-                true
-              end
-              else false
-            end
-            else false
-          in
-          if not (try_sign 1.) then ignore (try_sign (-1.))
-        end)
-      directions;
-    if not !improved then begin
-      step := !step *. shrink;
-      if !step < min_step then continue := false
-    end
-  done;
-  { x; fx = !fx; evals = !evals; trace = List.rev !trace }
+  (try
+     while !continue && !step >= min_step && !evals < max_evals do
+       let improved = ref false in
+       Array.iter
+         (fun dir ->
+           if !evals < max_evals then begin
+             let try_sign sign =
+               if !evals < max_evals then begin
+                 let cand = Array.init n (fun i -> x.(i) +. (sign *. !step *. dir.(i))) in
+                 let fc = eval cand in
+                 if fc < !fx then begin
+                   Array.blit cand 0 x 0 n;
+                   fx := fc;
+                   trace := fc :: !trace;
+                   improved := true;
+                   true
+                 end
+                 else false
+               end
+               else false
+             in
+             if not (try_sign 1.) then ignore (try_sign (-1.))
+           end)
+         directions;
+       if not !improved then begin
+         step := !step *. shrink;
+         if !step < min_step then continue := false
+       end
+     done
+   with Budget_out -> ());
+  { x; fx = !fx; evals = !evals; trace = List.rev !trace;
+    degraded = budget_degraded budget }
 
 let coordinate_descent ~f ~x0 ?(step = 1.0) ?(shrink = 0.5) ?(min_step = 1e-4)
-    ?(max_evals = 10_000) () =
+    ?(max_evals = 10_000) ?budget () =
   let n = Array.length x0 in
   let directions =
     Array.init n (fun i ->
@@ -82,71 +107,88 @@ let coordinate_descent ~f ~x0 ?(step = 1.0) ?(shrink = 0.5) ?(min_step = 1e-4)
         d.(i) <- 1.;
         d)
   in
-  pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals
+  pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals ~budget
 
 let direction_search ~f ~x0 ~directions ?(step = 1.0) ?(shrink = 0.5)
-    ?(min_step = 1e-4) ?(max_evals = 10_000) () =
-  if Array.length directions = 0 then
-    { x = Array.copy x0; fx = f x0; evals = 1; trace = [ f x0 ] }
-  else pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals
+    ?(min_step = 1e-4) ?(max_evals = 10_000) ?budget () =
+  if Array.length directions = 0 then begin
+    budget_tick budget;
+    let fx0 = f x0 in
+    { x = Array.copy x0; fx = fx0; evals = 1; trace = [ fx0 ];
+      degraded = budget_degraded budget }
+  end
+  else pattern_search ~f ~x0 ~directions ~step ~shrink ~min_step ~max_evals ~budget
 
 let genetic ~rng ~f ~x0 ?(population = 16) ?(generations = 30) ?(sigma = 1.0)
-    ?(elite = 2) () =
+    ?(elite = 2) ?budget () =
   if population < 2 then invalid_arg "Minimize.genetic: population too small";
   let n = Array.length x0 in
   let evals = ref 0 in
-  let eval x =
+  let eval_unchecked x =
+    budget_tick budget;
     incr evals;
     f x
+  in
+  let eval x =
+    if budget_spent budget then raise Budget_out;
+    eval_unchecked x
   in
   let perturb scale x =
     Array.map (fun v -> v +. (scale *. Ser_rng.Rng.gaussian rng)) x
   in
-  let pop =
-    Array.init population (fun i ->
-        let x = if i = 0 then Array.copy x0 else perturb sigma x0 in
-        (eval x, x))
-  in
+  let f0 = eval_unchecked x0 in
+  let best = ref (Array.copy x0) and fbest = ref f0 in
+  let trace = ref [ f0 ] in
   let by_fitness a b = compare (fst a) (fst b) in
-  Array.sort by_fitness pop;
-  let best = ref (snd pop.(0)) and fbest = ref (fst pop.(0)) in
-  let trace = ref [ !fbest ] in
-  for gen = 1 to generations do
-    let decay =
-      sigma *. (0.05 ** (float_of_int gen /. float_of_int generations))
-    in
-    let tournament () =
-      let a = pop.(Ser_rng.Rng.int rng population) in
-      let b = pop.(Ser_rng.Rng.int rng population) in
-      if fst a <= fst b then snd a else snd b
-    in
-    let next =
-      Array.init population (fun i ->
-          if i < elite then pop.(i)
-          else begin
-            let pa = tournament () and pb = tournament () in
-            let child =
-              Array.init n (fun k ->
-                  let t = Ser_rng.Rng.uniform rng in
-                  Ser_util.Floatx.lerp pa.(k) pb.(k) t
-                  +. (decay *. Ser_rng.Rng.gaussian rng))
-            in
-            (eval child, child)
-          end)
-    in
-    Array.sort by_fitness next;
-    Array.blit next 0 pop 0 population;
-    if fst pop.(0) < !fbest then begin
-      fbest := fst pop.(0);
-      best := snd pop.(0);
-      trace := !fbest :: !trace
-    end
-  done;
-  { x = Array.copy !best; fx = !fbest; evals = !evals; trace = List.rev !trace }
+  let pop = Array.make population (f0, Array.copy x0) in
+  (try
+     for i = 1 to population - 1 do
+       let x = perturb sigma x0 in
+       pop.(i) <- (eval x, x)
+     done;
+     Array.sort by_fitness pop;
+     best := snd pop.(0);
+     fbest := fst pop.(0);
+     trace := [ !fbest ];
+     for gen = 1 to generations do
+       let decay =
+         sigma *. (0.05 ** (float_of_int gen /. float_of_int generations))
+       in
+       let tournament () =
+         let a = pop.(Ser_rng.Rng.int rng population) in
+         let b = pop.(Ser_rng.Rng.int rng population) in
+         if fst a <= fst b then snd a else snd b
+       in
+       let next =
+         Array.init population (fun i ->
+             if i < elite then pop.(i)
+             else begin
+               let pa = tournament () and pb = tournament () in
+               let child =
+                 Array.init n (fun k ->
+                     let t = Ser_rng.Rng.uniform rng in
+                     Ser_util.Floatx.lerp pa.(k) pb.(k) t
+                     +. (decay *. Ser_rng.Rng.gaussian rng))
+               in
+               (eval child, child)
+             end)
+       in
+       Array.sort by_fitness next;
+       Array.blit next 0 pop 0 population;
+       if fst pop.(0) < !fbest then begin
+         fbest := fst pop.(0);
+         best := snd pop.(0);
+         trace := !fbest :: !trace
+       end
+     done
+   with Budget_out -> ());
+  { x = Array.copy !best; fx = !fbest; evals = !evals; trace = List.rev !trace;
+    degraded = budget_degraded budget }
 
 let simulated_annealing ~rng ~f ~x0 ~neighbor ?(t0 = 1.0) ?(t_end = 1e-3)
-    ?(steps = 500) () =
+    ?(steps = 500) ?budget () =
   let x = ref (Array.copy x0) in
+  budget_tick budget;
   let fx = ref (f x0) in
   let best = ref (Array.copy x0) in
   let fbest = ref !fx in
@@ -155,23 +197,28 @@ let simulated_annealing ~rng ~f ~x0 ~neighbor ?(t0 = 1.0) ?(t_end = 1e-3)
   let scale = Float.max 1e-12 (Float.abs !fx) in
   let cooling = (t_end /. t0) ** (1. /. float_of_int (max 1 (steps - 1))) in
   let temp = ref (t0 *. scale) in
-  for _ = 1 to steps do
-    let cand = neighbor rng !x in
-    let fc = f cand in
-    incr evals;
-    let accept =
-      fc < !fx
-      || Ser_rng.Rng.uniform rng < exp ((!fx -. fc) /. Float.max 1e-18 !temp)
-    in
-    if accept then begin
-      x := cand;
-      fx := fc
-    end;
-    if fc < !fbest then begin
-      best := Array.copy cand;
-      fbest := fc;
-      trace := fc :: !trace
-    end;
-    temp := !temp *. cooling
-  done;
-  { x = !best; fx = !fbest; evals = !evals; trace = List.rev !trace }
+  (try
+     for _ = 1 to steps do
+       if budget_spent budget then raise Budget_out;
+       let cand = neighbor rng !x in
+       budget_tick budget;
+       let fc = f cand in
+       incr evals;
+       let accept =
+         fc < !fx
+         || Ser_rng.Rng.uniform rng < exp ((!fx -. fc) /. Float.max 1e-18 !temp)
+       in
+       if accept then begin
+         x := cand;
+         fx := fc
+       end;
+       if fc < !fbest then begin
+         best := Array.copy cand;
+         fbest := fc;
+         trace := fc :: !trace
+       end;
+       temp := !temp *. cooling
+     done
+   with Budget_out -> ());
+  { x = !best; fx = !fbest; evals = !evals; trace = List.rev !trace;
+    degraded = budget_degraded budget }

@@ -11,6 +11,9 @@ type result = {
   fx : float;        (** objective at [x] *)
   evals : int;       (** objective evaluations spent *)
   trace : float list; (** best objective after each improvement, oldest first *)
+  degraded : bool;   (** the search was cut short by an exhausted
+                         {!Ser_util.Budget}; [x] is the best point seen
+                         so far, still a valid result *)
 }
 
 val golden_section :
@@ -26,6 +29,7 @@ val coordinate_descent :
   ?shrink:float ->
   ?min_step:float ->
   ?max_evals:int ->
+  ?budget:Ser_util.Budget.t ->
   unit ->
   result
 (** Pattern search: probe +-step along every coordinate, accept
@@ -40,6 +44,7 @@ val direction_search :
   ?shrink:float ->
   ?min_step:float ->
   ?max_evals:int ->
+  ?budget:Ser_util.Budget.t ->
   unit ->
   result
 (** Like {!coordinate_descent} but probing along arbitrary direction
@@ -54,6 +59,7 @@ val simulated_annealing :
   ?t0:float ->
   ?t_end:float ->
   ?steps:int ->
+  ?budget:Ser_util.Budget.t ->
   unit ->
   result
 (** Classic exponential-schedule annealing. [t0] defaults to 1.0
@@ -68,6 +74,7 @@ val genetic :
   ?generations:int ->
   ?sigma:float ->
   ?elite:int ->
+  ?budget:Ser_util.Budget.t ->
   unit ->
   result
 (** Real-coded genetic algorithm (the paper's other suggested

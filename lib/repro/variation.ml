@@ -22,6 +22,7 @@ type t = {
 }
 
 let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Variation.summarize: empty sample";
   {
     mean = Ser_util.Floatx.mean xs;
     stddev = Ser_util.Floatx.stddev xs;

@@ -1,0 +1,37 @@
+(** Best-so-far checkpointing for long optimization runs.
+
+    A checkpoint is a small JSON document recording the incumbent cell
+    assignment (per-gate kind, fan-in, size, length, VDD, Vth, keyed by
+    gate name), the circuit it belongs to, and optionally the cost and
+    evaluation count at which it was taken. [sertool optimize
+    --checkpoint FILE] writes one after each run and restores from it
+    on the next, so an interrupted or budget-limited run resumes from
+    its incumbent instead of starting over. *)
+
+type t = {
+  circuit : string;        (** circuit name recorded in the file *)
+  cost : float option;     (** incumbent cost when saved, if recorded *)
+  evals : int;             (** evaluations spent when saved *)
+  assignment : Ser_sta.Assignment.t; (** the restored incumbent *)
+}
+
+val save :
+  string ->
+  ?cost:float ->
+  ?evals:int ->
+  Ser_sta.Assignment.t ->
+  (unit, Ser_util.Diag.t) result
+(** Write a checkpoint; I/O failures surface as diagnostics. *)
+
+val restore :
+  string -> base:Ser_sta.Assignment.t -> (t, Ser_util.Diag.t) result
+(** Read a checkpoint and apply it on a copy of [base] (normally the
+    baseline assignment of the same circuit). Every failure mode — I/O,
+    malformed JSON, wrong circuit, unknown gate names, cell parameters
+    that fail validation or don't fit their gate — yields a located
+    diagnostic; [base] itself is never modified. *)
+
+val to_json :
+  ?cost:float -> ?evals:int -> Ser_sta.Assignment.t -> Ser_util.Json.t
+(** The document {!save} writes. Exposed for tests and for embedding
+    checkpoints in larger reports. *)

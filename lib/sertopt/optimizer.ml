@@ -56,6 +56,7 @@ type result = {
   masking : Analysis.masking;
   cost_trace : float list;
   evals : int;
+  degraded : bool;
 }
 
 let unreliability_reduction r =
@@ -167,8 +168,18 @@ let size_for_speed ?(env = Timing.default_env) ?(max_size = 8.) lib c =
   done;
   asg
 
-let optimize ?(config = default_config) ?masking lib baseline =
+let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
   let c = Assignment.circuit baseline in
+  (match initial with
+  | Some inc when Assignment.circuit inc != c ->
+    invalid_arg "Optimizer.optimize: initial assignment is for a different circuit"
+  | _ -> ());
+  let budget_spent () =
+    match budget with None -> false | Some b -> Ser_util.Budget.exhausted b
+  in
+  let budget_tick () =
+    match budget with None -> () | Some b -> Ser_util.Budget.tick b
+  in
   let n = Circuit.node_count c in
   let rng = Ser_rng.Rng.create config.seed in
   let masking =
@@ -176,10 +187,31 @@ let optimize ?(config = default_config) ?masking lib baseline =
     | Some m -> m
     | None -> Analysis.compute_masking config.aserta c
   in
+  (* the baseline measurement is mandatory (it anchors the cost and the
+     never-worse-than-baseline gate) and charges the budget like any
+     other evaluation *)
+  budget_tick ();
   let baseline_metrics, baseline_analysis =
     Cost.measure ~config:config.aserta ~masking ~objective:config.objective lib
       baseline
   in
+  if budget_spent () then
+    (* nothing left for the search: the baseline itself is the valid,
+       timing-feasible incumbent *)
+    {
+      baseline;
+      optimized = baseline;
+      guard_choice = None;
+      baseline_metrics;
+      optimized_metrics = baseline_metrics;
+      baseline_analysis;
+      optimized_analysis = baseline_analysis;
+      masking;
+      cost_trace = [];
+      evals = 0;
+      degraded = true;
+    }
+  else begin
   let clock_period =
     1.2 *. baseline_analysis.Analysis.timing.Timing.critical_delay
   in
@@ -226,6 +258,21 @@ let optimize ?(config = default_config) ?masking lib baseline =
     end;
     cost
   in
+  (* measure a checkpointed incumbent first, while the budget is still
+     fresh — resuming must not cost more than one evaluation *)
+  let incumbent =
+    match initial with
+    | Some inc when not (budget_spent ()) ->
+      budget_tick ();
+      incr evals;
+      let m, _ = measure inc in
+      let cost =
+        Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+          ~baseline:baseline_metrics m
+      in
+      Some (Assignment.copy inc, cost)
+    | _ -> None
+  in
   (* search directions: slow down the softest gates (projected), plus a
      few random projected directions *)
   let soft_order =
@@ -264,7 +311,7 @@ let optimize ?(config = default_config) ?masking lib baseline =
   let search =
     Ser_opt.Minimize.direction_search ~f:objective ~x0:(Array.make n 0.)
       ~directions ~step:config.step ~shrink:0.5 ~min_step:0.75
-      ~max_evals:config.max_evals ()
+      ~max_evals:config.max_evals ?budget ()
   in
   let trace = ref search.Ser_opt.Minimize.trace in
   if config.annealing_steps > 0 then begin
@@ -286,11 +333,20 @@ let optimize ?(config = default_config) ?masking lib baseline =
     let sa =
       Ser_opt.Minimize.simulated_annealing ~rng ~f:objective
         ~x0:!best_delta ~neighbor ~t0:0.05 ~t_end:1e-4
-        ~steps:config.annealing_steps ()
+        ~steps:config.annealing_steps ?budget ()
     in
     trace := !trace @ sa.Ser_opt.Minimize.trace
   end;
   let search_assignment = assignment_of !best_delta in
+  (* the checkpointed incumbent was measured before the search; adopt
+     it if the search did not beat it *)
+  let search_assignment =
+    match incumbent with
+    | Some (inc, cost) when cost < !best_cost ->
+      best_cost := cost;
+      inc
+    | _ -> search_assignment
+  in
   let optimized = search_assignment in
   (* Discrete greedy refinement (extension over the paper's pure
      delay-assignment method): revisit the softest gates and try their
@@ -299,9 +355,10 @@ let optimize ?(config = default_config) ?masking lib baseline =
      current neighbours; primary inputs are assumed driven from the
      highest rail. *)
   let optimized =
-    if config.greedy_passes = 0 then optimized
+    if config.greedy_passes = 0 || budget_spent () then optimized
     else begin
       let asg = Assignment.copy optimized in
+      budget_tick ();
       let metrics, analysis = measure asg in
       let cur_cost =
         ref
@@ -359,8 +416,10 @@ let optimize ?(config = default_config) ?masking lib baseline =
             let kept = ref current in
             List.iter
               (fun cand ->
+                if not (budget_spent ()) then begin
                 Assignment.set asg g cand;
                 incr evals;
+                budget_tick ();
                 let m, a = measure asg in
                 let cost =
                   Cost.eval ~weights:config.weights
@@ -371,7 +430,8 @@ let optimize ?(config = default_config) ?masking lib baseline =
                   cur_analysis := a;
                   kept := cand
                 end
-                else Assignment.set asg g !kept)
+                else Assignment.set asg g !kept
+                end)
               cands)
           order
       done;
@@ -385,7 +445,7 @@ let optimize ?(config = default_config) ?masking lib baseline =
      re-judge the candidates with the independent vector-replay
      estimator and keep the one it prefers. *)
   let optimized, guard_choice =
-    if config.replay_guard <= 0 then (optimized, None)
+    if config.replay_guard <= 0 || budget_spent () then (optimized, None)
     else begin
       let replay asg =
         Aserta.Measured.unreliability ~vectors:config.replay_guard
@@ -408,7 +468,10 @@ let optimize ?(config = default_config) ?masking lib baseline =
       (a, Some n)
     end
   in
-  let optimized_metrics, optimized_analysis = measure optimized in
+  let optimized_metrics, optimized_analysis =
+    if optimized == baseline then (baseline_metrics, baseline_analysis)
+    else measure optimized
+  in
   (* never return something worse than the baseline (by the cost) *)
   let optimized, optimized_metrics, optimized_analysis, guard_choice =
     let base_cost =
@@ -434,4 +497,10 @@ let optimize ?(config = default_config) ?masking lib baseline =
     masking;
     cost_trace = !trace;
     evals = !evals;
+    degraded =
+      (match budget with
+      | Some b ->
+        Ser_util.Budget.was_exhausted b || Ser_util.Budget.exhausted b
+      | None -> false);
   }
+  end

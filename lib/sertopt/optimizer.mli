@@ -61,6 +61,11 @@ type result = {
   masking : Aserta.Analysis.masking;
   cost_trace : float list; (** improving cost values, oldest first *)
   evals : int;
+  degraded : bool;
+      (** the run was cut short by an exhausted {!Ser_util.Budget}.
+          [optimized] is still a valid, timing-feasible assignment —
+          the best incumbent seen, falling back to [baseline] when not
+          even one search evaluation fit the budget. *)
 }
 
 val unreliability_reduction : result -> float
@@ -99,9 +104,19 @@ val size_for_speed :
 val optimize :
   ?config:config ->
   ?masking:Aserta.Analysis.masking ->
+  ?budget:Ser_util.Budget.t ->
+  ?initial:Ser_sta.Assignment.t ->
   Ser_cell.Library.t ->
   Ser_sta.Assignment.t ->
   result
 (** Run SERTOPT on a baseline assignment. Pass [masking] to reuse
     already-computed logical-masking data (it depends only on the
-    circuit and the vector count/seed). *)
+    circuit and the vector count/seed).
+
+    [budget] bounds the expensive cost evaluations (count and/or wall
+    clock); when it runs out the search stops where it is and the
+    result is flagged {!result.degraded} — never an exception, never a
+    timing-infeasible assignment. [initial] seeds the search with a
+    checkpointed incumbent (see {!Checkpoint}): it is measured once and
+    adopted if it beats the direction-search result. Raises
+    [Invalid_argument] if [initial] belongs to a different circuit. *)

@@ -44,7 +44,16 @@ let one_cell (p : Cell_params.t) ~cload =
   Engine.Build.add_cap b out cload;
   (Engine.Build.finish b, out)
 
-let generated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~charge
+(* A measurement that still comes out non-finite after the engine's own
+   guardrails is a characterisation failure, not a width: flag it. *)
+let check_width w (health : Engine.health) =
+  if Float.is_finite w then (w, health)
+  else
+    ( Float.nan,
+      Engine.
+        { health with fallbacks = health.fallbacks + 1; flagged = true } )
+
+let generated_glitch_width_h ?(dt = 0.25) (p : Cell_params.t) ~cload ~charge
     ~output_low =
   let net, out = one_cell p ~cload in
   let dc = dc_for_output p ~want:(not output_low) in
@@ -56,14 +65,22 @@ let generated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~charge
   in
   (* window: injection tail plus worst-case recovery at leakage-ish rates *)
   let t_end = t_start +. Engine.strike_tail +. (charge *. 60.) +. 200. in
-  let trace =
-    Engine.simulate net ~inputs ~init ~injections ~dt ~probes:[| out |] ~t_end ()
+  let trace, health =
+    Engine.simulate_h net ~inputs ~init ~injections ~dt ~probes:[| out |]
+      ~t_end ()
   in
   let nominal = if output_low then 0. else p.vdd in
-  Measure.glitch_width ~times:trace.Engine.times ~values:trace.Engine.voltages.(0)
-    ~nominal ~vdd:p.vdd
+  let w =
+    Measure.glitch_width ~times:trace.Engine.times
+      ~values:trace.Engine.voltages.(0) ~nominal ~vdd:p.vdd
+  in
+  check_width w health
 
-let propagated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_width =
+let generated_glitch_width ?dt p ~cload ~charge ~output_low =
+  fst (generated_glitch_width_h ?dt p ~cload ~charge ~output_low)
+
+let propagated_glitch_width_h ?(dt = 0.25) (p : Cell_params.t) ~cload
+    ~input_width =
   let net, out = one_cell p ~cload in
   let dc = sensitizing_dc p ~pin:0 in
   let init = Engine.dc_levels net ~ext_values:dc in
@@ -77,13 +94,19 @@ let propagated_glitch_width ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_width
       dc
   in
   let t_end = t0 +. (2. *. input_width) +. 400. in
-  let trace =
-    Engine.simulate net ~inputs ~init ~dt ~probes:[| out |]
+  let trace, health =
+    Engine.simulate_h net ~inputs ~init ~dt ~probes:[| out |]
       ~min_time:(t0 +. (2. *. input_width) +. 20.) ~t_end ()
   in
   let nominal = init.(out) in
-  Measure.glitch_width ~times:trace.Engine.times ~values:trace.Engine.voltages.(0)
-    ~nominal ~vdd:p.vdd
+  let w =
+    Measure.glitch_width ~times:trace.Engine.times
+      ~values:trace.Engine.voltages.(0) ~nominal ~vdd:p.vdd
+  in
+  check_width w health
+
+let propagated_glitch_width ?dt p ~cload ~input_width =
+  fst (propagated_glitch_width_h ?dt p ~cload ~input_width)
 
 let delay_one_direction ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_ramp
     ~rising =
@@ -101,8 +124,8 @@ let delay_one_direction ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_ramp
       dc
   in
   let t_end = t0 +. input_ramp +. 600. in
-  let trace =
-    Engine.simulate net ~inputs ~init ~dt ~probes:[| out |]
+  let trace, health =
+    Engine.simulate_h net ~inputs ~init ~dt ~probes:[| out |]
       ~min_time:(t0 +. input_ramp +. 30.) ~t_end ()
   in
   let times = trace.Engine.times and values = trace.Engine.voltages.(0) in
@@ -117,9 +140,17 @@ let delay_one_direction ?(dt = 0.25) (p : Cell_params.t) ~cload ~input_ramp
     | Some r -> r
     | None -> 0.
   in
-  (delay, ramp)
+  (delay, ramp, health)
+
+let delay_and_ramp_h ?dt (p : Cell_params.t) ~cload ~input_ramp =
+  let d_rise, r_rise, h_rise =
+    delay_one_direction ?dt p ~cload ~input_ramp ~rising:true
+  in
+  let d_fall, r_fall, h_fall =
+    delay_one_direction ?dt p ~cload ~input_ramp ~rising:false
+  in
+  ( (Float.max d_rise d_fall, Float.max r_rise r_fall),
+    Engine.merge_health h_rise h_fall )
 
 let delay_and_ramp ?dt (p : Cell_params.t) ~cload ~input_ramp =
-  let d_rise, r_rise = delay_one_direction ?dt p ~cload ~input_ramp ~rising:true in
-  let d_fall, r_fall = delay_one_direction ?dt p ~cload ~input_ramp ~rising:false in
-  (Float.max d_rise d_fall, Float.max r_rise r_fall)
+  fst (delay_and_ramp_h ?dt p ~cload ~input_ramp)

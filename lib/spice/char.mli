@@ -37,6 +37,36 @@ val delay_and_ramp :
 (** Worst-case (over rise/fall) propagation delay and the 10–90%
     output transition time for a switching event on pin 0. *)
 
+(** {1 Health-reporting variants}
+
+    Same measurements, plus the {!Engine.health} of the underlying
+    transient(s). A measurement that remains non-finite after the
+    engine's guardrails comes back as [nan] with [flagged = true] —
+    callers building look-up tables must check [flagged] rather than
+    storing the value blindly. *)
+
+val generated_glitch_width_h :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  charge:float ->
+  output_low:bool ->
+  float * Engine.health
+
+val propagated_glitch_width_h :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  input_width:float ->
+  float * Engine.health
+
+val delay_and_ramp_h :
+  ?dt:float ->
+  Ser_device.Cell_params.t ->
+  cload:float ->
+  input_ramp:float ->
+  (float * float) * Engine.health
+
 val sensitizing_dc : Ser_device.Cell_params.t -> pin:int -> bool array
 (** DC values for all pins that sensitise [pin] (non-controlling side
     inputs; [pin] itself is set to the value that makes the output

@@ -195,91 +195,182 @@ let strike_current charge t =
 
 type trace = { times : float array; voltages : float array array }
 
-let simulate net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
+type health = {
+  steps : int;
+  rejects : int;
+  retries : int;
+  fallbacks : int;
+  flagged : bool;
+}
+
+let healthy = { steps = 0; rejects = 0; retries = 0; fallbacks = 0; flagged = false }
+
+let merge_health a b =
+  {
+    steps = a.steps + b.steps;
+    rejects = a.rejects + b.rejects;
+    retries = a.retries + b.retries;
+    fallbacks = a.fallbacks + b.fallbacks;
+    flagged = a.flagged || b.flagged;
+  }
+
+(* One attempt aborts (to be retried at a tighter step) as soon as the
+   integration goes non-finite, unless it is the last attempt, in which
+   case offending updates are discarded and counted as fallbacks. *)
+exception Nonfinite_step
+
+let max_retries = 2
+
+(* The rails clamp excursions to [-0.3, vdd+0.3]; a raw update landing
+   more than a volt beyond that window is not physics, it is the
+   integrator losing the solution. *)
+let overshoot_margin = 1.0
+
+let simulate_h net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
     ?probes ~t_end () =
   if Array.length inputs <> net.n_ext then
     invalid_arg "Engine.simulate: wrong number of input waveforms";
   if Array.length init <> net.n_nodes then
     invalid_arg "Engine.simulate: wrong init length";
+  (* a non-positive or non-finite step would never reach t_end *)
+  if (not (Float.is_finite dt)) || dt <= 0. then
+    invalid_arg "Engine.simulate: dt must be finite and positive";
+  if not (Float.is_finite t_end) then
+    invalid_arg "Engine.simulate: t_end must be finite";
   let probes =
     match probes with
     | Some p -> p
     | None -> Array.init net.n_nodes Fun.id
   in
-  let min_time =
-    match min_time with
-    | Some t -> t
-    | None ->
-      List.fold_left
-        (fun acc inj -> Float.max acc (inj.t_start +. strike_tail))
-        (10. *. dt) injections
+  let retries = ref 0 in
+  let fallbacks = ref 0 in
+  let flagged = ref false in
+  (* a poisoned initial condition must not poison the whole transient *)
+  let init =
+    Array.map
+      (fun x ->
+        if Float.is_finite x then x
+        else begin
+          incr fallbacks;
+          flagged := true;
+          0.
+        end)
+      init
   in
-  let v = Array.copy init in
-  let deriv = Array.make net.n_nodes 0. in
-  let deriv2 = Array.make net.n_nodes 0. in
-  let compute_derivs time state out =
-    Array.fill out 0 net.n_nodes 0.;
-    let read = function
-      | Ext i -> Waveform.eval inputs.(i) time
-      | Node n -> state.(n)
+  let attempt ~dt ~last =
+    let min_time =
+      match min_time with
+      | Some t -> t
+      | None ->
+        List.fold_left
+          (fun acc inj -> Float.max acc (inj.t_start +. strike_tail))
+          (10. *. dt) injections
     in
-    Array.iter
-      (fun st -> out.(st.out) <- out.(st.out) +. stage_current st read state.(st.out))
-      net.stages;
-    List.iter
-      (fun inj ->
-        let i = strike_current inj.charge (time -. inj.t_start) in
-        let i = if inj.into_node then i else -.i in
-        out.(inj.inj_node) <- out.(inj.inj_node) +. i)
-      injections;
-    for n = 0 to net.n_nodes - 1 do
-      out.(n) <- out.(n) /. Float.max net.node_cap.(n) 1e-4
-    done
+    let rejects = ref 0 in
+    let v = Array.copy init in
+    let deriv = Array.make net.n_nodes 0. in
+    let deriv2 = Array.make net.n_nodes 0. in
+    let compute_derivs time state out =
+      Array.fill out 0 net.n_nodes 0.;
+      let read = function
+        | Ext i -> Waveform.eval inputs.(i) time
+        | Node n -> state.(n)
+      in
+      Array.iter
+        (fun st -> out.(st.out) <- out.(st.out) +. stage_current st read state.(st.out))
+        net.stages;
+      List.iter
+        (fun inj ->
+          let i = strike_current inj.charge (time -. inj.t_start) in
+          let i = if inj.into_node then i else -.i in
+          out.(inj.inj_node) <- out.(inj.inj_node) +. i)
+        injections;
+      for n = 0 to net.n_nodes - 1 do
+        out.(n) <- out.(n) /. Float.max net.node_cap.(n) 1e-4
+      done
+    in
+    (* clamp to the rails; non-finite or wildly overshooting raw values
+       are reported so the caller can abort or degrade the step *)
+    let guard_update ~hi prev raw =
+      if Float.is_finite raw then begin
+        if raw < -0.3 -. overshoot_margin || raw > hi +. 0.3 +. overshoot_margin
+        then incr rejects;
+        Ser_util.Floatx.clamp ~lo:(-0.3) ~hi:(hi +. 0.3) raw
+      end
+      else if last then begin
+        incr fallbacks;
+        flagged := true;
+        prev
+      end
+      else raise Nonfinite_step
+    in
+    let n_steps = int_of_float (ceil (t_end /. dt)) in
+    let times = Array.make (n_steps + 1) 0. in
+    let recorded = Array.map (fun _ -> Array.make (n_steps + 1) 0.) probes in
+    let record step =
+      Array.iteri (fun k node -> recorded.(k).(step) <- v.(node)) probes
+    in
+    record 0;
+    let tmp = Array.make net.n_nodes 0. in
+    let quiet_steps = ref 0 in
+    let final_step = ref n_steps in
+    (try
+       for step = 1 to n_steps do
+         let t0 = float_of_int (step - 1) *. dt in
+         (* Heun's method with rail clamping *)
+         compute_derivs t0 v deriv;
+         for n = 0 to net.n_nodes - 1 do
+           tmp.(n) <-
+             guard_update ~hi:net.node_vdd.(n) v.(n) (v.(n) +. (dt *. deriv.(n)))
+         done;
+         compute_derivs (t0 +. dt) tmp deriv2;
+         let max_rate = ref 0. in
+         for n = 0 to net.n_nodes - 1 do
+           let d = 0.5 *. (deriv.(n) +. deriv2.(n)) in
+           if Float.is_finite d && Float.abs d > !max_rate then
+             max_rate := Float.abs d;
+           v.(n) <- guard_update ~hi:net.node_vdd.(n) v.(n) (v.(n) +. (dt *. d))
+         done;
+         times.(step) <- t0 +. dt;
+         record step;
+         (* early exit once everything has settled *)
+         if !max_rate < 1e-4 then incr quiet_steps else quiet_steps := 0;
+         if !quiet_steps >= 4 && t0 +. dt >= min_time then begin
+           final_step := step;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let len = !final_step + 1 in
+    ( {
+        times = Array.sub times 0 len;
+        voltages = Array.map (fun tr -> Array.sub tr 0 len) recorded;
+      },
+      !final_step,
+      !rejects )
   in
-  let n_steps = int_of_float (ceil (t_end /. dt)) in
-  let times = Array.make (n_steps + 1) 0. in
-  let recorded = Array.map (fun _ -> Array.make (n_steps + 1) 0.) probes in
-  let record step =
-    Array.iteri (fun k node -> recorded.(k).(step) <- v.(node)) probes
+  let rec run dt k =
+    let last = k >= max_retries in
+    match attempt ~dt ~last with
+    | result -> result
+    | exception Nonfinite_step ->
+      incr retries;
+      flagged := true;
+      run (dt /. 4.) (k + 1)
   in
-  record 0;
-  let tmp = Array.make net.n_nodes 0. in
-  let quiet_steps = ref 0 in
-  let final_step = ref n_steps in
-  (try
-     for step = 1 to n_steps do
-       let t0 = float_of_int (step - 1) *. dt in
-       (* Heun's method with rail clamping *)
-       compute_derivs t0 v deriv;
-       for n = 0 to net.n_nodes - 1 do
-         tmp.(n) <-
-           Ser_util.Floatx.clamp ~lo:(-0.3) ~hi:(net.node_vdd.(n) +. 0.3)
-             (v.(n) +. (dt *. deriv.(n)))
-       done;
-       compute_derivs (t0 +. dt) tmp deriv2;
-       let max_rate = ref 0. in
-       for n = 0 to net.n_nodes - 1 do
-         let d = 0.5 *. (deriv.(n) +. deriv2.(n)) in
-         if Float.abs d > !max_rate then max_rate := Float.abs d;
-         v.(n) <-
-           Ser_util.Floatx.clamp ~lo:(-0.3) ~hi:(net.node_vdd.(n) +. 0.3)
-             (v.(n) +. (dt *. d))
-       done;
-       times.(step) <- t0 +. dt;
-       record step;
-       (* early exit once everything has settled *)
-       if !max_rate < 1e-4 then incr quiet_steps else quiet_steps := 0;
-       if !quiet_steps >= 4 && t0 +. dt >= min_time then begin
-         final_step := step;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  let len = !final_step + 1 in
-  {
-    times = Array.sub times 0 len;
-    voltages = Array.map (fun tr -> Array.sub tr 0 len) recorded;
-  }
+  let trace, steps, step_rejects = run dt 0 in
+  if step_rejects > 0 then flagged := true;
+  ( trace,
+    {
+      steps;
+      rejects = step_rejects;
+      retries = !retries;
+      fallbacks = !fallbacks;
+      flagged = !flagged;
+    } )
+
+let simulate net ~inputs ~init ?injections ?dt ?min_time ?probes ~t_end () =
+  fst (simulate_h net ~inputs ~init ?injections ?dt ?min_time ?probes ~t_end ())
 
 let dc_levels net ~ext_values =
   if Array.length ext_values <> net.n_ext then

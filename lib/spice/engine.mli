@@ -63,6 +63,41 @@ type trace = {
                                     k-th probed node *)
 }
 
+type health = {
+  steps : int;      (** integration steps taken by the accepted attempt *)
+  rejects : int;    (** raw updates that overshot the rails by > 1 V *)
+  retries : int;    (** whole-sim restarts at [dt/4] after non-finite math *)
+  fallbacks : int;  (** non-finite values discarded (init sanitised, or
+                        updates dropped on the final attempt) *)
+  flagged : bool;   (** the result needed any of the above interventions
+                        and should not be trusted blindly *)
+}
+
+val healthy : health
+(** All-zero health: a clean run. *)
+
+val merge_health : health -> health -> health
+(** Componentwise sum; [flagged] ors. For measurements built from
+    several transients. *)
+
+val simulate_h :
+  net ->
+  inputs:Waveform.t array ->
+  init:float array ->
+  ?injections:injection list ->
+  ?dt:float ->
+  ?min_time:float ->
+  ?probes:int array ->
+  t_end:float ->
+  unit ->
+  trace * health
+(** Like {!simulate} but also reports integration health. Non-finite
+    initial voltages are replaced by 0 V; a step that produces NaN/Inf
+    aborts the attempt and the whole transient is retried at a quarter
+    of the step, at most twice; on the last attempt offending updates
+    are discarded (the node keeps its previous voltage) so the returned
+    trace is always finite. Any such intervention sets [flagged]. *)
+
 val simulate :
   net ->
   inputs:Waveform.t array ->

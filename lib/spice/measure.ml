@@ -1,3 +1,5 @@
+let all_finite ~values = Array.for_all Float.is_finite values
+
 let segment_time_above t0 t1 v0 v1 th =
   (* time within [t0,t1] where the linear segment exceeds th *)
   let dt = t1 -. t0 in

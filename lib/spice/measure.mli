@@ -2,6 +2,10 @@
     delays. All functions take parallel [times]/[values] arrays as
     produced by {!Engine.simulate}. *)
 
+val all_finite : values:float array -> bool
+(** True when a trace contains no NaN/Inf — a precondition of every
+    measurement below; non-finite samples propagate into the result. *)
+
 val time_above : times:float array -> values:float array -> float -> float
 (** Total time the signal spends strictly above a threshold, with
     linear interpolation of the crossing instants. *)

@@ -1,0 +1,67 @@
+type t = {
+  max_evals : int option;
+  deadline : float option; (* absolute Unix time, seconds *)
+  started : float;
+  mutable evals : int;
+  mutable latched : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?max_evals ?max_seconds () =
+  (match max_evals with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative max_evals"
+  | _ -> ());
+  (match max_seconds with
+  | Some s when s < 0. || Float.is_nan s ->
+    invalid_arg "Budget.create: bad max_seconds"
+  | _ -> ());
+  let started = now () in
+  {
+    max_evals;
+    deadline = Option.map (fun s -> started +. s) max_seconds;
+    started;
+    evals = 0;
+    latched = false;
+  }
+
+let unlimited () = create ()
+
+let tick b = b.evals <- b.evals + 1
+
+let evals b = b.evals
+
+let elapsed b = now () -. b.started
+
+let exhausted b =
+  if b.latched then true
+  else begin
+    let over_evals =
+      match b.max_evals with Some n -> b.evals >= n | None -> false
+    in
+    let over_time =
+      match b.deadline with Some d -> now () >= d | None -> false
+    in
+    if over_evals || over_time then b.latched <- true;
+    b.latched
+  end
+
+let was_exhausted b = b.latched
+
+let remaining_evals b =
+  match b.max_evals with Some n -> Some (max 0 (n - b.evals)) | None -> None
+
+let diag b =
+  let reason =
+    match (b.max_evals, b.deadline) with
+    | Some n, _ when b.evals >= n ->
+      Printf.sprintf "evaluation budget exhausted (%d evals)" b.evals
+    | _ -> Printf.sprintf "deadline exceeded after %.2f s" (elapsed b)
+  in
+  Diag.make ~severity:Warning ~subsystem:"budget"
+    ~context:
+      [
+        ("evals", string_of_int b.evals);
+        ("elapsed_s", Printf.sprintf "%.3f" (elapsed b));
+      ]
+    reason

@@ -1,0 +1,35 @@
+(** Evaluation and wall-clock budgets with graceful degradation.
+
+    A budget is threaded through the expensive loops (direction search,
+    annealing, greedy refinement). Loops call {!tick} per objective
+    evaluation and poll {!exhausted}; when it fires they stop and
+    return their best-so-far incumbent instead of hanging or raising.
+    Results computed under an exhausted budget are flagged [degraded]
+    by their producers. *)
+
+type t
+
+val create : ?max_evals:int -> ?max_seconds:float -> unit -> t
+(** Omitted limits are unlimited. The wall clock starts at creation.
+    Raises [Invalid_argument] on negative limits. *)
+
+val unlimited : unit -> t
+
+val tick : t -> unit
+(** Record one objective evaluation. *)
+
+val evals : t -> int
+
+val elapsed : t -> float
+(** Seconds since creation. *)
+
+val exhausted : t -> bool
+(** True once either limit is hit; latches (never un-exhausts). *)
+
+val was_exhausted : t -> bool
+(** The latched flag, without re-checking the clock. *)
+
+val remaining_evals : t -> int option
+
+val diag : t -> Diag.t
+(** A [Warning]-severity diagnostic describing which limit fired. *)

@@ -1,0 +1,139 @@
+type severity = Info | Warning | Error | Fatal
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2 | Fatal -> 3
+
+type t = {
+  severity : severity;
+  subsystem : string;
+  message : string;
+  context : (string * string) list;
+}
+
+let make ?(severity = Error) ?(context = []) ~subsystem message =
+  { severity; subsystem; message; context }
+
+let makef ?severity ?context ~subsystem fmt =
+  Printf.ksprintf (fun message -> make ?severity ?context ~subsystem message) fmt
+
+let error ?context ~subsystem fmt =
+  Printf.ksprintf
+    (fun message -> make ~severity:Error ?context ~subsystem message)
+    fmt
+
+let warning ?context ~subsystem fmt =
+  Printf.ksprintf
+    (fun message -> make ~severity:Warning ?context ~subsystem message)
+    fmt
+
+let info ?context ~subsystem fmt =
+  Printf.ksprintf
+    (fun message -> make ~severity:Info ?context ~subsystem message)
+    fmt
+
+let with_context d extra = { d with context = d.context @ extra }
+
+let line n = ("line", string_of_int n)
+let file path = ("file", path)
+let gate name = ("gate", name)
+
+let context_value d key = List.assoc_opt key d.context
+
+let located d =
+  List.exists (fun (k, _) -> k = "line" || k = "file" || k = "gate") d.context
+
+let to_string d =
+  let ctx =
+    match d.context with
+    | [] -> ""
+    | kvs ->
+      Printf.sprintf " (%s)"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  (* put the line number up front where humans expect it *)
+  let loc =
+    match context_value d "line" with
+    | Some l -> Printf.sprintf "line %s: " l
+    | None -> ""
+  in
+  Printf.sprintf "[%s] %s: %s%s%s"
+    (severity_to_string d.severity)
+    d.subsystem loc d.message ctx
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_to_string d.severity));
+      ("subsystem", Json.Str d.subsystem);
+      ("message", Json.Str d.message);
+      ( "context",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) d.context) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+module Collector = struct
+  type diag = t
+
+  type t = { mutable diags_rev : diag list }
+
+  let create () = { diags_rev = [] }
+
+  let add c d = c.diags_rev <- d :: c.diags_rev
+
+  let addf c ?severity ?context ~subsystem fmt =
+    Printf.ksprintf
+      (fun message -> add c (make ?severity ?context ~subsystem message))
+      fmt
+
+  let list c = List.rev c.diags_rev
+
+  let length c = List.length c.diags_rev
+
+  let is_empty c = c.diags_rev = []
+
+  let clear c = c.diags_rev <- []
+
+  let max_severity c =
+    List.fold_left
+      (fun acc d ->
+        match acc with
+        | None -> Some d.severity
+        | Some s ->
+          if severity_rank d.severity > severity_rank s then Some d.severity
+          else acc)
+      None c.diags_rev
+
+  let has_errors c =
+    List.exists (fun d -> severity_rank d.severity >= severity_rank Error)
+      c.diags_rev
+end
+
+(* ------------------------------------------------------------------ *)
+
+exception Diag_error of t
+(** Carrier used by boundary wrappers to hop out of deep call stacks;
+    never escapes a [guard]ed entry point. *)
+
+let fail ?context ~subsystem fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Diag_error (make ~severity:Error ?context ~subsystem message)))
+    fmt
+
+let guard ~subsystem f =
+  match f () with
+  | v -> Ok v
+  | exception Diag_error d -> Result.Error d
+  | exception Invalid_argument msg ->
+    Result.Error (make ~subsystem ("invalid argument: " ^ msg))
+  | exception Failure msg -> Result.Error (make ~subsystem msg)
+  | exception Sys_error msg ->
+    Result.Error (make ~subsystem ~context:[ ("kind", "io") ] msg)

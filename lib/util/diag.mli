@@ -1,0 +1,118 @@
+(** Structured diagnostics for every user-reachable failure path.
+
+    A diagnostic carries a severity, the subsystem that produced it
+    ("netlist", "spice", "aserta", "sertopt", "budget", ...), a
+    human-readable message and a key/value context (file, line, gate,
+    ...). Public entry points of the parser, simulator, analyzer and
+    optimizer return [('a, Diag.t) result] instead of raising, so a
+    malformed input, a numerical corner case or an exhausted budget can
+    never crash the process. *)
+
+type severity = Info | Warning | Error | Fatal
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+(** [Info] = 0 ... [Fatal] = 3, for comparisons. *)
+
+type t = {
+  severity : severity;
+  subsystem : string;
+  message : string;
+  context : (string * string) list;
+}
+
+val make :
+  ?severity:severity ->
+  ?context:(string * string) list ->
+  subsystem:string ->
+  string ->
+  t
+(** [severity] defaults to [Error]. *)
+
+val makef :
+  ?severity:severity ->
+  ?context:(string * string) list ->
+  subsystem:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val error :
+  ?context:(string * string) list ->
+  subsystem:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val warning :
+  ?context:(string * string) list ->
+  subsystem:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val info :
+  ?context:(string * string) list ->
+  subsystem:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val with_context : t -> (string * string) list -> t
+(** Append context entries (outermost caller last). *)
+
+val line : int -> string * string
+(** Context entry ["line" = n]. *)
+
+val file : string -> string * string
+val gate : string -> string * string
+
+val context_value : t -> string -> string option
+
+val located : t -> bool
+(** True when the context pins the diagnostic to a file, line or gate. *)
+
+val to_string : t -> string
+(** Human-readable one-liner:
+    ["[error] netlist: line 3: unknown gate kind \"FROB\" (file=x.bench)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+
+(** Accumulates non-fatal diagnostics (warnings, degraded measurements)
+    alongside a successful result. *)
+module Collector : sig
+  type diag = t
+  type t
+
+  val create : unit -> t
+  val add : t -> diag -> unit
+
+  val addf :
+    t ->
+    ?severity:severity ->
+    ?context:(string * string) list ->
+    subsystem:string ->
+    ('a, unit, string, unit) format4 ->
+    'a
+
+  val list : t -> diag list
+  (** Oldest first. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+  val clear : t -> unit
+  val max_severity : t -> severity option
+  val has_errors : t -> bool
+end
+
+exception Diag_error of t
+
+val fail :
+  ?context:(string * string) list ->
+  subsystem:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** Raise [Diag_error]; for internal use under a {!guard}. *)
+
+val guard : subsystem:string -> (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting [Diag_error], [Invalid_argument],
+    [Failure] and [Sys_error] into [Error _]. Other exceptions (actual
+    bugs) propagate. *)

@@ -35,15 +35,25 @@ let sum xs =
 
 let mean xs =
   let n = Array.length xs in
-  if n = 0 then Float.nan else sum xs /. float_of_int n
+  if n = 0 then invalid_arg "Floatx.mean: empty"
+  else sum xs /. float_of_int n
 
 let stddev xs =
   let n = Array.length xs in
-  if n = 0 then Float.nan
+  if n = 0 then invalid_arg "Floatx.stddev: empty"
   else
     let m = mean xs in
     let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
     sqrt (sum acc /. float_of_int n)
+
+let mean_opt xs = if Array.length xs = 0 then None else Some (mean xs)
+
+let stddev_opt xs = if Array.length xs = 0 then None else Some (stddev xs)
+
+let all_finite xs = Array.for_all Float.is_finite xs
+
+let count_nonfinite xs =
+  Array.fold_left (fun acc x -> if Float.is_finite x then acc else acc + 1) 0 xs
 
 let fold_range n ~init ~f =
   let rec loop acc i = if i >= n then acc else loop (f acc i) (i + 1) in

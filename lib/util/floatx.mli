@@ -28,10 +28,25 @@ val sum : float array -> float
 (** Kahan-compensated sum. *)
 
 val mean : float array -> float
-(** Arithmetic mean; [nan] on the empty array. *)
+(** Arithmetic mean. Raises [Invalid_argument] on the empty array (it
+    used to return [nan], which propagated silently into reports); use
+    {!mean_opt} when emptiness is a legitimate input. *)
 
 val stddev : float array -> float
-(** Population standard deviation; [nan] on the empty array. *)
+(** Population standard deviation. Raises [Invalid_argument] on the
+    empty array; see {!stddev_opt}. *)
+
+val mean_opt : float array -> float option
+(** Total version of {!mean}: [None] on the empty array. *)
+
+val stddev_opt : float array -> float option
+(** Total version of {!stddev}: [None] on the empty array. *)
+
+val all_finite : float array -> bool
+(** No NaN/Inf entries (true on the empty array). *)
+
+val count_nonfinite : float array -> int
+(** Number of NaN/Inf entries. *)
 
 val fold_range : int -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** [fold_range n ~init ~f] folds [f] over [0 .. n-1]. *)

@@ -1,5 +1,5 @@
-(** Minimal JSON emitter (no parsing, no external dependency) for
-    machine-readable report export. *)
+(** Minimal JSON emitter and reader (no external dependency) for
+    machine-readable report export and checkpoint restore. *)
 
 type t =
   | Null
@@ -12,8 +12,30 @@ type t =
 val to_string : ?indent:bool -> t -> string
 (** Serialise; [indent] (default true) pretty-prints with 2-space
     indentation. Numbers render as integers when exact, otherwise with
-    up to 6 significant digits; NaN/infinities become [null]. *)
+    up to 6 significant digits. NaN/infinities become [null], and every
+    object field holding one additionally emits a
+    ["<field>_nonfinite": true] companion marker so poisoned reports
+    are detectable downstream. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document. Errors carry the byte offset. Total: never
+    raises on any input. *)
+
+val nonfinite_count : t -> int
+(** Number of NaN/Inf numeric leaves in the tree — callers emit a
+    diagnostic when a report they are about to write contains any. *)
 
 val int : int -> t
+
 val field_opt : string -> t option -> (string * t) list
 (** Helper: an optional object field ([[]] when [None]). *)
+
+(** {1 Accessors} (for checkpoint restore) *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,103 @@
+(* The fault-injection harness: every corruption scenario must be
+   absorbed by the resilience layer -- rejected with a located
+   diagnostic, or flagged degraded -- and no exception may ever
+   escape. *)
+
+module H = Ser_faultsim.Harness
+module Diag = Ser_util.Diag
+
+let results = lazy (H.run_all ())
+
+let test_catalogue_size () =
+  let n = List.length (Lazy.force results) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 25 scenarios (got %d)" n)
+    true (n >= 25)
+
+let test_zero_uncaught () =
+  List.iter
+    (fun ((s : H.scenario), outcome) ->
+      match outcome with
+      | H.Uncaught _ ->
+        Alcotest.failf "%s/%s: %s" s.H.group s.H.name
+          (H.outcome_to_string outcome)
+      | _ -> ())
+    (Lazy.force results)
+
+let test_expectations_met () =
+  List.iter
+    (fun ((s : H.scenario), outcome) ->
+      if not (H.satisfies s.H.expect outcome) then
+        Alcotest.failf "%s/%s: unexpected outcome %s" s.H.group s.H.name
+          (H.outcome_to_string outcome))
+    (Lazy.force results)
+
+let test_parser_diags_located () =
+  (* bench-parser rejections must point at the offending line *)
+  List.iter
+    (fun ((s : H.scenario), outcome) ->
+      if s.H.group = "parser" then
+        match outcome with
+        | H.Graceful d ->
+          if Diag.context_value d "line" = None then
+            Alcotest.failf "%s: diagnostic has no line context: %s" s.H.name
+              (Diag.to_string d)
+        | _ -> ())
+    (Lazy.force results)
+
+let test_rejections_structured () =
+  (* every rejection names the subsystem that produced it *)
+  List.iter
+    (fun ((s : H.scenario), outcome) ->
+      match outcome with
+      | H.Graceful d ->
+        if d.Diag.subsystem = "" then
+          Alcotest.failf "%s: diagnostic without subsystem" s.H.name
+      | _ -> ())
+    (Lazy.force results)
+
+(* ------------- qcheck: analysis output is always sane ------------- *)
+
+let analysis_sane_prop =
+  QCheck.Test.make ~count:8 ~name:"aserta unreliability finite and non-negative"
+    QCheck.(pair (int_bound 1000) (float_bound_inclusive 64.))
+    (fun (seed, charge) ->
+      let charge = Float.max 1. charge in
+      let c = Ser_circuits.Iscas.load ~seed:(seed + 1) "c17" in
+      let lib = Ser_cell.Library.create () in
+      let asg = Ser_sta.Assignment.uniform lib c in
+      let config =
+        {
+          Aserta.Analysis.default_config with
+          Aserta.Analysis.vectors = 300;
+          seed = seed + 1;
+          charge;
+        }
+      in
+      match Aserta.Analysis.run_checked ~config lib asg with
+      | Error d ->
+        QCheck.Test.fail_reportf "valid circuit rejected: %s" (Diag.to_string d)
+      | Ok t ->
+        Array.for_all
+          (fun u -> Float.is_finite u && u >= 0.)
+          t.Aserta.Analysis.unreliability
+        && Float.is_finite t.Aserta.Analysis.total
+        && t.Aserta.Analysis.total >= 0.)
+
+let () =
+  Alcotest.run "faultsim"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "catalogue size" `Quick test_catalogue_size;
+          Alcotest.test_case "zero uncaught exceptions" `Quick
+            test_zero_uncaught;
+          Alcotest.test_case "expectations met" `Quick test_expectations_met;
+          Alcotest.test_case "parser diags located" `Quick
+            test_parser_diags_located;
+          Alcotest.test_case "rejections structured" `Quick
+            test_rejections_structured;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest analysis_sane_prop ] );
+    ]

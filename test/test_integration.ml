@@ -143,7 +143,7 @@ let test_cli_circuit_loading_path () =
   | Ok c' ->
     Alcotest.(check int) "gates preserved" (Circuit.gate_count c)
       (Circuit.gate_count c')
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e));
   Sys.remove path
 
 let test_table1_driver () =

@@ -207,7 +207,7 @@ n1 = NOT(a)
 
 let test_parse_forward_refs () =
   match Bench.parse_string sample_bench with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c ->
     Alcotest.(check int) "gates" 2 (Circuit.gate_count c);
     Alcotest.(check int) "outputs" 1 (Array.length c.Circuit.outputs);
@@ -216,24 +216,41 @@ let test_parse_forward_refs () =
     Alcotest.(check bool) "y is output" true (Circuit.is_output c y)
 
 let test_parse_errors () =
-  let check_err text frag =
+  let check_err ?line text frag =
     match Bench.parse_string text with
     | Ok _ -> Alcotest.fail ("accepted: " ^ frag)
-    | Error msg ->
+    | Error d ->
+      let msg = Ser_util.Diag.to_string d in
       Alcotest.(check bool)
         (Printf.sprintf "error mentions %S in %S" frag msg)
         true
-        (contains ~sub:frag msg)
+        (contains ~sub:frag msg);
+      (* every parse failure must be located on a real line *)
+      let reported = Ser_util.Diag.context_value d "line" in
+      Alcotest.(check bool)
+        (Printf.sprintf "line context present in %S" msg)
+        true (reported <> None);
+      (match line with
+      | Some expected ->
+        Alcotest.(check (option string))
+          (Printf.sprintf "line number in %S" msg)
+          (Some (string_of_int expected))
+          reported
+      | None -> ())
   in
-  check_err "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n" "FROB";
-  check_err "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n" "zzz";
+  check_err ~line:3 "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n" "FROB";
+  check_err ~line:3 "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n" "zzz";
   check_err "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = NOT(y)\n" "cycle";
-  check_err "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n" "duplicate";
-  check_err "INPUT(a)\nOUTPUT(y)\ny = NOT(a" ")"
+  check_err ~line:2 "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n" "duplicate";
+  check_err ~line:3 "INPUT(a)\nOUTPUT(y)\ny = NOT(a" ")";
+  (* arity violations are parse errors with a line, not Invalid_argument *)
+  check_err ~line:3 "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n" "NOT";
+  check_err ~line:2 "INPUT(a)\nOUTPUT(y)\n" "undefined";
+  check_err ~line:4 "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nz = NOT(a)\n" "dangling"
 
 let test_single_input_normalisation () =
   match Bench.parse_string "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n" with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c ->
     let y = Option.get (Circuit.find_by_name c "y") in
     Alcotest.(check bool) "AND1 becomes BUF" true
@@ -243,7 +260,7 @@ let test_roundtrip_c17 () =
   let c = Ser_circuits.Iscas.c17 () in
   let text = Bench.to_string c in
   match Bench.parse_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c' ->
     Alcotest.(check int) "gates" (Circuit.gate_count c) (Circuit.gate_count c');
     Alcotest.(check int) "outputs" 2 (Array.length c'.Circuit.outputs);
@@ -273,6 +290,39 @@ let roundtrip_prop =
         && Array.length c.Circuit.outputs = Array.length c'.Circuit.outputs
         && Circuit.depth c = Circuit.depth c')
 
+(* The reader must be total: any byte string returns Ok or a located
+   Error, never an exception. *)
+let parser_total_prop =
+  QCheck.Test.make ~name:"bench parser is total on arbitrary strings"
+    ~count:500
+    QCheck.(string_gen_of_size (Gen.int_bound 200) Gen.printable)
+    (fun text ->
+      match Bench.parse_string text with
+      | Ok _ -> true
+      | Error d -> Ser_util.Diag.context_value d "line" <> None
+      | exception e ->
+        QCheck.Test.fail_reportf "parser raised %s" (Printexc.to_string e))
+
+(* ... including strings biased towards statement-like fragments, which
+   reach deeper into the builder than uniform noise does *)
+let parser_total_structured_prop =
+  let fragment =
+    QCheck.Gen.oneofl
+      [ "INPUT(a)"; "OUTPUT(y)"; "y = NAND(a, b)"; "y = NOT(a"; "= AND(a)";
+        "x = XOR(x, x)"; "OUTPUT("; "INPUT(a, b)"; "y = FROB(a)"; "# c";
+        "y = NAND(a)"; "a = NOT(y)"; "y = AND()"; "INPUT(y)"; "((((" ]
+  in
+  let gen =
+    QCheck.Gen.(list_size (int_bound 12) fragment >|= String.concat "\n")
+  in
+  QCheck.Test.make ~name:"bench parser is total on statement soup" ~count:500
+    (QCheck.make gen)
+    (fun text ->
+      match Bench.parse_string text with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "parser raised %s" (Printexc.to_string e))
+
 (* ------------------------- verilog format ------------------------- *)
 
 module Verilog = Ser_netlist.Verilog_format
@@ -292,7 +342,7 @@ endmodule
 
 let test_verilog_parse () =
   match Verilog.parse_string sample_verilog with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c ->
     Alcotest.(check int) "gates (assign -> BUF)" 4 (Circuit.gate_count c);
     Alcotest.(check int) "inputs" 3 (Array.length c.Circuit.inputs);
@@ -317,7 +367,7 @@ let test_verilog_roundtrip () =
   let c = Ser_circuits.Iscas.load "c432" in
   let text = Verilog.to_string c in
   match Verilog.parse_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c' ->
     Alcotest.(check int) "gates" (Circuit.gate_count c) (Circuit.gate_count c');
     Alcotest.(check int) "depth" (Circuit.depth c) (Circuit.depth c');
@@ -341,14 +391,15 @@ let test_verilog_identifier_sanitisation () =
   Alcotest.(check bool) "no bare numeric ports" false (contains ~sub:"(1," text);
   Alcotest.(check bool) "prefixed instead" true (contains ~sub:"n22" text);
   match Verilog.parse_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
   | Ok c' -> Alcotest.(check int) "parses back" 6 (Circuit.gate_count c')
 
 let test_verilog_errors () =
   let check_err text frag =
     match Verilog.parse_string text with
     | Ok _ -> Alcotest.fail ("accepted: " ^ frag)
-    | Error msg ->
+    | Error d ->
+      let msg = Ser_util.Diag.to_string d in
       Alcotest.(check bool)
         (Printf.sprintf "error %S mentions %S" msg frag)
         true (contains ~sub:frag msg)
@@ -390,6 +441,8 @@ let () =
           Alcotest.test_case "1-input normalisation" `Quick test_single_input_normalisation;
           Alcotest.test_case "c17 round trip" `Quick test_roundtrip_c17;
           QCheck_alcotest.to_alcotest roundtrip_prop;
+          QCheck_alcotest.to_alcotest parser_total_prop;
+          QCheck_alcotest.to_alcotest parser_total_structured_prop;
         ] );
       ( "verilog format",
         [

@@ -121,6 +121,62 @@ let test_genetic_elitism () =
   in
   Alcotest.(check bool) "trace non-increasing" true (non_increasing r.Min.trace)
 
+(* ---------------- budgets ---------------- *)
+
+let test_budget_cuts_search () =
+  let b = Ser_util.Budget.create ~max_evals:5 () in
+  let r = Min.coordinate_descent ~f:quadratic ~x0:[| 10.; 10. |] ~budget:b () in
+  Alcotest.(check bool) "degraded" true r.Min.degraded;
+  Alcotest.(check bool) "evals bounded" true (r.Min.evals <= 5);
+  Alcotest.(check bool) "best-so-far not worse than start" true
+    (r.Min.fx <= quadratic [| 10.; 10. |])
+
+let test_budget_single_eval () =
+  (* the degenerate budget: one evaluation must still yield a result *)
+  let b = Ser_util.Budget.create ~max_evals:1 () in
+  let r = Min.coordinate_descent ~f:quadratic ~x0:[| 3.; 4. |] ~budget:b () in
+  Alcotest.(check int) "one eval" 1 r.Min.evals;
+  Alcotest.(check bool) "degraded" true r.Min.degraded;
+  Alcotest.(check (float 0.)) "returns the start point" 3. r.Min.x.(0)
+
+let test_budget_not_degraded_when_ample () =
+  let b = Ser_util.Budget.create ~max_evals:100_000 () in
+  let r = Min.coordinate_descent ~f:quadratic ~x0:[| 0.; 0. |] ~budget:b () in
+  Alcotest.(check bool) "not degraded" false r.Min.degraded;
+  Alcotest.(check (float 1e-2)) "still converges" 1. r.Min.x.(0)
+
+let test_budget_annealing () =
+  let rng = Ser_rng.Rng.create 7 in
+  let b = Ser_util.Budget.create ~max_evals:3 () in
+  let neighbor rng x =
+    Array.map (fun v -> v +. Ser_rng.Rng.gaussian rng) x
+  in
+  let r =
+    Min.simulated_annealing ~rng ~f:quadratic ~x0:[| 2.; 2. |] ~neighbor
+      ~steps:500 ~budget:b ()
+  in
+  Alcotest.(check bool) "degraded" true r.Min.degraded;
+  Alcotest.(check bool) "evals bounded" true (r.Min.evals <= 3)
+
+let test_budget_genetic () =
+  let rng = Ser_rng.Rng.create 7 in
+  let b = Ser_util.Budget.create ~max_evals:4 () in
+  let r =
+    Min.genetic ~rng ~f:quadratic ~x0:[| 2.; 2. |] ~population:16
+      ~generations:30 ~budget:b ()
+  in
+  Alcotest.(check bool) "degraded" true r.Min.degraded;
+  Alcotest.(check bool) "evals bounded" true (r.Min.evals <= 4);
+  Alcotest.(check bool) "valid best" true (Float.is_finite r.Min.fx)
+
+let test_budget_deadline () =
+  (* an already-expired wall clock stops the search after the first
+     evaluation *)
+  let b = Ser_util.Budget.create ~max_seconds:0. () in
+  let r = Min.coordinate_descent ~f:quadratic ~x0:[| 3.; 4. |] ~budget:b () in
+  Alcotest.(check bool) "degraded" true r.Min.degraded;
+  Alcotest.(check int) "only the start evaluated" 1 r.Min.evals
+
 let test_genetic_validation () =
   let rng = Ser_rng.Rng.create 1 in
   try
@@ -144,6 +200,15 @@ let () =
           Alcotest.test_case "direction span" `Quick test_direction_search_span;
           Alcotest.test_case "no directions" `Quick test_direction_search_empty;
           Alcotest.test_case "diagonal directions" `Quick test_direction_search_diagonal;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "cuts search" `Quick test_budget_cuts_search;
+          Alcotest.test_case "single eval" `Quick test_budget_single_eval;
+          Alcotest.test_case "ample budget" `Quick test_budget_not_degraded_when_ample;
+          Alcotest.test_case "annealing" `Quick test_budget_annealing;
+          Alcotest.test_case "genetic" `Quick test_budget_genetic;
+          Alcotest.test_case "expired deadline" `Quick test_budget_deadline;
         ] );
       ( "annealing",
         [

@@ -232,6 +232,140 @@ let test_replay_guard () =
   in
   Alcotest.(check bool) "no guard no choice" true (r0.Opt.guard_choice = None)
 
+(* ---------------- budgets, degradation, checkpoints ---------------- *)
+
+let tiny_config =
+  lazy
+    {
+      Opt.default_config with
+      Opt.aserta = { quick_aserta with Aserta.Analysis.vectors = 300 };
+      max_evals = 10;
+      greedy_passes = 1;
+      greedy_gates = 4;
+    }
+
+let test_optimize_tiny_budget () =
+  (* one evaluation and one second: must return the baseline, flagged
+     degraded, without hanging or raising *)
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let budget = Ser_util.Budget.create ~max_evals:1 ~max_seconds:1. () in
+  let r = Opt.optimize ~config:(Lazy.force tiny_config) ~budget lib baseline in
+  Alcotest.(check bool) "degraded" true r.Opt.degraded;
+  Alcotest.(check bool) "returns the baseline" true (r.Opt.optimized == baseline);
+  Alcotest.(check bool) "timing feasible (VDD ordering)" true
+    (vdd_ordering_ok c r.Opt.optimized);
+  Alcotest.(check bool) "metrics are the baseline's" true
+    (r.Opt.optimized_metrics.Cost.unreliability
+     = r.Opt.baseline_metrics.Cost.unreliability)
+
+let test_optimize_partial_budget () =
+  (* a budget that covers the baseline plus a few search evals: still a
+     valid, never-worse result, flagged degraded *)
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let budget = Ser_util.Budget.create ~max_evals:4 () in
+  let r = Opt.optimize ~config:(Lazy.force tiny_config) ~budget lib baseline in
+  Alcotest.(check bool) "degraded" true r.Opt.degraded;
+  Alcotest.(check bool) "never worse" true
+    (r.Opt.optimized_metrics.Cost.unreliability
+     <= r.Opt.baseline_metrics.Cost.unreliability +. 1e-9);
+  Alcotest.(check bool) "VDD ordering" true (vdd_ordering_ok c r.Opt.optimized)
+
+let test_optimize_no_budget_not_degraded () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let r = Opt.optimize ~config:(Lazy.force tiny_config) lib baseline in
+  Alcotest.(check bool) "not degraded" false r.Opt.degraded
+
+let test_checkpoint_roundtrip () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let r = Opt.optimize ~config:(Lazy.force tiny_config) lib baseline in
+  let path = Filename.temp_file "ser_ckpt" ".json" in
+  (match Sertopt.Checkpoint.save path ~cost:1.25 ~evals:r.Opt.evals r.Opt.optimized with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Ser_util.Diag.to_string d));
+  (match Sertopt.Checkpoint.restore path ~base:baseline with
+  | Error d -> Alcotest.fail (Ser_util.Diag.to_string d)
+  | Ok ck ->
+    Alcotest.(check string) "circuit name" c.Circuit.name ck.Sertopt.Checkpoint.circuit;
+    Alcotest.(check (option (float 1e-12))) "cost" (Some 1.25)
+      ck.Sertopt.Checkpoint.cost;
+    Alcotest.(check int) "evals" r.Opt.evals ck.Sertopt.Checkpoint.evals;
+    A.fold_gates r.Opt.optimized ~init:() ~f:(fun () id cell ->
+        Alcotest.(check bool)
+          (Printf.sprintf "gate %d cell preserved" id)
+          true
+          (P.equal cell (A.get ck.Sertopt.Checkpoint.assignment id))));
+  Sys.remove path
+
+let test_checkpoint_rejects_garbage () =
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let base = A.uniform lib c in
+  let check_err text =
+    let path = Filename.temp_file "ser_ckpt" ".json" in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    (match Sertopt.Checkpoint.restore path ~base with
+    | Ok _ -> Alcotest.failf "garbage accepted: %s" text
+    | Error d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "file context present for %s" text)
+        true
+        (Ser_util.Diag.context_value d "file" <> None));
+    Sys.remove path
+  in
+  check_err "not json at all";
+  check_err "{}";
+  check_err {|{"circuit": "other", "gates": []}|};
+  check_err {|{"circuit": "c17", "gates": [{"name": "nope", "kind": "NAND", "fanin": 2, "size": 1, "length": 70, "vdd": 1.0, "vth": 0.2}]}|};
+  check_err {|{"circuit": "c17", "gates": [{"name": "G10", "kind": "NAND", "fanin": 2, "size": -4, "length": 70, "vdd": 1.0, "vth": 0.2}]}|};
+  (* missing file *)
+  match Sertopt.Checkpoint.restore "/nonexistent/ckpt.json" ~base with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
+
+let test_optimize_resume_from_checkpoint () =
+  (* a checkpointed incumbent seeds the search: the resumed run must do
+     at least as well as the incumbent *)
+  let c = Ser_circuits.Iscas.c17 () in
+  let lib = lib_small () in
+  let baseline = Opt.size_for_speed lib c in
+  let first = Opt.optimize ~config:(Lazy.force tiny_config) lib baseline in
+  let path = Filename.temp_file "ser_ckpt" ".json" in
+  (match Sertopt.Checkpoint.save path first.Opt.optimized with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Ser_util.Diag.to_string d));
+  let incumbent =
+    match Sertopt.Checkpoint.restore path ~base:baseline with
+    | Ok ck -> ck.Sertopt.Checkpoint.assignment
+    | Error d -> Alcotest.fail (Ser_util.Diag.to_string d)
+  in
+  Sys.remove path;
+  (* resume under a small budget: baseline measure + incumbent measure fit *)
+  let budget = Ser_util.Budget.create ~max_evals:3 () in
+  let r =
+    Opt.optimize ~config:(Lazy.force tiny_config) ~budget ~initial:incumbent
+      lib baseline
+  in
+  Alcotest.(check bool) "no worse than incumbent" true
+    (r.Opt.optimized_metrics.Cost.unreliability
+     <= first.Opt.optimized_metrics.Cost.unreliability +. 1e-9);
+  (* a foreign incumbent is rejected loudly *)
+  let other = Ser_circuits.Iscas.load "c432" in
+  let foreign = A.uniform lib other in
+  (try
+     ignore (Opt.optimize ~config:(Lazy.force tiny_config) ~initial:foreign lib baseline);
+     Alcotest.fail "foreign incumbent accepted"
+   with Invalid_argument _ -> ())
+
 let test_masking_override () =
   let c = Ser_circuits.Iscas.c17 () in
   let lib = lib_small () in
@@ -274,5 +408,18 @@ let () =
           Alcotest.test_case "pure nullspace no regression" `Slow test_optimize_pure_nullspace;
           Alcotest.test_case "replay guard" `Slow test_replay_guard;
           Alcotest.test_case "masking override" `Quick test_masking_override;
+        ] );
+      ( "budgets and checkpoints",
+        [
+          Alcotest.test_case "tiny budget degrades to baseline" `Quick
+            test_optimize_tiny_budget;
+          Alcotest.test_case "partial budget" `Quick test_optimize_partial_budget;
+          Alcotest.test_case "no budget not degraded" `Quick
+            test_optimize_no_budget_not_degraded;
+          Alcotest.test_case "checkpoint round trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint rejects garbage" `Quick
+            test_checkpoint_rejects_garbage;
+          Alcotest.test_case "resume from checkpoint" `Quick
+            test_optimize_resume_from_checkpoint;
         ] );
     ]

@@ -169,6 +169,64 @@ let test_strike_polarity () =
   let final = trace.Engine.voltages.(0).(Array.length trace.Engine.times - 1) in
   Alcotest.(check bool) "recovered" true (final < 0.1)
 
+let one_inverter () =
+  let b = Engine.Build.create () in
+  let e = Engine.Build.ext b in
+  let n = Engine.Build.add_stage b Engine.Inv inv [| Engine.Ext e |] in
+  Engine.Build.add_cap b n 1.;
+  (Engine.Build.finish b, n)
+
+let test_health_clean_run () =
+  let net, n = one_inverter () in
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  let _, h =
+    Engine.simulate_h net ~inputs:[| W.dc 1. |] ~init ~dt:0.25
+      ~probes:[| n |] ~t_end:100. ()
+  in
+  Alcotest.(check bool) "not flagged" false h.Engine.flagged;
+  Alcotest.(check int) "no retries" 0 h.Engine.retries;
+  Alcotest.(check int) "no fallbacks" 0 h.Engine.fallbacks;
+  Alcotest.(check bool) "took steps" true (h.Engine.steps > 0)
+
+let test_health_poisoned_init () =
+  (* NaN in the initial condition must be sanitised, reported, and must
+     not leak into the trace *)
+  let net, n = one_inverter () in
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  init.(n) <- Float.nan;
+  let trace, h =
+    Engine.simulate_h net ~inputs:[| W.dc 1. |] ~init ~dt:0.25
+      ~probes:[| n |] ~t_end:100. ()
+  in
+  Alcotest.(check bool) "flagged" true h.Engine.flagged;
+  Alcotest.(check bool) "fallback counted" true (h.Engine.fallbacks >= 1);
+  Alcotest.(check bool) "trace finite" true
+    (Measure.all_finite ~values:trace.Engine.voltages.(0));
+  (* with the NaN replaced by 0 V the inverter still settles low *)
+  let final = trace.Engine.voltages.(0).(Array.length trace.Engine.times - 1) in
+  Alcotest.(check bool) "settles" true (final < 0.1)
+
+let test_health_extreme_charge () =
+  (* a strike five orders of magnitude beyond the characterised range:
+     the integrator must survive (clamp/retry), never emit NaN *)
+  let net, n = one_inverter () in
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  let trace, h =
+    Engine.simulate_h net ~inputs:[| W.dc 1. |] ~init
+      ~injections:
+        [ Engine.{ inj_node = n; charge = 1e7; t_start = 5.; into_node = true } ]
+      ~dt:0.5 ~probes:[| n |] ~t_end:400. ()
+  in
+  Alcotest.(check bool) "trace finite" true
+    (Measure.all_finite ~values:trace.Engine.voltages.(0));
+  Alcotest.(check bool) "interventions reported" true
+    (h.Engine.flagged || h.Engine.rejects = 0)
+
+let test_char_h_clean () =
+  let w, h = Char.generated_glitch_width_h inv ~cload:2. ~charge:16. ~output_low:true in
+  Alcotest.(check bool) "finite width" true (Float.is_finite w);
+  Alcotest.(check bool) "clean" false h.Ser_spice.Engine.flagged
+
 (* ------------------------- characterisation ------------------------- *)
 
 let test_char_glitch_monotone () =
@@ -365,6 +423,10 @@ let () =
           Alcotest.test_case "inverter switches" `Quick test_inverter_switching;
           Alcotest.test_case "settle early exit" `Quick test_settle_early_exit;
           Alcotest.test_case "strike and recovery" `Quick test_strike_polarity;
+          Alcotest.test_case "health: clean run" `Quick test_health_clean_run;
+          Alcotest.test_case "health: poisoned init" `Quick test_health_poisoned_init;
+          Alcotest.test_case "health: extreme charge" `Quick test_health_extreme_charge;
+          Alcotest.test_case "health: char variant" `Quick test_char_h_clean;
         ] );
       ( "characterisation",
         [

@@ -51,7 +51,15 @@ let test_kahan_sum () =
 let test_mean_stddev () =
   check_float "mean" 2. (F.mean [| 1.; 2.; 3. |]);
   check_float "stddev" (sqrt (2. /. 3.)) (F.stddev [| 1.; 2.; 3. |]);
-  Alcotest.(check bool) "mean empty nan" true (Float.is_nan (F.mean [||]))
+  Alcotest.check_raises "empty mean" (Invalid_argument "Floatx.mean: empty")
+    (fun () -> ignore (F.mean [||]));
+  Alcotest.check_raises "empty stddev" (Invalid_argument "Floatx.stddev: empty")
+    (fun () -> ignore (F.stddev [||]));
+  Alcotest.(check (option (float 0.))) "empty mean_opt" None (F.mean_opt [||]);
+  Alcotest.(check (option (float 0.))) "mean_opt" (Some 2.)
+    (F.mean_opt [| 1.; 2.; 3. |]);
+  Alcotest.(check (option (float 0.))) "empty stddev_opt" None
+    (F.stddev_opt [||])
 
 let test_minmax () =
   check_float "min" (-2.) (F.array_min [| 3.; -2.; 7. |]);
