@@ -128,6 +128,93 @@ let micro () =
     (fun (name, est) -> Printf.printf "  %-40s %14.1f ns/run\n%!" name est)
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* parallel runtime: sequential vs pool, with machine-readable output   *)
+(* ------------------------------------------------------------------ *)
+
+let par_bench () =
+  section "Parallel runtime (lib/par): sequential vs pool";
+  let jobs = Ser_par.Par.jobs () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let checksum_probs (pp : Ser_logicsim.Probs.path_probs) =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( +. ) acc row)
+      0. pp.Ser_logicsim.Probs.p
+  in
+  (* each case builds its whole world from scratch so the two runs are
+     exact replicas; the returned checksum must be bit-identical *)
+  let mc name vectors =
+    ( Printf.sprintf "mc-path-probs-%s" name,
+      fun () ->
+        let c = Ser_circuits.Iscas.load name in
+        let rng = Ser_rng.Rng.create 7 in
+        checksum_probs
+          (Ser_logicsim.Probs.path_probabilities ~rng ~vectors c) )
+  in
+  let aserta name vectors =
+    ( Printf.sprintf "aserta-%s" name,
+      fun () ->
+        let c = Ser_circuits.Iscas.load name in
+        let lib = Ser_cell.Library.create () in
+        let asg = Ser_sta.Assignment.uniform lib c in
+        let cfg =
+          { Aserta.Analysis.default_config with Aserta.Analysis.vectors }
+        in
+        (Aserta.Analysis.run ~config:cfg lib asg).Aserta.Analysis.total )
+  in
+  let cases =
+    [ mc "c2670" 256; mc "c5315" 128; aserta "c880" 300; aserta "c1355" 200 ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        Ser_par.Par.set_jobs 1;
+        let seq_v, seq_s = time f in
+        Ser_par.Par.set_jobs jobs;
+        let par_v, par_s = time f in
+        if Int64.bits_of_float seq_v <> Int64.bits_of_float par_v then begin
+          Printf.eprintf
+            "FATAL: %s not deterministic across worker counts (%.17g vs %.17g)\n"
+            name seq_v par_v;
+          exit 1
+        end;
+        let speedup = seq_s /. Float.max 1e-9 par_s in
+        Printf.printf "  %-24s seq %8.3f s   %d jobs %8.3f s   speedup %5.2fx\n%!"
+          name seq_s jobs par_s speedup;
+        Ser_util.Json.(
+          Obj
+            [
+              ("name", Str name);
+              ("seq_s", Num seq_s);
+              ("par_s", Num par_s);
+              ("speedup", Num speedup);
+              ("checksum", Num seq_v);
+            ]))
+      cases
+  in
+  (* the hardware context matters: on a single-core container the pool
+     cannot beat sequential, and the numbers must say so honestly *)
+  let doc =
+    Ser_util.Json.(
+      Obj
+        [
+          ("jobs", int jobs);
+          ("recommended_domains", int (Ser_par.Par.recommended_jobs ()));
+          ("cases", List rows);
+          ("pool", Ser_par.Par.stats_json ());
+        ])
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Ser_util.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_par.json (jobs=%d, recommended=%d)\n" jobs
+    (Ser_par.Par.recommended_jobs ())
+
 let all () =
   fig1 ();
   fig2 ();
@@ -139,10 +226,23 @@ let all () =
   variation ();
   ser_rate ();
   pipeline ();
+  par_bench ();
   micro ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* a leading "-j N" pins the pool width for every target *)
+  let args =
+    match args with
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 0 -> Ser_par.Par.set_jobs j
+      | _ ->
+        Printf.eprintf "bad -j value %S (want an integer >= 0)\n" n;
+        exit 2);
+      rest
+    | _ -> args
+  in
   match args with
   | [] | [ "all" ] -> all ()
   | [ "fig1" ] -> fig1 ()
@@ -167,12 +267,14 @@ let () =
   | [ "ser-rate" ] -> ser_rate ()
   | [ "pipeline" ] -> pipeline ()
   | [ "micro" ] -> micro ()
+  | [ "par" ] -> par_bench ()
   | other ->
     Printf.eprintf
       "unknown bench target %s\n\
+       usage: main.exe [-j N] TARGET\n\
        targets: all fig1 fig2 fig3 table1 [circuits...] table1-golden \
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
-       alternatives variation ser-rate pipeline micro\n"
+       alternatives variation ser-rate pipeline micro par\n"
       (String.concat " " other);
     exit 2

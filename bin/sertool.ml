@@ -21,6 +21,20 @@ let exit_code_of_diag (d : Ser_util.Diag.t) =
 
 let render_diag d = prerr_endline ("sertool: " ^ Ser_util.Diag.to_string d)
 
+(* -j N pins the worker-pool width for the whole process (0 =
+   autodetect); the default -1 leaves the SERTOOL_JOBS variable /
+   autodetection in charge. Results are bit-identical for every
+   setting; see lib/par. *)
+let apply_jobs j = if j >= 0 then Ser_par.Par.set_jobs j
+
+(* one-line pool summary on stderr after a heavy command, so timing
+   investigations can see how the work was spread without the output
+   format changing *)
+let report_pool () =
+  if Ser_par.Par.jobs () > 1 then
+    prerr_endline
+      ("sertool: " ^ Ser_util.Diag.to_string (Ser_par.Par.stats_diag ()))
+
 (* user-facing failures (bad file, unknown name, located diagnostics)
    become a one-line stderr message and a classed exit code instead of
    "internal error" traces *)
@@ -96,8 +110,9 @@ let generate_cmd name seed format output =
     `Ok exit_ok
   end
 
-let analyze_cmd spec vectors charge top vdds vths json dot =
+let analyze_cmd jobs spec vectors charge top vdds vths json dot =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
@@ -162,11 +177,13 @@ let analyze_cmd spec vectors charge top vdds vths json dot =
     Ser_netlist.Dot_export.write_dot ~annotation path c;
     Printf.printf "wrote %s\n" path
   | None -> ());
+  report_pool ();
   `Ok exit_ok
 
-let optimize_cmd spec vectors evals greedy vdds vths budget_evals timeout
+let optimize_cmd jobs spec vectors evals greedy vdds vths budget_evals timeout
     checkpoint output json =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let baseline = Sertopt.Optimizer.size_for_speed lib c in
@@ -244,10 +261,12 @@ let optimize_cmd spec vectors evals greedy vdds vths budget_evals timeout
     Ser_repro.Report.write path (Ser_repro.Report.optimization_to_json r);
     Printf.printf "wrote %s\n" path
   | None -> ());
+  report_pool ();
   `Ok exit_ok
 
-let rate_cmd spec vectors clock q_slope top =
+let rate_cmd jobs spec vectors clock q_slope top =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let lib = make_library [] [] in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
@@ -277,10 +296,12 @@ let rate_cmd spec vectors clock q_slope top =
           r.Aserta.Ser_rate.per_gate.(id)
           (100. *. r.Aserta.Ser_rate.per_gate.(id) /. r.Aserta.Ser_rate.total))
     idx;
+  report_pool ();
   `Ok exit_ok
 
-let harden_cmd spec method_ fraction output =
+let harden_cmd jobs spec method_ fraction output =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let hardened =
     match method_ with
@@ -310,8 +331,9 @@ let harden_cmd spec method_ fraction output =
   | None -> print_string (Ser_netlist.Bench_format.to_string hardened));
   `Ok exit_ok
 
-let pipeline_cmd spec stages clock =
+let pipeline_cmd jobs spec stages clock =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let lib = make_library [] [] in
   let slices =
@@ -333,10 +355,12 @@ let pipeline_cmd spec stages clock =
     r.Ser_pipeline.Pipeline.stage_ser;
   Printf.printf "  %-24s SER %10.2f\n" "flip-flops" r.Ser_pipeline.Pipeline.ff_ser;
   Printf.printf "  %-24s SER %10.2f\n" "total" r.Ser_pipeline.Pipeline.total;
+  report_pool ();
   `Ok exit_ok
 
-let timing_cmd spec n_paths vdds vths =
+let timing_cmd jobs spec n_paths vdds vths =
   wrap @@ fun () ->
+  apply_jobs jobs;
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
@@ -455,6 +479,14 @@ let vths_arg =
   Arg.(value & opt (list float) [] & info [ "vths" ] ~docv:"V,..."
          ~doc:"Threshold-voltage menu (default 0.1,0.2,0.3).")
 
+let jobs_arg =
+  Arg.(value & opt int (-1) & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel sections: 0 autodetects from the \
+               machine, 1 forces sequential execution, N>1 pins the pool \
+               width. Defaults to the SERTOOL_JOBS environment variable, \
+               else autodetection. Results are bit-identical for every \
+               setting.")
+
 let info_t =
   Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics")
     Term.(ret (const info_cmd $ circuit_arg))
@@ -497,8 +529,8 @@ let analyze_t =
            ~doc:"Export the circuit as Graphviz with unreliability heat.")
   in
   Cmd.v (Cmd.info "analyze" ~doc:"ASERTA soft-error tolerance analysis")
-    Term.(ret (const analyze_cmd $ circuit_arg $ vectors $ charge $ top
-               $ vdds_arg $ vths_arg $ json $ dot))
+    Term.(ret (const analyze_cmd $ jobs_arg $ circuit_arg $ vectors $ charge
+               $ top $ vdds_arg $ vths_arg $ json $ dot))
 
 let optimize_t =
   let vectors =
@@ -534,9 +566,9 @@ let optimize_t =
                  assignment back to it (JSON incumbent).")
   in
   Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
-    Term.(ret (const optimize_cmd $ circuit_arg $ vectors $ evals $ greedy
-               $ vdds_arg $ vths_arg $ budget_evals $ timeout $ checkpoint
-               $ output $ json))
+    Term.(ret (const optimize_cmd $ jobs_arg $ circuit_arg $ vectors $ evals
+               $ greedy $ vdds_arg $ vths_arg $ budget_evals $ timeout
+               $ checkpoint $ output $ json))
 
 let export_deck_t =
   let strike =
@@ -591,7 +623,8 @@ let rate_t =
   Cmd.v
     (Cmd.info "rate"
        ~doc:"Soft-error rate (FIT) over a particle charge spectrum")
-    Term.(ret (const rate_cmd $ circuit_arg $ vectors $ clock $ q_slope $ top))
+    Term.(ret (const rate_cmd $ jobs_arg $ circuit_arg $ vectors $ clock
+               $ q_slope $ top))
 
 let harden_t =
   let method_ =
@@ -610,7 +643,8 @@ let harden_t =
     (Cmd.info "harden"
        ~doc:"Apply a classical structural hardening transform (TMR, partial \
              TMR, duplication+CED)")
-    Term.(ret (const harden_cmd $ circuit_arg $ method_ $ fraction $ output))
+    Term.(ret (const harden_cmd $ jobs_arg $ circuit_arg $ method_ $ fraction
+               $ output))
 
 let pipeline_t =
   let stages =
@@ -623,7 +657,7 @@ let pipeline_t =
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Slice a circuit into pipeline stages and report the system SER")
-    Term.(ret (const pipeline_cmd $ circuit_arg $ stages $ clock))
+    Term.(ret (const pipeline_cmd $ jobs_arg $ circuit_arg $ stages $ clock))
 
 let timing_t =
   let n_paths =
@@ -631,7 +665,8 @@ let timing_t =
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing report with the K worst paths")
-    Term.(ret (const timing_cmd $ circuit_arg $ n_paths $ vdds_arg $ vths_arg))
+    Term.(ret (const timing_cmd $ jobs_arg $ circuit_arg $ n_paths $ vdds_arg
+               $ vths_arg))
 
 let export_lib_t =
   let kind =

@@ -112,8 +112,8 @@ let run_electrical config lib asg masking =
   let table = Array.make n [||] in
   let po_pos = Array.make n (-1) in
   Array.iteri (fun pos id -> po_pos.(id) <- pos) c.outputs;
-  for id = n - 1 downto 0 do
-    if not (Circuit.is_input c id) then begin
+  let compute_table id =
+    begin
       let t = Array.make_matrix n_pos n_samples 0. in
       if po_pos.(id) >= 0 then begin
         (* step (ii): a primary-output gate passes glitches straight to
@@ -197,13 +197,48 @@ let run_electrical config lib asg masking =
       end;
       table.(id) <- t
     end
+  in
+  (* The WS table of a gate reads only the tables of its successors
+     (and nothing at all for a primary-output gate), so the gates are
+     scheduled in reverse-topological {e dependency levels}: level 0
+     holds the gates whose table reads no other (primary-output gates
+     and fan-out-free sinks), level [l+1] the gates all of whose
+     successors sit at level <= [l]. Gates within a level are
+     independent and fan out over the lib/par pool; every per-gate
+     computation is untouched, so the tables are bit-identical for any
+     worker count. *)
+  let level = Array.make n (-1) in
+  let max_level = ref 0 in
+  for id = n - 1 downto 0 do
+    if not (Circuit.is_input c id) then begin
+      let l =
+        if po_pos.(id) >= 0 then 0
+        else
+          List.fold_left
+            (fun acc s -> max acc (level.(s) + 1))
+            0 (successors c id)
+      in
+      level.(id) <- l;
+      if l > !max_level then max_level := l
+    end
   done;
-  (* generated widths, step (iv) interpolation, and Eqs 3-4 *)
+  let by_level = Array.make (!max_level + 1) [] in
+  for id = n - 1 downto 0 do
+    if level.(id) >= 0 then by_level.(level.(id)) <- id :: by_level.(level.(id))
+  done;
+  Array.iter
+    (fun ids ->
+      let ids = Array.of_list ids in
+      Ser_par.Par.parallel_for ~n:(Array.length ids) (fun k ->
+          compute_table ids.(k)))
+    by_level;
+  (* generated widths, step (iv) interpolation, and Eqs 3-4; the
+     per-gate pass is embarrassingly parallel, the total is summed
+     sequentially in gate order afterwards *)
   let gen_width = Array.make n 0. in
   let expected_width = Array.make n [||] in
   let unreliability = Array.make n 0. in
-  let total = ref 0. in
-  for id = 0 to n - 1 do
+  Ser_par.Par.parallel_for ~n (fun id ->
     if Circuit.is_input c id then expected_width.(id) <- Array.make n_pos 0.
     else begin
       let cell = Assignment.get asg id in
@@ -228,10 +263,10 @@ let run_electrical config lib asg masking =
       expected_width.(id) <- wij;
       let z = Library.area lib cell in
       let u = z *. Ser_util.Floatx.sum wij in
-      unreliability.(id) <- u;
-      total := !total +. u
-    end
-  done;
+      unreliability.(id) <- u
+    end);
+  let total = ref 0. in
+  Array.iter (fun u -> total := !total +. u) unreliability;
   {
     config;
     circuit = c;

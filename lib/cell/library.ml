@@ -46,6 +46,12 @@ type t = {
       (* (node_cap, charge) grids for output_low = (true, false) *)
   diags : Ser_util.Diag.Collector.t;
   mutable flagged_points : int;
+  mu : Mutex.t;
+      (* guards both caches, the collector and [flagged_points]: the
+         library is queried concurrently from lib/par worker domains.
+         The lock is held across a miss-path characterisation, so a
+         cell is characterised exactly once and the tables every domain
+         sees are identical. *)
 }
 
 let create ?(backend = Analytic) ?(axes = default_axes) () =
@@ -58,10 +64,15 @@ let create ?(backend = Analytic) ?(axes = default_axes) () =
     glitch_cache = Pmap.empty;
     diags = Ser_util.Diag.Collector.create ();
     flagged_points = 0;
+    mu = Mutex.create ();
   }
 
-let diagnostics t = Ser_util.Diag.Collector.list t.diags
-let flagged_points t = t.flagged_points
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let diagnostics t = with_lock t (fun () -> Ser_util.Diag.Collector.list t.diags)
+let flagged_points t = with_lock t (fun () -> t.flagged_points)
 
 (* A characterisation point whose transient needed guardrail
    interventions is recorded; a point that is still non-finite falls
@@ -135,37 +146,58 @@ let ncap_axis (p : Cell_params.t) =
   Array.map (fun m -> m *. Float.max 1. p.size) [| 0.3; 0.8; 2.; 5.; 12.; 30. |]
 
 let timing_tables t p =
-  match Pmap.find_opt p t.timing_cache with
-  | Some tb -> tb.timing
-  | None ->
-    let axes = [| ramp_axis; cload_axis p |] in
-    let measure q =
-      let (d, r), health =
-        Ser_spice.Char.delay_and_ramp_h p ~cload:q.(1) ~input_ramp:q.(0)
-      in
-      let point = Printf.sprintf "ramp=%g cload=%g" q.(0) q.(1) in
-      if health.Ser_spice.Engine.flagged then
-        note_flagged t p ~what:"timing" ~q:point health;
-      if Float.is_finite d && Float.is_finite r then (d, r)
-      else
-        ( Gate_model.delay p ~input_ramp:q.(0) ~cload:q.(1),
-          Gate_model.output_ramp p ~input_ramp:q.(0) ~cload:q.(1) )
-    in
-    (* sample once per grid point, share between both tables *)
-    let cache = Hashtbl.create 64 in
-    let cached q =
-      let key = (q.(0), q.(1)) in
-      match Hashtbl.find_opt cache key with
-      | Some r -> r
+  with_lock t (fun () ->
+      match Pmap.find_opt p t.timing_cache with
+      | Some tb -> tb.timing
       | None ->
-        let r = measure q in
-        Hashtbl.replace cache key r;
-        r
-    in
-    let delay_tbl = Lut.build ~axes ~f:(fun q -> fst (cached (Array.copy q))) in
-    let ramp_tbl = Lut.build ~axes ~f:(fun q -> snd (cached (Array.copy q))) in
-    t.timing_cache <- Pmap.add p { timing = (delay_tbl, ramp_tbl) } t.timing_cache;
-    (delay_tbl, ramp_tbl)
+        let cloads = cload_axis p in
+        let axes = [| ramp_axis; cloads |] in
+        let nc = Array.length cloads in
+        let points =
+          Array.init
+            (Array.length ramp_axis * nc)
+            (fun i -> (ramp_axis.(i / nc), cloads.(i mod nc)))
+        in
+        (* one transient per grid point, fanned out over the lib/par
+           pool; guardrail flags are recorded sequentially in grid order
+           afterwards so the collector stays deterministic. The lock is
+           held throughout, so a concurrent query for the same cell
+           waits for these tables instead of re-measuring them. *)
+        let measured =
+          Ser_par.Par.parallel_map
+            (fun (ramp, cload) ->
+              Ser_spice.Char.delay_and_ramp_h p ~cload ~input_ramp:ramp)
+            points
+        in
+        let cache = Hashtbl.create 64 in
+        Array.iteri
+          (fun i (ramp, cload) ->
+            let (d, r), health = measured.(i) in
+            if health.Ser_spice.Engine.flagged then
+              note_flagged t p ~what:"timing"
+                ~q:(Printf.sprintf "ramp=%g cload=%g" ramp cload)
+                health;
+            let v =
+              if Float.is_finite d && Float.is_finite r then (d, r)
+              else
+                ( Gate_model.delay p ~input_ramp:ramp ~cload,
+                  Gate_model.output_ramp p ~input_ramp:ramp ~cload )
+            in
+            Hashtbl.replace cache (ramp, cload) v)
+          points;
+        (* Lut.build only probes grid points, all of which are cached *)
+        let lookup q =
+          match Hashtbl.find_opt cache (q.(0), q.(1)) with
+          | Some v -> v
+          | None ->
+            ( Gate_model.delay p ~input_ramp:q.(0) ~cload:q.(1),
+              Gate_model.output_ramp p ~input_ramp:q.(0) ~cload:q.(1) )
+        in
+        let delay_tbl = Lut.build ~axes ~f:(fun q -> fst (lookup q)) in
+        let ramp_tbl = Lut.build ~axes ~f:(fun q -> snd (lookup q)) in
+        t.timing_cache <-
+          Pmap.add p { timing = (delay_tbl, ramp_tbl) } t.timing_cache;
+        (delay_tbl, ramp_tbl))
 
 let delay t p ~input_ramp ~cload =
   match t.backend with
@@ -182,30 +214,54 @@ let output_ramp t p ~input_ramp ~cload =
     Lut.eval2 r input_ramp cload
 
 let glitch_tables t p =
-  match Pmap.find_opt p t.glitch_cache with
-  | Some tb -> tb
-  | None ->
-    let axes = [| ncap_axis p; charge_axis |] in
-    let build output_low =
-      Lut.build ~axes ~f:(fun q ->
+  with_lock t (fun () ->
+      match Pmap.find_opt p t.glitch_cache with
+      | Some tb -> tb
+      | None ->
+        let ncaps = ncap_axis p in
+        let axes = [| ncaps; charge_axis |] in
+        let nq = Array.length charge_axis in
+        let points =
+          Array.init
+            (Array.length ncaps * nq)
+            (fun i -> (ncaps.(i / nq), charge_axis.(i mod nq)))
+        in
+        let measure_point output_low (ncap, charge) =
           (* the char harness takes the external load; subtract our own
              junction contribution from the requested node capacitance *)
-          let cload = Float.max 0.05 (q.(0) -. Gate_model.output_cap p) in
-          let w, health =
-            Ser_spice.Char.generated_glitch_width_h p ~cload ~charge:q.(1)
-              ~output_low
+          let cload = Float.max 0.05 (ncap -. Gate_model.output_cap p) in
+          Ser_spice.Char.generated_glitch_width_h p ~cload ~charge ~output_low
+        in
+        let build output_low =
+          let measured =
+            Ser_par.Par.parallel_map (measure_point output_low) points
           in
-          let point = Printf.sprintf "ncap=%g charge=%g" q.(0) q.(1) in
-          if health.Ser_spice.Engine.flagged then
-            note_flagged t p ~what:"glitch" ~q:point health;
-          if Float.is_finite w then w
-          else
-            Gate_model.generated_glitch_width p ~node_cap:q.(0)
-              ~charge:q.(1) ~output_low)
-    in
-    let tb = (build true, build false) in
-    t.glitch_cache <- Pmap.add p tb t.glitch_cache;
-    tb
+          let cache = Hashtbl.create 64 in
+          Array.iteri
+            (fun i (ncap, charge) ->
+              let w, health = measured.(i) in
+              if health.Ser_spice.Engine.flagged then
+                note_flagged t p ~what:"glitch"
+                  ~q:(Printf.sprintf "ncap=%g charge=%g" ncap charge)
+                  health;
+              let v =
+                if Float.is_finite w then w
+                else
+                  Gate_model.generated_glitch_width p ~node_cap:ncap ~charge
+                    ~output_low
+              in
+              Hashtbl.replace cache (ncap, charge) v)
+            points;
+          Lut.build ~axes ~f:(fun q ->
+              match Hashtbl.find_opt cache (q.(0), q.(1)) with
+              | Some v -> v
+              | None ->
+                Gate_model.generated_glitch_width p ~node_cap:q.(0)
+                  ~charge:q.(1) ~output_low)
+        in
+        let tb = (build true, build false) in
+        t.glitch_cache <- Pmap.add p tb t.glitch_cache;
+        tb)
 
 let generated_glitch_width t p ~node_cap ~charge ~output_low =
   match t.backend with
@@ -214,4 +270,6 @@ let generated_glitch_width t p ~node_cap ~charge ~output_low =
     let low_tbl, high_tbl = glitch_tables t p in
     Lut.eval2 (if output_low then low_tbl else high_tbl) node_cap charge
 
-let warm_cache_size t = Pmap.cardinal t.timing_cache + Pmap.cardinal t.glitch_cache
+let warm_cache_size t =
+  with_lock t (fun () ->
+      Pmap.cardinal t.timing_cache + Pmap.cardinal t.glitch_cache)

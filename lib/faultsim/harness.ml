@@ -370,4 +370,11 @@ let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
   @ optimizer_scenarios () @ util_scenarios ()
 
-let run_all () = List.map (fun s -> (s, run_scenario s)) (scenarios ())
+let run_all () =
+  (* force the shared fixtures before fanning out: Lazy.force is not
+     safe to race from several domains (the losers raise
+     Lazy.Undefined), and base_asg pulls in the other two *)
+  ignore (Lazy.force base_asg);
+  let ss = Array.of_list (scenarios ()) in
+  let outcomes = Ser_par.Par.parallel_map ~chunk:1 run_scenario ss in
+  Array.to_list (Array.mapi (fun i o -> (ss.(i), o)) outcomes)

@@ -40,6 +40,9 @@ val run_scenario : scenario -> outcome
     {!Uncaught}. *)
 
 val run_all : unit -> (scenario * outcome) list
+(** Run every scenario. Scenarios are independent and fan out over the
+    {!Ser_par.Par} pool (one scenario per chunk); the result list keeps
+    the declaration order regardless of worker count. *)
 
 val satisfies : expect -> outcome -> bool
 (** Whether an outcome is acceptable for the scenario's expectation.

@@ -3,17 +3,19 @@ module Gate = Ser_netlist.Gate
 
 let bits_per_word = 62
 
+(* built eagerly at module init: a [lazy] here would be forced
+   concurrently by pool domains, and racing forcers of the same lazy
+   raise CamlinternalLazy.Undefined on OCaml 5 *)
 let pop16 =
-  lazy
-    (let t = Bytes.create 65536 in
-     for i = 0 to 65535 do
-       let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
-       Bytes.unsafe_set t i (Char.chr (count i))
-     done;
-     t)
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+    Bytes.unsafe_set t i (Char.chr (count i))
+  done;
+  t
 
 let popcount x =
-  let t = Lazy.force pop16 in
+  let t = pop16 in
   let b i = Char.code (Bytes.unsafe_get t ((x lsr i) land 0xffff)) in
   b 0 + b 16 + b 32 + Char.code (Bytes.unsafe_get t ((x lsr 48) land 0x3fff))
 

@@ -43,18 +43,36 @@ let signal_probabilities ?(pi_prob = 0.5) ?pi_probs (c : Circuit.t) =
     c.nodes;
   p
 
+(* Monte-Carlo estimates draw one independent RNG stream per batch of
+   [Bitsim.bits_per_word] patterns ([Rng.stream base b] for batch [b]),
+   so the patterns — and therefore the counts — are a pure function of
+   the caller's generator state and the vector count, identical for any
+   worker count or chunking. The caller's generator is advanced once
+   (by the [Rng.split] that derives [base]). *)
+let batch_count vectors = (vectors + Bitsim.bits_per_word - 1) / Bitsim.bits_per_word
+
 let signal_probabilities_mc ?pi_probs ~rng ~vectors (c : Circuit.t) =
   let n = Circuit.node_count c in
-  let counts = Array.make n 0 in
-  let remaining = ref vectors in
-  while !remaining > 0 do
-    let k = min !remaining Bitsim.bits_per_word in
-    let batch = Bitsim.random_batch ?pi_probs rng c ~n_patterns:k in
-    for id = 0 to n - 1 do
-      counts.(id) <- counts.(id) + Bitsim.ones_count batch id
-    done;
-    remaining := !remaining - k
-  done;
+  let base = Ser_rng.Rng.split rng in
+  let counts =
+    Ser_par.Par.parallel_reduce ~n:(batch_count vectors)
+      ~init:(Array.make n 0)
+      ~map:(fun ~lo ~hi ->
+        let counts = Array.make n 0 in
+        for b = lo to hi - 1 do
+          let rng_b = Ser_rng.Rng.stream base b in
+          let k = min (vectors - (b * Bitsim.bits_per_word)) Bitsim.bits_per_word in
+          let batch = Bitsim.random_batch ?pi_probs rng_b c ~n_patterns:k in
+          for id = 0 to n - 1 do
+            counts.(id) <- counts.(id) + Bitsim.ones_count batch id
+          done
+        done;
+        counts)
+      ~combine:(fun a b ->
+        Array.iteri (fun i v -> a.(i) <- a.(i) + v) b;
+        a)
+      ()
+  in
   Array.map (fun k -> float_of_int k /. float_of_int vectors) counts
 
 let side_sensitization (c : Circuit.t) ~probs ~gate ~pin =
@@ -169,7 +187,7 @@ let propagate_gate (c : Circuit.t) ~cones ~is_po ~good ~mask ~detect ws i =
     end
   done
 
-let path_probabilities ?(domains = 1) ?pi_probs ~rng ~vectors (c : Circuit.t) =
+let path_probabilities ?(domains = 0) ?pi_probs ~rng ~vectors (c : Circuit.t) =
   let n = Circuit.node_count c in
   let n_pos = Array.length c.outputs in
   let cones =
@@ -184,35 +202,34 @@ let path_probabilities ?(domains = 1) ?pi_probs ~rng ~vectors (c : Circuit.t) =
       (List.filter (fun i -> not (Circuit.is_input c i)) (List.init n Fun.id))
   in
   let n_gates = Array.length gates in
-  let domains = max 1 (min domains n_gates) in
-  let scratches = Array.init domains (fun _ -> fresh_scratch n) in
-  let remaining = ref vectors in
-  while !remaining > 0 do
-    let k = min !remaining Bitsim.bits_per_word in
+  (* [domains = 1] forces inline execution; anything else defers to the
+     shared lib/par pool. Results are bit-identical either way: every
+     gate's detect row is owned by exactly one chunk, and the random
+     patterns of batch [b] come from the index-keyed stream
+     [Rng.stream base b] — never from a generator shared across
+     workers (the old per-call [Domain.spawn] code drew all batches
+     from one sequential stream, which made results depend on how many
+     batches each domain had consumed). *)
+  let sequential = domains = 1 in
+  let slots = if sequential then 1 else Ser_par.Par.jobs () in
+  let scratches = Array.init slots (fun _ -> fresh_scratch n) in
+  let base = Ser_rng.Rng.split rng in
+  let nbatches = batch_count vectors in
+  for b = 0 to nbatches - 1 do
+    let rng_b = Ser_rng.Rng.stream base b in
+    let k = min (vectors - (b * Bitsim.bits_per_word)) Bitsim.bits_per_word in
     let mask = Bitsim.mask_of k in
-    let batch = Bitsim.random_batch ?pi_probs rng c ~n_patterns:k in
+    let batch = Bitsim.random_batch ?pi_probs rng_b c ~n_patterns:k in
     let good = batch.Bitsim.values in
-    if domains = 1 then
-      Array.iter
-        (propagate_gate c ~cones ~is_po ~good ~mask ~detect scratches.(0))
-        gates
-    else begin
-      (* contiguous chunks; each gate's detect row is owned by exactly
-         one domain, so there is no shared mutable state *)
-      let chunk = (n_gates + domains - 1) / domains in
-      let workers =
-        List.init domains (fun d ->
-            let lo = d * chunk in
-            let hi = min n_gates (lo + chunk) in
-            Domain.spawn (fun () ->
-                for idx = lo to hi - 1 do
-                  propagate_gate c ~cones ~is_po ~good ~mask ~detect
-                    scratches.(d) gates.(idx)
-                done))
-      in
-      List.iter Domain.join workers
-    end;
-    remaining := !remaining - k
+    let body ~slot ~lo ~hi =
+      for idx = lo to hi - 1 do
+        propagate_gate c ~cones ~is_po ~good ~mask ~detect
+          scratches.(min slot (slots - 1))
+          gates.(idx)
+      done
+    in
+    if sequential then body ~slot:0 ~lo:0 ~hi:n_gates
+    else Ser_par.Par.parallel_chunks ~n:n_gates body
   done;
   let p =
     Array.map

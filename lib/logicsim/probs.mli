@@ -20,7 +20,10 @@ val signal_probabilities :
 val signal_probabilities_mc :
   ?pi_probs:float array ->
   rng:Ser_rng.Rng.t -> vectors:int -> Ser_netlist.Circuit.t -> float array
-(** Monte-Carlo signal probabilities from random simulation. *)
+(** Monte-Carlo signal probabilities from random simulation. Batches of
+    patterns are distributed over the {!Ser_par.Par} pool; every batch
+    draws from its own index-keyed RNG stream, so the estimate is
+    bit-identical for any worker count. *)
 
 val side_sensitization :
   Ser_netlist.Circuit.t -> probs:float array -> gate:int -> pin:int -> float
@@ -54,10 +57,14 @@ val path_probabilities :
     primary-input nodes are all zero. A primary-output gate [j] has
     [P_jj = 1].
 
-    [domains] > 1 fans the per-gate fault propagation out over that
-    many cores (OCaml domains); the result is bit-identical to the
-    sequential run because random vectors are drawn once per batch and
-    each gate's counters are owned by exactly one domain. *)
+    The per-gate fault propagation of each batch fans out over the
+    shared {!Ser_par.Par} pool. [domains = 1] forces inline sequential
+    execution; the default (0) and any value > 1 use the pool at its
+    configured width. The result is bit-identical in every case: each
+    gate's counters are owned by exactly one chunk, and batch [b] draws
+    its random vectors from the index-keyed stream
+    [Ser_rng.Rng.stream base b] (where [base] is split off [rng] once),
+    not from a generator shared across workers. *)
 
 val path_probabilities_analytic :
   ?probs:float array -> Ser_netlist.Circuit.t -> path_probs

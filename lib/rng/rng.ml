@@ -43,6 +43,21 @@ let split t =
   let s3 = splitmix_next state in
   { s0; s1; s2; s3; spare = None }
 
+let stream t index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  (* Absorb the four state words and the index into a splitmix64 chain:
+     a pure function of (state, index), so distinct indices give
+     decorrelated streams and the parent generator is not advanced. *)
+  let state = ref (Int64.logxor t.s0 (Int64.of_int index)) in
+  let s0 = splitmix_next state in
+  state := Int64.logxor !state t.s1;
+  let s1 = splitmix_next state in
+  state := Int64.logxor !state t.s2;
+  let s2 = splitmix_next state in
+  state := Int64.logxor !state t.s3;
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3; spare = None }
+
 let copy t = { t with spare = t.spare }
 
 let int t bound =

@@ -19,6 +19,16 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Useful to give each sub-experiment its own stream. *)
 
+val stream : t -> int -> t
+(** [stream t i] derives the [i]-th substream of [t]: a pure,
+    index-keyed function of the current state of [t] (which is {e not}
+    advanced). [stream t i = stream t i] bitwise, and distinct indices
+    give statistically independent streams — this is the primitive
+    parallel consumers use to give every work unit (Monte-Carlo batch,
+    chunk, scenario) its own reproducible generator regardless of how
+    work is scheduled over domains, instead of hand-rolling seed
+    arithmetic. Requires [i >= 0]. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

@@ -413,26 +413,53 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
                 let stride = (len + 23) / 24 in
                 List.filteri (fun i _ -> i mod stride = 0) cands
             in
-            let kept = ref current in
-            List.iter
-              (fun cand ->
-                if not (budget_spent ()) then begin
-                Assignment.set asg g cand;
-                incr evals;
-                budget_tick ();
-                let m, a = measure asg in
-                let cost =
-                  Cost.eval ~weights:config.weights
-                    ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
-                in
-                if cost < !cur_cost then begin
-                  cur_cost := cost;
-                  cur_analysis := a;
-                  kept := cand
-                end
-                else Assignment.set asg g !kept
-                end)
-              cands)
+            (* Every menu entry is measured on its own copy of the
+               incumbent with only gate [g] changed, so the entries are
+               independent and fan out over the lib/par pool
+               ([~chunk:1]: one evaluation per claimable chunk).
+               Accepting the earliest strict minimiser reproduces the
+               sequential accept-if-better scan exactly; under a budget
+               the pool stops claiming entries once it expires and the
+               incumbent so far is kept (graceful degradation). *)
+            let cands = Array.of_list cands in
+            let try_cand cand =
+              budget_tick ();
+              let trial = Assignment.copy asg in
+              Assignment.set trial g cand;
+              let m, a = measure trial in
+              let cost =
+                Cost.eval ~weights:config.weights
+                  ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
+              in
+              (cost, a)
+            in
+            let measured =
+              match budget with
+              | None ->
+                Array.map Option.some
+                  (Ser_par.Par.parallel_map ~chunk:1 try_cand cands)
+              | Some b ->
+                Ser_par.Par.parallel_map_budgeted ~budget:b ~chunk:1 try_cand cands
+            in
+            let best = ref None in
+            Array.iteri
+              (fun i r ->
+                match r with
+                | None -> ()
+                | Some (cost, _) -> (
+                  incr evals;
+                  match !best with
+                  | Some (_, bc) when bc <= cost -> ()
+                  | _ -> best := Some (i, cost)))
+              measured;
+            match !best with
+            | Some (i, cost) when cost < !cur_cost ->
+              cur_cost := cost;
+              (match measured.(i) with
+              | Some (_, a) -> cur_analysis := a
+              | None -> ());
+              Assignment.set asg g cands.(i)
+            | _ -> ())
           order
       done;
       ignore cur_analysis;

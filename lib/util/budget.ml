@@ -1,9 +1,12 @@
+(* Budgets are polled from parallel sections (lib/par ticks and checks
+   them from worker domains), so the counters are atomics: a tick must
+   never be lost and the latch must be monotone across domains. *)
 type t = {
   max_evals : int option;
   deadline : float option; (* absolute Unix time, seconds *)
   started : float;
-  mutable evals : int;
-  mutable latched : bool;
+  evals : int Atomic.t;
+  latched : bool Atomic.t;
 }
 
 let now () = Unix.gettimeofday ()
@@ -21,47 +24,52 @@ let create ?max_evals ?max_seconds () =
     max_evals;
     deadline = Option.map (fun s -> started +. s) max_seconds;
     started;
-    evals = 0;
-    latched = false;
+    evals = Atomic.make 0;
+    latched = Atomic.make false;
   }
 
 let unlimited () = create ()
 
-let tick b = b.evals <- b.evals + 1
+let tick b = Atomic.incr b.evals
 
-let evals b = b.evals
+let evals b = Atomic.get b.evals
 
 let elapsed b = now () -. b.started
 
 let exhausted b =
-  if b.latched then true
+  if Atomic.get b.latched then true
   else begin
     let over_evals =
-      match b.max_evals with Some n -> b.evals >= n | None -> false
+      match b.max_evals with
+      | Some n -> Atomic.get b.evals >= n
+      | None -> false
     in
     let over_time =
       match b.deadline with Some d -> now () >= d | None -> false
     in
-    if over_evals || over_time then b.latched <- true;
-    b.latched
+    if over_evals || over_time then Atomic.set b.latched true;
+    Atomic.get b.latched
   end
 
-let was_exhausted b = b.latched
+let was_exhausted b = Atomic.get b.latched
 
 let remaining_evals b =
-  match b.max_evals with Some n -> Some (max 0 (n - b.evals)) | None -> None
+  match b.max_evals with
+  | Some n -> Some (max 0 (n - Atomic.get b.evals))
+  | None -> None
 
 let diag b =
+  let evals = Atomic.get b.evals in
   let reason =
     match (b.max_evals, b.deadline) with
-    | Some n, _ when b.evals >= n ->
-      Printf.sprintf "evaluation budget exhausted (%d evals)" b.evals
+    | Some n, _ when evals >= n ->
+      Printf.sprintf "evaluation budget exhausted (%d evals)" evals
     | _ -> Printf.sprintf "deadline exceeded after %.2f s" (elapsed b)
   in
   Diag.make ~severity:Warning ~subsystem:"budget"
     ~context:
       [
-        ("evals", string_of_int b.evals);
+        ("evals", string_of_int evals);
         ("elapsed_s", Printf.sprintf "%.3f" (elapsed b));
       ]
     reason

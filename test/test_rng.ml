@@ -31,6 +31,56 @@ let test_split_independent () =
   done;
   Alcotest.(check bool) "split streams differ" true (!same < 2)
 
+let test_stream_deterministic () =
+  let base = Rng.create 31 in
+  let a = Rng.stream base 5 and b = Rng.stream base 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "stream i reproducible" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_stream_parent_untouched () =
+  let a = Rng.create 37 in
+  let b = Rng.copy a in
+  ignore (Rng.stream a 9);
+  ignore (Rng.stream a 0);
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "parent not advanced" (Rng.bits64 b) (Rng.bits64 a)
+  done
+
+let test_stream_distinct () =
+  let base = Rng.create 41 in
+  let a = Rng.stream base 0 and b = Rng.stream base 1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "distinct indices differ" true (!same < 2);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.stream: negative index") (fun () ->
+      ignore (Rng.stream base (-1)))
+
+(* pooled draws over many sibling streams must still look uniform:
+   catches correlated or overlapping substreams *)
+let test_stream_statistics () =
+  let base = Rng.create 43 in
+  let n_streams = 64 and per = 512 in
+  let sum = ref 0. and sq = ref 0. in
+  for i = 0 to n_streams - 1 do
+    let r = Rng.stream base i in
+    for _ = 1 to per do
+      let u = Rng.uniform r in
+      sum := !sum +. u;
+      sq := !sq +. (u *. u)
+    done
+  done;
+  let n = float_of_int (n_streams * per) in
+  let mean = !sum /. n in
+  let var = (!sq /. n) -. (mean *. mean) in
+  Alcotest.(check bool) "pooled mean near 0.5" true
+    (Float.abs (mean -. 0.5) < 0.01);
+  Alcotest.(check bool) "pooled variance near 1/12" true
+    (Float.abs (var -. (1. /. 12.)) < 0.005)
+
 let int_bounds_prop =
   QCheck.Test.make ~name:"int within bound" ~count:500
     QCheck.(pair (int_range 1 1_000_000) small_nat)
@@ -143,6 +193,11 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_copy;
           Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "stream determinism" `Quick test_stream_deterministic;
+          Alcotest.test_case "stream parent untouched" `Quick
+            test_stream_parent_untouched;
+          Alcotest.test_case "stream independence" `Quick test_stream_distinct;
+          Alcotest.test_case "stream statistics" `Quick test_stream_statistics;
         ] );
       ( "distributions",
         [
