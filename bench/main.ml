@@ -169,13 +169,23 @@ let par_bench () =
   let cases =
     [ mc "c2670" 256; mc "c5315" 128; aserta "c880" 300; aserta "c1355" 200 ]
   in
+  (* The pool stats accumulate process-wide, so the two phases are run
+     back to back with a reset in between: mixing them in one
+     accumulator is what used to make the report claim
+     [sequential_sections = sections] (every sequential-phase section
+     inflated the count) even while the pool was demonstrably stealing
+     chunks at -j > 1. *)
+  Ser_par.Par.reset_stats ();
+  Ser_par.Par.set_jobs 1;
+  let seq_runs = List.map (fun (name, f) -> (name, time f)) cases in
+  let seq_pool = Ser_par.Par.stats_json () in
+  Ser_par.Par.reset_stats ();
+  Ser_par.Par.set_jobs jobs;
+  let par_runs = List.map (fun (name, f) -> (name, time f)) cases in
+  let par_pool = Ser_par.Par.stats_json () in
   let rows =
-    List.map
-      (fun (name, f) ->
-        Ser_par.Par.set_jobs 1;
-        let seq_v, seq_s = time f in
-        Ser_par.Par.set_jobs jobs;
-        let par_v, par_s = time f in
+    List.map2
+      (fun (name, (seq_v, seq_s)) (_, (par_v, par_s)) ->
         if Int64.bits_of_float seq_v <> Int64.bits_of_float par_v then begin
           Printf.eprintf
             "FATAL: %s not deterministic across worker counts (%.17g vs %.17g)\n"
@@ -194,10 +204,151 @@ let par_bench () =
               ("speedup", Num speedup);
               ("checksum", Num seq_v);
             ]))
-      cases
+      seq_runs par_runs
   in
   (* the hardware context matters: on a single-core container the pool
      cannot beat sequential, and the numbers must say so honestly *)
+  let recommended = Ser_par.Par.recommended_jobs () in
+  let reasoning =
+    Printf.sprintf
+      "recommended_domains is Domain.recommended_domain_count on this host \
+       (%d); it only seeds the default width. An explicit -j N > 1 always \
+       engages the pool (this run: %d jobs in the parallel phase) — a \
+       section runs inline only when the effective width is <= 1 or it is \
+       nested inside another section. See pool_parallel_phase.sections vs \
+       pool_sequential_phase.sequential_sections for the split."
+      recommended jobs
+  in
+  let doc =
+    Ser_util.Json.(
+      Obj
+        [
+          ("jobs", int jobs);
+          ("recommended_domains", int recommended);
+          ("recommended_domains_reasoning", Str reasoning);
+          ("cases", List rows);
+          ("pool_sequential_phase", seq_pool);
+          ("pool_parallel_phase", par_pool);
+          ("pool", par_pool);
+        ])
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Ser_util.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_par.json (jobs=%d, recommended=%d)\n" jobs
+    recommended
+
+(* ------------------------------------------------------------------ *)
+(* SERTOPT: full-recompute vs incremental (lib/incr) evaluation        *)
+(* ------------------------------------------------------------------ *)
+
+let sertopt_bench ?(smoke = false) () =
+  section "SERTOPT evaluation engine: full recompute vs incremental";
+  let module Opt = Sertopt.Optimizer in
+  let module Cost = Sertopt.Cost in
+  let module Analysis = Aserta.Analysis in
+  let module Assignment = Ser_sta.Assignment in
+  let module Circuit = Ser_netlist.Circuit in
+  let module Cell_params = Ser_device.Cell_params in
+  let jobs = Ser_par.Par.jobs () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* (name, vectors, max_evals, greedy_gates); identical seeds and
+     configs for both modes, only [eval_mode] differs *)
+  let cases =
+    if smoke then [ ("c432", 300, 4, 4) ]
+    else [ ("c880", 400, 8, 10); ("c1355", 400, 8, 10); ("c2670", 400, 8, 24) ]
+  in
+  Ser_par.Par.reset_stats ();
+  let rows =
+    List.map
+      (fun (name, vectors, max_evals, greedy_gates) ->
+        let c = Ser_circuits.Iscas.load name in
+        let lib = Ser_cell.Library.create () in
+        let baseline = Assignment.uniform lib c in
+        let aserta = { Analysis.default_config with Analysis.vectors } in
+        (* masking is assignment-independent: computed once, shared by
+           both modes, excluded from the timed region *)
+        let masking = Analysis.compute_masking aserta c in
+        let config mode =
+          {
+            Opt.default_config with
+            Opt.aserta;
+            eval_mode = mode;
+            max_evals;
+            greedy_gates;
+            greedy_passes = 1;
+            annealing_steps = 0;
+          }
+        in
+        let run mode () =
+          Opt.optimize ~config:(config mode) ~masking lib baseline
+        in
+        let rf, full_s = time (run Opt.Full_recompute) in
+        let ri, incr_s = time (run Opt.Incremental) in
+        (* the two modes must be bit-identical end to end: same final
+           assignment, same metrics, same improving-cost trace, same
+           evaluation count *)
+        let bits = Int64.bits_of_float in
+        let fail fmt =
+          Printf.ksprintf
+            (fun msg ->
+              Printf.eprintf "FATAL: %s: %s\n" name msg;
+              exit 1)
+            fmt
+        in
+        if rf.Opt.evals <> ri.Opt.evals then
+          fail "eval counts differ (%d vs %d)" rf.Opt.evals ri.Opt.evals;
+        if
+          List.length rf.Opt.cost_trace <> List.length ri.Opt.cost_trace
+          || not
+               (List.for_all2
+                  (fun a b -> bits a = bits b)
+                  rf.Opt.cost_trace ri.Opt.cost_trace)
+        then fail "cost traces differ";
+        let mf = rf.Opt.optimized_metrics and mi = ri.Opt.optimized_metrics in
+        if
+          bits mf.Cost.unreliability <> bits mi.Cost.unreliability
+          || bits mf.Cost.delay <> bits mi.Cost.delay
+          || bits mf.Cost.energy <> bits mi.Cost.energy
+          || bits mf.Cost.area <> bits mi.Cost.area
+        then fail "optimized metrics differ";
+        for id = 0 to Circuit.node_count c - 1 do
+          if not (Circuit.is_input c id) then
+            if
+              not
+                (Cell_params.equal
+                   (Assignment.get rf.Opt.optimized id)
+                   (Assignment.get ri.Opt.optimized id))
+            then fail "optimized assignments differ at gate %d" id
+        done;
+        let checksum =
+          Assignment.fold_gates rf.Opt.optimized
+            ~init:mf.Cost.unreliability
+            ~f:(fun acc _ (p : Cell_params.t) ->
+              acc +. p.size +. p.length +. p.vdd +. p.vth)
+        in
+        let speedup = full_s /. Float.max 1e-9 incr_s in
+        Printf.printf
+          "  %-8s full %8.3f s   incremental %8.3f s   speedup %5.2fx   \
+           (evals %d, reduction %.1f%%)\n%!"
+          name full_s incr_s speedup rf.Opt.evals
+          (100. *. Opt.unreliability_reduction rf);
+        Ser_util.Json.(
+          Obj
+            [
+              ("name", Str name);
+              ("full_s", Num full_s);
+              ("incr_s", Num incr_s);
+              ("speedup", Num speedup);
+              ("checksum", Num checksum);
+            ]))
+      cases
+  in
   let doc =
     Ser_util.Json.(
       Obj
@@ -208,12 +359,12 @@ let par_bench () =
           ("pool", Ser_par.Par.stats_json ());
         ])
   in
-  let oc = open_out "BENCH_par.json" in
+  let file = if smoke then "BENCH_sertopt_smoke.json" else "BENCH_sertopt.json" in
+  let oc = open_out file in
   output_string oc (Ser_util.Json.to_string doc);
   output_string oc "\n";
   close_out oc;
-  Printf.printf "  wrote BENCH_par.json (jobs=%d, recommended=%d)\n" jobs
-    (Ser_par.Par.recommended_jobs ())
+  Printf.printf "  wrote %s (jobs=%d)\n" file jobs
 
 let all () =
   fig1 ();
@@ -268,6 +419,8 @@ let () =
   | [ "pipeline" ] -> pipeline ()
   | [ "micro" ] -> micro ()
   | [ "par" ] -> par_bench ()
+  | [ "sertopt" ] -> sertopt_bench ()
+  | [ "sertopt-smoke" ] -> sertopt_bench ~smoke:true ()
   | other ->
     Printf.eprintf
       "unknown bench target %s\n\
@@ -275,6 +428,7 @@ let () =
        targets: all fig1 fig2 fig3 table1 [circuits...] table1-golden \
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
-       alternatives variation ser-rate pipeline micro par\n"
+       alternatives variation ser-rate pipeline micro par sertopt \
+       sertopt-smoke\n"
       (String.concat " " other);
     exit 2

@@ -100,103 +100,259 @@ let pi_weight (c : Circuit.t) masking ~gate ~succ ~po =
     Probs.sensitization_to_driver c ~probs:masking.probs ~gate:succ ~driver:gate
     *. p.(gate).(po) /. denom
 
+let output_positions (c : Circuit.t) =
+  let po_pos = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri (fun pos id -> po_pos.(id) <- pos) c.outputs;
+  po_pos
+
+(* The WS table of one gate (Section 3.2). Reads the [delays] of the
+   gate's successors and their already-computed rows in [tables] — and
+   nothing else that depends on the cell assignment — so it is the
+   shared kernel of both the from-scratch pass below and the
+   incremental engine (lib/incr): recomputing a gate through this one
+   function with bit-identical inputs gives bit-identical output. *)
+let ws_table config masking ~samples:ws ~po_pos ~delays ~tables
+    (c : Circuit.t) id =
+  let n_pos = Array.length c.outputs in
+  let n_samples = Array.length ws in
+  let p = masking.path_probs.Probs.p in
+  let t = Array.make_matrix n_pos n_samples 0. in
+  if po_pos.(id) >= 0 then begin
+    (* step (ii): a primary-output gate passes glitches straight to
+       its own latch and, per the paper, to no other output *)
+    let row = t.(po_pos.(id)) in
+    Array.blit ws 0 row 0 n_samples
+  end
+  else begin
+    (* step (iii): blend successors' expected widths with pi_isj.
+       The Eq-1 attenuation and the interpolation bracket of the
+       attenuated width in the sample grid depend only on the
+       successor and the sample, so they are hoisted out of the
+       per-output loop (the hot loop of SERTOPT's inner cost). *)
+    let succs = Array.of_list (successors c id) in
+    let n_succ = Array.length succs in
+    let sens =
+      Array.map
+        (fun s ->
+          Probs.sensitization_to_driver c ~probs:masking.probs ~gate:s
+            ~driver:id)
+        succs
+    in
+    (* per successor and sample: interpolation bracket of the
+       attenuated width, or -1 when fully attenuated *)
+    let lo = Array.make_matrix n_succ n_samples (-1) in
+    let fr = Array.make_matrix n_succ n_samples 0. in
+    for si = 0 to n_succ - 1 do
+      let ds = delays.(succs.(si)) in
+      for k = 0 to n_samples - 1 do
+        let wo = Glitch.propagate ~delay:ds ~width:ws.(k) in
+        if wo > 0. then begin
+          let b = Ser_util.Floatx.binary_search_bracket ws wo in
+          let woc =
+            Ser_util.Floatx.clamp ~lo:ws.(0) ~hi:ws.(n_samples - 1) wo
+          in
+          lo.(si).(k) <- b;
+          fr.(si).(k) <- Ser_util.Floatx.inv_lerp ws.(b) ws.(b + 1) woc
+        end
+      done
+    done;
+    for j = 0 to n_pos - 1 do
+      let pij = p.(id).(j) in
+      if pij > 0. then begin
+        let denom =
+          match config.split with
+          | Naive -> 1.
+          | Normalized ->
+            let acc = ref 0. in
+            for si = 0 to n_succ - 1 do
+              acc := !acc +. (sens.(si) *. p.(succs.(si)).(j))
+            done;
+            !acc
+        in
+        if denom > 0. then begin
+          let row = t.(j) in
+          for si = 0 to n_succ - 1 do
+            let s = succs.(si) in
+            let psj = p.(s).(j) in
+            let weight =
+              match config.split with
+              | Normalized -> sens.(si) *. pij /. denom
+              | Naive -> sens.(si) *. psj
+            in
+            if weight > 0. && psj > 0. then begin
+              let s_row = tables.(s).(j) in
+              let lo_s = lo.(si) and fr_s = fr.(si) in
+              for k = 0 to n_samples - 1 do
+                let b = Array.unsafe_get lo_s k in
+                if b >= 0 then begin
+                  let y0 = Array.unsafe_get s_row b in
+                  let y1 = Array.unsafe_get s_row (b + 1) in
+                  let v = y0 +. (Array.unsafe_get fr_s k *. (y1 -. y0)) in
+                  Array.unsafe_set row k (Array.unsafe_get row k +. (weight *. v))
+                end
+              done
+            end
+          done
+        end
+      end
+    done
+  end;
+  t
+
+(* Hoisted form of [ws_table] for repeated re-evaluation of the same
+   gate (the incremental engine): everything that does not depend on
+   the cell assignment — the unique successors, their sensitizations,
+   and the Eq-2 blend weights per (output, successor) — is computed
+   once with exactly the expressions of [ws_table], so replaying the
+   remaining delay-dependent part ([ws_brackets] + [ws_table_ctx])
+   reproduces [ws_table]'s matrix bit for bit. *)
+type ws_ctx = {
+  ws_succs : int array;
+  ws_pairs : (float * int) array array;
+      (* per output j: the (weight, si) contributions with
+         weight > 0 and P_sj > 0, in ascending si order *)
+  ws_zero : float array;
+      (* one shared all-zero row for the outputs with no contributions;
+         rows are never mutated after publication, so aliasing it across
+         matrices is safe and saves the bulk of the allocations *)
+}
+
+let make_ws_ctx config masking (c : Circuit.t) id =
+  let n_pos = Array.length c.outputs in
+  let p = masking.path_probs.Probs.p in
+  let succs = Array.of_list (successors c id) in
+  let n_succ = Array.length succs in
+  let sens =
+    Array.map
+      (fun s ->
+        Probs.sensitization_to_driver c ~probs:masking.probs ~gate:s ~driver:id)
+      succs
+  in
+  let pairs =
+    Array.init n_pos (fun j ->
+        let pij = p.(id).(j) in
+        if not (pij > 0.) then [||]
+        else begin
+          let denom =
+            match config.split with
+            | Naive -> 1.
+            | Normalized ->
+              let acc = ref 0. in
+              for si = 0 to n_succ - 1 do
+                acc := !acc +. (sens.(si) *. p.(succs.(si)).(j))
+              done;
+              !acc
+          in
+          if not (denom > 0.) then [||]
+          else begin
+            let out = ref [] in
+            for si = n_succ - 1 downto 0 do
+              let psj = p.(succs.(si)).(j) in
+              let weight =
+                match config.split with
+                | Normalized -> sens.(si) *. pij /. denom
+                | Naive -> sens.(si) *. psj
+              in
+              if weight > 0. && psj > 0. then out := (weight, si) :: !out
+            done;
+            Array.of_list !out
+          end
+        end)
+  in
+  { ws_succs = succs; ws_pairs = pairs; ws_zero = Array.make config.n_samples 0. }
+
+let ws_ctx_succs ctx = ctx.ws_succs
+let ws_ctx_live ctx j = Array.length ctx.ws_pairs.(j) > 0
+let ws_ctx_zero_row ctx = ctx.ws_zero
+
+(* The Eq-1 attenuation brackets of the sample grid through one
+   successor delay: for each sample width, the interpolation bracket of
+   the attenuated width (or -1 when fully attenuated) and its fraction.
+   Depends only on [delay] and the grid, so the incremental engine
+   memoises it per delay value. *)
+let ws_brackets ~samples:ws ~delay =
+  let n_samples = Array.length ws in
+  let lo = Array.make n_samples (-1) in
+  let fr = Array.make n_samples 0. in
+  for k = 0 to n_samples - 1 do
+    let wo = Glitch.propagate ~delay ~width:ws.(k) in
+    if wo > 0. then begin
+      let b = Ser_util.Floatx.binary_search_bracket ws wo in
+      let woc = Ser_util.Floatx.clamp ~lo:ws.(0) ~hi:ws.(n_samples - 1) wo in
+      lo.(k) <- b;
+      fr.(k) <- Ser_util.Floatx.inv_lerp ws.(b) ws.(b + 1) woc
+    end
+  done;
+  (lo, fr)
+
+(* [ws_table] with the context and brackets precomputed; only valid for
+   a non-input, non-primary-output gate. [brackets.(si)] must be
+   [ws_brackets ~samples ~delay:delays.(ws_succs.(si))]. *)
+let ws_table_ctx ctx ~samples:ws ~n_pos ~brackets ~tables _c id =
+  ignore id;
+  let n_samples = Array.length ws in
+  let zero =
+    if Array.length ctx.ws_zero = n_samples then ctx.ws_zero
+    else Array.make n_samples 0.
+  in
+  let t =
+    Array.init n_pos (fun j ->
+        if Array.length ctx.ws_pairs.(j) = 0 then zero
+        else Array.make n_samples 0.)
+  in
+  for j = 0 to n_pos - 1 do
+    let pairs = ctx.ws_pairs.(j) in
+    if Array.length pairs > 0 then begin
+      let row = t.(j) in
+      Array.iter
+        (fun (weight, si) ->
+          let s = ctx.ws_succs.(si) in
+          let s_row = tables.(s).(j) in
+          let lo_s, fr_s = brackets.(si) in
+          for k = 0 to n_samples - 1 do
+            let b = Array.unsafe_get lo_s k in
+            if b >= 0 then begin
+              let y0 = Array.unsafe_get s_row b in
+              let y1 = Array.unsafe_get s_row (b + 1) in
+              let v = y0 +. (Array.unsafe_get fr_s k *. (y1 -. y0)) in
+              Array.unsafe_set row k (Array.unsafe_get row k +. (weight *. v))
+            end
+          done)
+        pairs
+    end
+  done;
+  t
+
+(* Steps (i)/(iv) + Eqs 3-4 for one gate, given the two generated
+   glitch widths (strike with output low / high) and the gate area —
+   the electrical LUT lookups stay with the caller so the incremental
+   engine can put a memo table in front of them. Returns
+   (w_i, W_ij row, U_i). *)
+let gate_unreliability masking ~samples:ws ~po_pos ~tables ~n_pos ~w_low
+    ~w_high ~area id =
+  let p1 = masking.probs.(id) in
+  let wi = ((1. -. p1) *. w_low) +. (p1 *. w_high) in
+  let wij =
+    Array.init n_pos (fun j ->
+        if po_pos.(id) = j then wi
+        else if tables.(id) = [||] then 0.
+        else Lut.interpolate_1d ~xs:ws ~ys:tables.(id).(j) wi)
+  in
+  (wi, wij, area *. Ser_util.Floatx.sum wij)
+
 let run_electrical config lib asg masking =
   let c = Assignment.circuit asg in
   let n = Circuit.node_count c in
   let n_pos = Array.length c.outputs in
   let timing = Timing.analyze ~env:config.env lib asg in
   let ws = sample_widths config in
-  let n_samples = Array.length ws in
-  let p = masking.path_probs.Probs.p in
   (* expected output width tables per gate: WS.(id).(po).(k) *)
   let table = Array.make n [||] in
-  let po_pos = Array.make n (-1) in
-  Array.iteri (fun pos id -> po_pos.(id) <- pos) c.outputs;
+  let po_pos = output_positions c in
   let compute_table id =
-    begin
-      let t = Array.make_matrix n_pos n_samples 0. in
-      if po_pos.(id) >= 0 then begin
-        (* step (ii): a primary-output gate passes glitches straight to
-           its own latch and, per the paper, to no other output *)
-        let row = t.(po_pos.(id)) in
-        Array.blit ws 0 row 0 n_samples
-      end
-      else begin
-        (* step (iii): blend successors' expected widths with pi_isj.
-           The Eq-1 attenuation and the interpolation bracket of the
-           attenuated width in the sample grid depend only on the
-           successor and the sample, so they are hoisted out of the
-           per-output loop (the hot loop of SERTOPT's inner cost). *)
-        let succs = Array.of_list (successors c id) in
-        let n_succ = Array.length succs in
-        let sens =
-          Array.map
-            (fun s ->
-              Probs.sensitization_to_driver c ~probs:masking.probs ~gate:s
-                ~driver:id)
-            succs
-        in
-        (* per successor and sample: interpolation bracket of the
-           attenuated width, or -1 when fully attenuated *)
-        let lo = Array.make_matrix n_succ n_samples (-1) in
-        let fr = Array.make_matrix n_succ n_samples 0. in
-        for si = 0 to n_succ - 1 do
-          let ds = timing.Timing.delays.(succs.(si)) in
-          for k = 0 to n_samples - 1 do
-            let wo = Glitch.propagate ~delay:ds ~width:ws.(k) in
-            if wo > 0. then begin
-              let b = Ser_util.Floatx.binary_search_bracket ws wo in
-              let woc =
-                Ser_util.Floatx.clamp ~lo:ws.(0) ~hi:ws.(n_samples - 1) wo
-              in
-              lo.(si).(k) <- b;
-              fr.(si).(k) <- Ser_util.Floatx.inv_lerp ws.(b) ws.(b + 1) woc
-            end
-          done
-        done;
-        for j = 0 to n_pos - 1 do
-          let pij = p.(id).(j) in
-          if pij > 0. then begin
-            let denom =
-              match config.split with
-              | Naive -> 1.
-              | Normalized ->
-                let acc = ref 0. in
-                for si = 0 to n_succ - 1 do
-                  acc := !acc +. (sens.(si) *. p.(succs.(si)).(j))
-                done;
-                !acc
-            in
-            if denom > 0. then begin
-              let row = t.(j) in
-              for si = 0 to n_succ - 1 do
-                let s = succs.(si) in
-                let psj = p.(s).(j) in
-                let weight =
-                  match config.split with
-                  | Normalized -> sens.(si) *. pij /. denom
-                  | Naive -> sens.(si) *. psj
-                in
-                if weight > 0. && psj > 0. then begin
-                  let s_row = table.(s).(j) in
-                  let lo_s = lo.(si) and fr_s = fr.(si) in
-                  for k = 0 to n_samples - 1 do
-                    let b = Array.unsafe_get lo_s k in
-                    if b >= 0 then begin
-                      let y0 = Array.unsafe_get s_row b in
-                      let y1 = Array.unsafe_get s_row (b + 1) in
-                      let v = y0 +. (Array.unsafe_get fr_s k *. (y1 -. y0)) in
-                      Array.unsafe_set row k (Array.unsafe_get row k +. (weight *. v))
-                    end
-                  done
-                end
-              done
-            end
-          end
-        done
-      end;
-      table.(id) <- t
-    end
+    table.(id) <-
+      ws_table config masking ~samples:ws ~po_pos
+        ~delays:timing.Timing.delays ~tables:table c id
   in
   (* The WS table of a gate reads only the tables of its successors
      (and nothing at all for a primary-output gate), so the gates are
@@ -251,18 +407,14 @@ let run_electrical config lib asg masking =
         Library.generated_glitch_width lib cell ~node_cap ~charge:config.charge
           ~output_low:false
       in
-      let p1 = masking.probs.(id) in
-      let wi = ((1. -. p1) *. w_low) +. (p1 *. w_high) in
-      gen_width.(id) <- wi;
-      let wij =
-        Array.init n_pos (fun j ->
-            if po_pos.(id) = j then wi
-            else if table.(id) = [||] then 0.
-            else Lut.interpolate_1d ~xs:ws ~ys:table.(id).(j) wi)
+      let wi, wij, u =
+        gate_unreliability masking ~samples:ws ~po_pos ~tables:table ~n_pos
+          ~w_low ~w_high
+          ~area:(Library.area lib cell)
+          id
       in
+      gen_width.(id) <- wi;
       expected_width.(id) <- wij;
-      let z = Library.area lib cell in
-      let u = z *. Ser_util.Floatx.sum wij in
       unreliability.(id) <- u
     end);
   let total = ref 0. in

@@ -122,6 +122,95 @@ val sample_widths : config -> float array
 (** The sample glitch-width grid used by the electrical pass
     (geometric, topped by [max_sample_width]). *)
 
+val output_positions : Ser_netlist.Circuit.t -> int array
+(** Per-node primary-output position ([-1] for non-output nodes), as
+    used by the electrical pass. *)
+
+val ws_table :
+  config ->
+  masking ->
+  samples:float array ->
+  po_pos:int array ->
+  delays:float array ->
+  tables:float array array array ->
+  Ser_netlist.Circuit.t ->
+  int ->
+  float array array
+(** The WS expected-width table of one gate (Section 3.2): an
+    [outputs * samples] matrix giving the expected width reaching each
+    primary output for a glitch of each sample width born at the gate.
+    Reads only the per-gate [delays] of the gate's successors and their
+    rows in [tables] ([tables.(s)] must already hold every successor
+    [s]'s matrix); a primary-output gate reads nothing. This is the
+    shared kernel of {!run_electrical} and the incremental engine
+    ([Ser_incr.Incr]) — recomputing a gate through it with bit-identical
+    inputs yields a bit-identical matrix. *)
+
+type ws_ctx
+(** The assignment-independent part of one gate's {!ws_table}
+    computation: unique successors, sensitizations, Eq-2 blend weights
+    per (output, successor). *)
+
+val make_ws_ctx : config -> masking -> Ser_netlist.Circuit.t -> int -> ws_ctx
+(** Precompute the context for a non-input, non-primary-output gate.
+    Valid as long as the circuit and masking are unchanged (they are
+    fixed during optimization). *)
+
+val ws_ctx_succs : ws_ctx -> int array
+(** The gate's unique successor ids, in [ws_table] order. *)
+
+val ws_ctx_live : ws_ctx -> int -> bool
+(** Whether output position [j] has any contribution for this gate.
+    [false] guarantees the gate's WS-table row for [j] is all zeros
+    (under any assignment), so interpolating it yields exactly [+0.] —
+    the incremental engine uses this to skip dead outputs. *)
+
+val ws_ctx_zero_row : ws_ctx -> float array
+(** The context's shared all-zero row: {!ws_table_ctx} aliases it for
+    every output with {!ws_ctx_live} [= false]. Callers must treat it as
+    immutable. Exposed so the incremental engine can alias the same row
+    in matrices it did not build through [ws_table_ctx], making
+    physical-equality cutoff checks short-circuit on dead rows. *)
+
+val ws_brackets : samples:float array -> delay:float -> int array * float array
+(** The Eq-1 attenuation of the sample grid through one successor
+    delay: per sample, the interpolation bracket of the attenuated
+    width ([-1] when fully attenuated) and its fraction. A pure
+    function of [(delay, grid)] — memoisable per delay value. *)
+
+val ws_table_ctx :
+  ws_ctx ->
+  samples:float array ->
+  n_pos:int ->
+  brackets:(int array * float array) array ->
+  tables:float array array array ->
+  Ser_netlist.Circuit.t ->
+  int ->
+  float array array
+(** {!ws_table} with the context and per-successor brackets precomputed
+    ([brackets.(si)] = [ws_brackets] of successor [si]'s delay):
+    bit-identical output, used by the incremental engine to avoid
+    recomputing sensitizations and weights on every cone update. *)
+
+val gate_unreliability :
+  masking ->
+  samples:float array ->
+  po_pos:int array ->
+  tables:float array array array ->
+  n_pos:int ->
+  w_low:float ->
+  w_high:float ->
+  area:float ->
+  int ->
+  float * float array * float
+(** Steps (i)/(iv) and Eqs 3-4 for one gate: blend the two generated
+    glitch widths ([w_low]/[w_high], strike with output low/high) with
+    the gate's one-probability, interpolate the gate's WS table at the
+    blended width for every output, and weight by [area]. Returns
+    [(w_i, W_ij row, U_i)]. The electrical LUT lookups that produce
+    [w_low]/[w_high] stay with the caller so the incremental engine can
+    memoise them. *)
+
 val successor_weight :
   t -> gate:int -> succ:int -> po:int -> float
 (** The Eq. 2 weight [pi_isj] actually used in the pass (exposed for

@@ -8,9 +8,12 @@ module Paths = Ser_sta.Paths
 module Matrix = Ser_linalg.Matrix
 module Analysis = Aserta.Analysis
 
+type eval_mode = Full_recompute | Incremental
+
 type config = {
   aserta : Analysis.config;
   objective : Cost.objective;
+  eval_mode : eval_mode;
   weights : Cost.weights;
   delay_slack : float;
   k_paths : int;
@@ -30,6 +33,7 @@ let default_config =
   {
     aserta = Analysis.default_config;
     objective = Cost.Fixed_charge;
+    eval_mode = Incremental;
     weights = Cost.default_weights;
     delay_slack = 0.05;
     k_paths = 48;
@@ -130,6 +134,20 @@ let pp_knob_summary fmt s =
     s.vdd_raised s.vdd_lowered (fl s.vdds_used) s.vth_raised s.vth_lowered
     (fl s.vths_used)
 
+(* Deterministic exact cap on a candidate menu: evenly spaced indices
+   [floor (i * len / cap)], which are strictly increasing for
+   [len > cap], so the result has exactly [min cap len] elements in the
+   original order (the old [i mod stride = 0] stride under-filled the
+   menu whenever [len mod stride <> 0], e.g. 13 of 24 for len = 25). *)
+let sample_menu ~cap xs =
+  if cap <= 0 then invalid_arg "Optimizer.sample_menu: cap must be positive";
+  let len = List.length xs in
+  if len <= cap then xs
+  else begin
+    let arr = Array.of_list xs in
+    List.init cap (fun i -> arr.(i * len / cap))
+  end
+
 (* Greedy critical-path upsizing: the baseline "speed optimization". *)
 let size_for_speed ?(env = Timing.default_env) ?(max_size = 8.) lib c =
   let asg = Assignment.uniform lib c in
@@ -219,6 +237,34 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     Cost.measure ~config:config.aserta ~masking ~objective:config.objective
       ~clock_period lib asg
   in
+  (* Incremental evaluation (lib/incr): one engine is kept in sync with
+     the candidate stream by diffing, so each evaluation re-analyses
+     only the cones the cell changes reach, with results bit-identical
+     to [measure]. The charge-spectrum objective folds the WS tables
+     with Ser_rate per evaluation and is not incrementalised, so it
+     keeps the full recompute path. *)
+  let engine =
+    match (config.eval_mode, config.objective) with
+    | Incremental, Cost.Fixed_charge ->
+      Some (Ser_incr.Incr.of_analysis lib baseline baseline_analysis)
+    | Incremental, Cost.Charge_spectrum _ | Full_recompute, _ -> None
+  in
+  let metrics_of_incr (m : Ser_incr.Incr.metrics) =
+    {
+      Cost.unreliability = m.Ser_incr.Incr.m_unreliability;
+      delay = m.Ser_incr.Incr.m_delay;
+      energy = m.Ser_incr.Incr.m_energy;
+      area = m.Ser_incr.Incr.m_area;
+    }
+  in
+  (* metrics of a candidate assignment, through the engine if present *)
+  let eval_metrics asg =
+    match engine with
+    | Some e ->
+      Ser_incr.Incr.sync e asg;
+      metrics_of_incr (Ser_incr.Incr.metrics e)
+    | None -> fst (measure asg)
+  in
   let timing0 = baseline_analysis.Analysis.timing in
   let paths = Paths.k_worst_paths baseline timing0 ~k:config.k_paths in
   let t_matrix, cols = Paths.topology_matrix baseline paths in
@@ -247,7 +293,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
   let objective delta =
     incr evals;
     let asg = assignment_of delta in
-    let m, _ = measure asg in
+    let m = eval_metrics asg in
     let cost =
       Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
         ~baseline:baseline_metrics m
@@ -265,7 +311,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     | Some inc when not (budget_spent ()) ->
       budget_tick ();
       incr evals;
-      let m, _ = measure inc in
+      let m = eval_metrics inc in
       let cost =
         Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
           ~baseline:baseline_metrics m
@@ -359,13 +405,33 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     else begin
       let asg = Assignment.copy optimized in
       budget_tick ();
-      let metrics, analysis = measure asg in
+      (* the incumbent's per-gate unreliability, for the visit order:
+         from the engine when incremental, else from the last full
+         analysis in hand *)
+      let cur_analysis = ref None in
+      let metrics =
+        match engine with
+        | Some e ->
+          Ser_incr.Incr.sync e asg;
+          metrics_of_incr (Ser_incr.Incr.metrics e)
+        | None ->
+          let m, a = measure asg in
+          cur_analysis := Some a;
+          m
+      in
+      let unrel id =
+        match engine with
+        | Some e -> Ser_incr.Incr.unreliability e id
+        | None -> (
+          match !cur_analysis with
+          | Some a -> a.Analysis.unreliability.(id)
+          | None -> assert false)
+      in
       let cur_cost =
         ref
           (Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
              ~baseline:baseline_metrics metrics)
       in
-      let cur_analysis = ref analysis in
       if !cur_cost < !best_cost then best_cost := !cur_cost;
       for _pass = 1 to config.greedy_passes do
         let order =
@@ -373,12 +439,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
             Array.to_list (Array.init n Fun.id)
             |> List.filter (fun id -> not (Circuit.is_input c id))
           in
-          List.sort
-            (fun a b ->
-              compare
-                (!cur_analysis).Analysis.unreliability.(b)
-                (!cur_analysis).Analysis.unreliability.(a))
-            idx
+          List.sort (fun a b -> compare (unrel b) (unrel a)) idx
           |> List.filteri (fun i _ -> i < config.greedy_gates)
         in
         List.iter
@@ -406,32 +467,43 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
                      && not (Cell_params.equal p current))
             in
             (* cap the menu deterministically to bound the eval budget *)
-            let cands =
-              let len = List.length cands in
-              if len <= 24 then cands
-              else
-                let stride = (len + 23) / 24 in
-                List.filteri (fun i _ -> i mod stride = 0) cands
-            in
-            (* Every menu entry is measured on its own copy of the
+            let cands = sample_menu ~cap:24 cands in
+            (* Every menu entry is measured on its own view of the
                incumbent with only gate [g] changed, so the entries are
                independent and fan out over the lib/par pool
-               ([~chunk:1]: one evaluation per claimable chunk).
-               Accepting the earliest strict minimiser reproduces the
-               sequential accept-if-better scan exactly; under a budget
-               the pool stops claiming entries once it expires and the
-               incumbent so far is kept (graceful degradation). *)
+               ([~chunk:1]: one evaluation per claimable chunk). In
+               incremental mode the view is a copy-on-write fork of the
+               incumbent engine (cone re-analysis only) instead of an
+               [Assignment.copy] plus full analysis; both produce
+               bit-identical costs. Accepting the earliest strict
+               minimiser reproduces the sequential accept-if-better
+               scan exactly; under a budget the pool stops claiming
+               entries once it expires and the incumbent so far is kept
+               (graceful degradation). *)
             let cands = Array.of_list cands in
             let try_cand cand =
               budget_tick ();
-              let trial = Assignment.copy asg in
-              Assignment.set trial g cand;
-              let m, a = measure trial in
-              let cost =
-                Cost.eval ~weights:config.weights
-                  ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
-              in
-              (cost, a)
+              match engine with
+              | Some e ->
+                let probe = Ser_incr.Incr.fork e in
+                Ser_incr.Incr.set_cell probe g cand;
+                let m = metrics_of_incr (Ser_incr.Incr.metrics probe) in
+                let cost =
+                  Cost.eval ~weights:config.weights
+                    ~delay_slack:config.delay_slack ~baseline:baseline_metrics
+                    m
+                in
+                (cost, None)
+              | None ->
+                let trial = Assignment.copy asg in
+                Assignment.set trial g cand;
+                let m, a = measure trial in
+                let cost =
+                  Cost.eval ~weights:config.weights
+                    ~delay_slack:config.delay_slack ~baseline:baseline_metrics
+                    m
+                in
+                (cost, Some a)
             in
             let measured =
               match budget with
@@ -456,13 +528,15 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
             | Some (i, cost) when cost < !cur_cost ->
               cur_cost := cost;
               (match measured.(i) with
-              | Some (_, a) -> cur_analysis := a
-              | None -> ());
-              Assignment.set asg g cands.(i)
+              | Some (_, Some a) -> cur_analysis := Some a
+              | _ -> ());
+              Assignment.set asg g cands.(i);
+              (match engine with
+              | Some e -> Ser_incr.Incr.set_cell e g cands.(i)
+              | None -> ())
             | _ -> ())
           order
       done;
-      ignore cur_analysis;
       if !cur_cost < !best_cost then best_cost := !cur_cost;
       asg
     end

@@ -11,6 +11,21 @@
     explicit basis. The logical-masking data of ASERTA is computed
     once and reused by every cost evaluation. *)
 
+type eval_mode =
+  | Full_recompute
+      (** every candidate is measured with a from-scratch
+          [Timing.analyze] + electrical pass (the pre-incremental
+          behaviour; kept for cross-checks and benchmarking) *)
+  | Incremental
+      (** candidates are evaluated through a {!Ser_incr.Incr} engine:
+          only the fanout/fanin cones a cell change reaches are
+          re-analysed, and each parallel menu entry probes a
+          copy-on-write fork of the incumbent instead of a full
+          assignment copy + analysis. Bit-identical results to
+          [Full_recompute] — same final assignment, metrics, cost trace
+          and eval count. Falls back to full recompute under the
+          charge-spectrum objective, which is not incrementalised. *)
+
 type config = {
   aserta : Aserta.Analysis.config;
   objective : Cost.objective;
@@ -18,6 +33,7 @@ type config = {
           (the paper) or a charge-spectrum FIT (extension). With the
           spectrum objective the latching clock is frozen at 1.2x the
           baseline critical delay for all candidates. *)
+  eval_mode : eval_mode;  (** default {!Incremental} *)
   weights : Cost.weights;
   delay_slack : float;   (** tolerated fractional delay increase *)
   k_paths : int;         (** rows of the topology matrix *)
@@ -90,6 +106,12 @@ val knob_summary : result -> knob_summary
     "Vths used" columns of Table 1 plus a change breakdown. *)
 
 val pp_knob_summary : Format.formatter -> knob_summary -> unit
+
+val sample_menu : cap:int -> 'a list -> 'a list
+(** Deterministic exact cap on a candidate menu: the full list when it
+    has at most [cap] elements, otherwise exactly [cap] evenly spaced
+    elements (indices [floor (i * len / cap)]) in the original order.
+    Raises [Invalid_argument] on [cap <= 0]. *)
 
 val size_for_speed :
   ?env:Ser_sta.Timing.env ->

@@ -381,6 +381,37 @@ let test_masking_override () =
     a.Opt.baseline_metrics.Cost.unreliability
     b.Opt.baseline_metrics.Cost.unreliability
 
+(* ------------------------- menu sampling ------------------------- *)
+
+let test_sample_menu () =
+  let id_list n = List.init n (fun i -> i) in
+  (* under the cap: unchanged *)
+  Alcotest.(check (list int)) "short list unchanged" (id_list 5)
+    (Opt.sample_menu ~cap:24 (id_list 5));
+  Alcotest.(check (list int)) "exact cap unchanged" (id_list 24)
+    (Opt.sample_menu ~cap:24 (id_list 24));
+  (* over the cap: exactly [cap] elements (the old stride sampling kept
+     13 of 25 for cap 24), strictly increasing, first element kept *)
+  for len = 25 to 60 do
+    let out = Opt.sample_menu ~cap:24 (id_list len) in
+    Alcotest.(check int)
+      (Printf.sprintf "exact count for len %d" len)
+      24 (List.length out);
+    Alcotest.(check bool)
+      (Printf.sprintf "sorted, distinct, in range for len %d" len)
+      true
+      (List.for_all (fun x -> x >= 0 && x < len) out
+      && List.sort_uniq compare out = out);
+    Alcotest.(check int) "keeps the head" 0 (List.hd out)
+  done;
+  (* deterministic *)
+  Alcotest.(check (list int)) "deterministic"
+    (Opt.sample_menu ~cap:7 (id_list 100))
+    (Opt.sample_menu ~cap:7 (id_list 100));
+  Alcotest.check_raises "cap <= 0 rejected"
+    (Invalid_argument "Optimizer.sample_menu: cap must be positive") (fun () ->
+      ignore (Opt.sample_menu ~cap:0 (id_list 3)))
+
 let () =
   Alcotest.run "sertopt"
     [
@@ -408,6 +439,7 @@ let () =
           Alcotest.test_case "pure nullspace no regression" `Slow test_optimize_pure_nullspace;
           Alcotest.test_case "replay guard" `Slow test_replay_guard;
           Alcotest.test_case "masking override" `Quick test_masking_override;
+          Alcotest.test_case "menu sampling" `Quick test_sample_menu;
         ] );
       ( "budgets and checkpoints",
         [
