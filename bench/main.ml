@@ -380,6 +380,87 @@ let all () =
   par_bench ();
   micro ()
 
+(* ------------------------------------------------------------------ *)
+(* Batch supervisor (lib/jobs): isolation overhead and throughput      *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_bench () =
+  section "Batch supervisor (lib/jobs): process isolation overhead";
+  let module Supervisor = Ser_jobs.Supervisor in
+  let module Journal = Ser_jobs.Journal in
+  let n = 24 in
+  let jobs =
+    List.init n (fun i ->
+        Supervisor.job
+          ~id:(Printf.sprintf "j%03d" i)
+          [|
+            "/bin/sh"; "-c"; Printf.sprintf {|printf '{"ok":true,"result":%d}'|} i;
+          |])
+  in
+  let run_with parallel =
+    let path = Filename.temp_file "bench_jobs" ".journal" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let cfg =
+          {
+            Supervisor.default_config with
+            Supervisor.parallel;
+            timeout_s = 30.;
+            retries = 0;
+          }
+        in
+        match Journal.create path with
+        | Error d ->
+          Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+          exit 1
+        | Ok j ->
+          Fun.protect
+            ~finally:(fun () -> Journal.close j)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              match Supervisor.run cfg ~journal:j jobs with
+              | Error d ->
+                Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+                exit 1
+              | Ok s ->
+                let dt = Unix.gettimeofday () -. t0 in
+                if s.Supervisor.ok <> n then begin
+                  Printf.eprintf "FATAL: lost jobs (ok=%d of %d)\n"
+                    s.Supervisor.ok n;
+                  exit 1
+                end;
+                dt))
+  in
+  let width = max 2 (Ser_par.Par.jobs ()) in
+  let widths = List.sort_uniq compare [ 1; 2; width ] in
+  let rows =
+    List.map
+      (fun parallel ->
+        let dt = run_with parallel in
+        let throughput = float_of_int n /. Float.max 1e-9 dt in
+        Printf.printf "  parallel=%-2d  %6.3f s   %6.1f jobs/s\n%!" parallel dt
+          throughput;
+        Ser_util.Json.(
+          Obj
+            [
+              ("parallel", int parallel);
+              ("seconds", Num dt);
+              ("throughput_jobs_per_s", Num throughput);
+            ]))
+      widths
+  in
+  let doc =
+    Ser_util.Json.(
+      Obj [ ("jobs_per_batch", int n); ("journal", Str "fsync-per-record");
+            ("widths", List rows) ])
+  in
+  let oc = open_out "BENCH_jobs.json" in
+  output_string oc (Ser_util.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_jobs.json\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* a leading "-j N" pins the pool width for every target *)
@@ -421,6 +502,7 @@ let () =
   | [ "par" ] -> par_bench ()
   | [ "sertopt" ] -> sertopt_bench ()
   | [ "sertopt-smoke" ] -> sertopt_bench ~smoke:true ()
+  | [ "jobs" ] -> jobs_bench ()
   | other ->
     Printf.eprintf
       "unknown bench target %s\n\
@@ -429,6 +511,6 @@ let () =
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
        alternatives variation ser-rate pipeline micro par sertopt \
-       sertopt-smoke\n"
+       sertopt-smoke jobs\n"
       (String.concat " " other);
     exit 2

@@ -196,11 +196,12 @@ let optimize_cmd jobs spec vectors evals greedy vdds vths budget_evals timeout
       greedy_passes = greedy;
     }
   in
+  (* a budget always exists so that SIGINT/SIGTERM can cancel it: the
+     optimizer then stops at its next poll and returns the best-so-far
+     incumbent, which flushes the checkpoint and prints the partial
+     summary instead of discarding the run *)
   let budget =
-    match (budget_evals, timeout) with
-    | None, None -> None
-    | _ ->
-      Some (Ser_util.Budget.create ?max_evals:budget_evals ?max_seconds:timeout ())
+    Some (Ser_util.Budget.create ?max_evals:budget_evals ?max_seconds:timeout ())
   in
   let initial =
     match checkpoint with
@@ -214,9 +215,32 @@ let optimize_cmd jobs spec vectors evals greedy vdds vths budget_evals timeout
       Some cp.Sertopt.Checkpoint.assignment
     | _ -> None
   in
+  let restore_signals =
+    let handler =
+      Sys.Signal_handle
+        (fun _ -> Option.iter Ser_util.Budget.cancel budget)
+    in
+    let prev_int = Sys.signal Sys.sigint handler in
+    let prev_term = Sys.signal Sys.sigterm handler in
+    fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term
+  in
   let t0 = Unix.gettimeofday () in
-  let r = Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline in
+  let r =
+    Fun.protect ~finally:restore_signals (fun () ->
+        Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline)
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  let interrupted =
+    match budget with
+    | Some b -> Ser_util.Budget.was_cancelled b
+    | None -> false
+  in
+  if interrupted then
+    print_endline
+      "interrupted (SIGINT/SIGTERM): returning the best-so-far incumbent; \
+       partial summary and checkpoint follow";
   let b = r.Sertopt.Optimizer.baseline_metrics in
   let o = r.Sertopt.Optimizer.optimized_metrics in
   let rat = Sertopt.Cost.ratios ~baseline:b o in
@@ -464,6 +488,308 @@ let characterize_cmd kind fanin size length vdd vth =
     `Ok exit_ok
 
 (* ------------------------------------------------------------------ *)
+(* batch supervision: hidden worker mode + the batch front end         *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Ser_jobs.Journal
+module Supervisor = Ser_jobs.Supervisor
+
+(* The worker half of the supervisor protocol: run one analysis in
+   this (child) process and emit exactly one JSON document on stdout —
+   {"ok":true,"result":...} or {"ok":false,"diag":...} plus a classed
+   exit code. [--fault] is test-only injection used by the fault
+   harness and CI to exercise the supervisor's failure taxonomy. *)
+let worker_attempt () =
+  match Sys.getenv_opt "SERTOOL_WORKER_ATTEMPT" with
+  | Some s -> (match int_of_string_opt s with Some n -> n | None -> 1)
+  | None -> 1
+
+let apply_worker_fault fault =
+  let crash signal = Unix.kill (Unix.getpid ()) signal in
+  match fault with
+  | None -> ()
+  | Some "hang" ->
+    while true do
+      Unix.sleepf 3600.
+    done
+  | Some "crash" -> crash Sys.sigsegv
+  | Some "oom" ->
+    (* stand-in for the OOM killer: die by uncatchable SIGKILL *)
+    crash Sys.sigkill
+  | Some "garbage" ->
+    print_string "%% this is not the worker protocol %%\n";
+    exit 0
+  | Some f when String.length f > 5 && String.sub f 0 5 = "exit:" ->
+    exit
+      (match int_of_string_opt (String.sub f 5 (String.length f - 5)) with
+      | Some n -> n
+      | None -> 1)
+  | Some f when String.length f > 6 && String.sub f 0 6 = "flaky:" ->
+    (* transient: crash on attempts below N, succeed afterwards — the
+       path that proves retry-with-backoff recovers a job *)
+    let n =
+      match int_of_string_opt (String.sub f 6 (String.length f - 6)) with
+      | Some n -> n
+      | None -> 2
+    in
+    if worker_attempt () < n then crash Sys.sigsegv
+  | Some other ->
+    prerr_endline ("sertool worker: unknown fault " ^ other);
+    exit exit_input
+
+let worker_result_json spec cmd vectors evals =
+  let c = load_circuit spec in
+  let lib = make_library [] [] in
+  match cmd with
+  | "analyze" ->
+    let asg = Sertopt.Optimizer.size_for_speed lib c in
+    let config =
+      { Aserta.Analysis.default_config with Aserta.Analysis.vectors }
+    in
+    let r = or_diag (Aserta.Analysis.run_checked ~config lib asg) in
+    Ser_util.Json.(
+      Obj
+        [
+          ("cmd", Str "analyze");
+          ("circuit", Str c.Ser_netlist.Circuit.name);
+          ("gates", int (Ser_netlist.Circuit.gate_count c));
+          ( "critical_delay_ps",
+            Num r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay );
+          ("total_unreliability", Num r.Aserta.Analysis.total);
+          ("vectors", int vectors);
+        ])
+  | "optimize" ->
+    let baseline = Sertopt.Optimizer.size_for_speed lib c in
+    let cfg =
+      {
+        Sertopt.Optimizer.default_config with
+        Sertopt.Optimizer.aserta =
+          { Aserta.Analysis.default_config with Aserta.Analysis.vectors };
+        max_evals = evals;
+        greedy_passes = 1;
+      }
+    in
+    let r = Sertopt.Optimizer.optimize ~config:cfg lib baseline in
+    let b = r.Sertopt.Optimizer.baseline_metrics in
+    let o = r.Sertopt.Optimizer.optimized_metrics in
+    let rat = Sertopt.Cost.ratios ~baseline:b o in
+    Ser_util.Json.(
+      Obj
+        [
+          ("cmd", Str "optimize");
+          ("circuit", Str c.Ser_netlist.Circuit.name);
+          ("gates", int (Ser_netlist.Circuit.gate_count c));
+          ("u_before", Num b.Sertopt.Cost.unreliability);
+          ("u_after", Num o.Sertopt.Cost.unreliability);
+          ("evals", int r.Sertopt.Optimizer.evals);
+          ("area_ratio", Num rat.Sertopt.Cost.area);
+          ("energy_ratio", Num rat.Sertopt.Cost.energy);
+          ("delay_ratio", Num rat.Sertopt.Cost.delay);
+          ("degraded", Bool r.Sertopt.Optimizer.degraded);
+        ])
+  | other -> failwith (Printf.sprintf "unknown worker command %S" other)
+
+let worker_cmd spec cmd vectors evals fault =
+  apply_worker_fault fault;
+  match
+    Ser_util.Diag.guard ~subsystem:"worker" (fun () ->
+        worker_result_json spec cmd vectors evals)
+  with
+  | Ok result ->
+    print_string
+      (Ser_util.Json.to_string ~indent:false
+         (Ser_util.Json.Obj
+            [ ("ok", Ser_util.Json.Bool true); ("result", result) ]));
+    print_newline ();
+    `Ok exit_ok
+  | Error d ->
+    print_string
+      (Ser_util.Json.to_string ~indent:false
+         (Ser_util.Json.Obj
+            [
+              ("ok", Ser_util.Json.Bool false);
+              ("diag", Ser_util.Diag.to_json d);
+            ]));
+    print_newline ();
+    `Ok (exit_code_of_diag d)
+
+(* Manifest: one job per line, "SPEC [fault=F]"; '#' comments and
+   blank lines ignored. SPEC is a .bench/.v path or a benchmark name,
+   exactly as for single-run commands. *)
+let parse_manifest path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      raise
+        (Ser_util.Diag.Diag_error
+           (Ser_util.Diag.make ~subsystem:"jobs"
+              ~context:[ Ser_util.Diag.file path ]
+              msg))
+  in
+  let lines = ref [] in
+  (try
+     let n = ref 0 in
+     while true do
+       incr n;
+       lines := (!n, input_line ic) :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let entries =
+    List.rev !lines
+    |> List.filter_map (fun (n, raw) ->
+           let line =
+             match String.index_opt raw '#' with
+             | Some h -> String.sub raw 0 h
+             | None -> raw
+           in
+           let line = String.trim line in
+           if line = "" then None
+           else
+             match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+             | [ spec ] -> Some (n, spec, None)
+             | [ spec; opt ] when String.length opt > 6
+                                  && String.sub opt 0 6 = "fault=" ->
+               let f = String.sub opt 6 (String.length opt - 6) in
+               let known =
+                 match f with
+                 | "hang" | "crash" | "oom" | "garbage" -> true
+                 | _ ->
+                   (String.length f > 5 && String.sub f 0 5 = "exit:")
+                   || (String.length f > 6 && String.sub f 0 6 = "flaky:")
+               in
+               (* catch typos here, with a line number, instead of
+                  letting every attempt die in the worker as a
+                  retried-then-degraded mystery *)
+               if not known then
+                 raise
+                   (Ser_util.Diag.Diag_error
+                      (Ser_util.Diag.make ~subsystem:"jobs"
+                         ~context:
+                           [ Ser_util.Diag.file path; Ser_util.Diag.line n ]
+                         (Printf.sprintf
+                            "unknown fault %S (known: hang, crash, oom, \
+                             garbage, exit:N, flaky:N)"
+                            f)));
+               Some (n, spec, Some f)
+             | _ ->
+               raise
+                 (Ser_util.Diag.Diag_error
+                    (Ser_util.Diag.make ~subsystem:"jobs"
+                       ~context:[ Ser_util.Diag.file path; Ser_util.Diag.line n ]
+                       (Printf.sprintf "malformed manifest line %S" raw))))
+  in
+  if entries = [] then
+    raise
+      (Ser_util.Diag.Diag_error
+         (Ser_util.Diag.make ~subsystem:"jobs"
+            ~context:[ Ser_util.Diag.file path ]
+            "manifest lists no jobs"));
+  (* job ids must be unique: suffix duplicated specs with #k *)
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (_, spec, fault) ->
+      let k =
+        match Hashtbl.find_opt seen spec with Some k -> k + 1 | None -> 0
+      in
+      Hashtbl.replace seen spec k;
+      let id = if k = 0 then spec else Printf.sprintf "%s#%d" spec k in
+      (id, spec, fault))
+    entries
+
+let print_batch_event ev =
+  match ev with
+  | Journal.Started { job; attempt } ->
+    Printf.printf "[%s] started (attempt %d)\n%!" job attempt
+  | Journal.Attempt_failed { job; attempt; cls; detail; backoff_s } ->
+    Printf.printf "[%s] attempt %d failed (%s: %s)%s\n%!" job attempt cls detail
+      (if backoff_s > 0. then Printf.sprintf "; retrying in %.2f s" backoff_s
+       else "")
+  | Journal.Interrupted { job; attempt } ->
+    Printf.printf "[%s] interrupted during attempt %d (will re-run on \
+                   --resume)\n%!"
+      job attempt
+  | Journal.Done { job; status; digest; _ } ->
+    Printf.printf "[%s] done: %s (digest %s)\n%!" job status
+      (String.sub digest 0 (min 12 (String.length digest)))
+  | Journal.Batch_start _ | Journal.Batch_end _ | Journal.Enqueued _ -> ()
+
+let batch_cmd manifest cmd vectors evals journal_path resume parallel
+    job_timeout grace retries backoff results =
+  wrap @@ fun () ->
+  let entries = parse_manifest manifest in
+  let journal_path =
+    match journal_path with Some p -> p | None -> manifest ^ ".journal"
+  in
+  let resume_state =
+    if resume then
+      if Sys.file_exists journal_path then Some (or_diag (Journal.replay journal_path))
+      else None
+    else begin
+      if
+        Sys.file_exists journal_path
+        && (Unix.stat journal_path).Unix.st_size > 0
+      then
+        failwith
+          (Printf.sprintf
+             "journal %s already exists; pass --resume to continue that \
+              batch or remove it to start over"
+             journal_path);
+      None
+    end
+  in
+  let self = Sys.executable_name in
+  let jobs =
+    List.map
+      (fun (id, spec, fault) ->
+        let argv =
+          [ self; "worker"; "--cmd"; cmd; "--vectors"; string_of_int vectors;
+            "--evals"; string_of_int evals ]
+          @ (match fault with Some f -> [ "--fault"; f ] | None -> [])
+          @ [ spec ]
+        in
+        Supervisor.job ~id (Array.of_list argv))
+      entries
+  in
+  let cfg =
+    {
+      Supervisor.default_config with
+      Supervisor.parallel;
+      timeout_s = job_timeout;
+      grace_s = grace;
+      retries;
+      backoff_base_s = backoff;
+    }
+  in
+  let journal = or_diag (Journal.create ?resume:resume_state journal_path) in
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> Journal.close journal)
+      (fun () ->
+        Supervisor.with_signal_drain (fun stop ->
+            or_diag
+              (Supervisor.run ~stop ~on_event:print_batch_event cfg ~journal
+                 ?resume:resume_state jobs)))
+  in
+  Printf.printf
+    "batch summary: ok=%d failed=%d degraded=%d skipped=%d interrupted=%d%s\n"
+    summary.Supervisor.ok summary.Supervisor.failed summary.Supervisor.degraded
+    summary.Supervisor.skipped summary.Supervisor.interrupted
+    (if summary.Supervisor.drained then " (drained: interrupted by operator)"
+     else "");
+  (match results with
+  | None -> ()
+  | Some path ->
+    (* derived from the journal alone, so an interrupted-then-resumed
+       batch renders bit-identically to an uninterrupted one *)
+    let st = or_diag (Journal.replay journal_path) in
+    let oc = open_out path in
+    output_string oc (Ser_util.Json.to_string (Journal.final_results_json st));
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  `Ok exit_ok
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
@@ -683,12 +1009,99 @@ let export_lib_t =
              as a Liberty (.lib) file")
     Term.(ret (const export_lib_cmd $ kind $ fanin $ output))
 
+let worker_t =
+  let cmd =
+    Arg.(value & opt string "analyze" & info [ "cmd" ] ~docv:"CMD"
+           ~doc:"Worker command: analyze or optimize.")
+  in
+  let vectors =
+    Arg.(value & opt int 2000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
+  in
+  let evals =
+    Arg.(value & opt int 60 & info [ "evals" ] ~doc:"Optimizer cost evaluations.")
+  in
+  let fault =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"F"
+           ~doc:"Test-only fault injection: hang, crash, oom, garbage, \
+                 exit:N or flaky:N (crash on attempts below N).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"(internal) Run one job as a batch-supervisor child process and \
+             emit the result as JSON on stdout")
+    Term.(ret (const worker_cmd $ circuit_arg $ cmd $ vectors $ evals $ fault))
+
+let batch_t =
+  let manifest =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
+           ~doc:"Manifest file: one job per line, \"SPEC [fault=F]\".")
+  in
+  let cmd =
+    Arg.(value & opt string "analyze" & info [ "cmd" ] ~docv:"CMD"
+           ~doc:"Per-job command: analyze or optimize.")
+  in
+  let vectors =
+    Arg.(value & opt int 2000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
+  in
+  let evals =
+    Arg.(value & opt int 60 & info [ "evals" ]
+           ~doc:"Optimizer cost evaluations (optimize jobs).")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write-ahead journal path (default MANIFEST.journal).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume a previous run of the same manifest: jobs already \
+                 journalled as done are skipped bit-identically.")
+  in
+  let parallel =
+    Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N"
+           ~doc:"Concurrent worker processes.")
+  in
+  let job_timeout =
+    Arg.(value & opt float 300. & info [ "timeout-per-job" ] ~docv:"SECONDS"
+           ~doc:"Per-attempt watchdog (monotonic clock): SIGTERM on expiry, \
+                 SIGKILL after the grace period.")
+  in
+  let grace =
+    Arg.(value & opt float 2. & info [ "grace" ] ~docv:"SECONDS"
+           ~doc:"SIGTERM-to-SIGKILL grace period.")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries per job for transient failures (crash, hang, \
+                 garbage output, unexplained exit) with exponential backoff; \
+                 after the budget the job is recorded as degraded and the \
+                 batch continues.")
+  in
+  let backoff =
+    Arg.(value & opt float 1. & info [ "backoff" ] ~docv:"SECONDS"
+           ~doc:"Base retry delay; grows exponentially with deterministic \
+                 jitter.")
+  in
+  let results =
+    Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE"
+           ~doc:"Write the final per-job results (derived from the journal) \
+                 as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run ASERTA/SERTOPT over a manifest of circuits with \
+             crash-contained worker processes, a watchdog, retry/backoff and \
+             a resumable write-ahead journal")
+    Term.(ret (const batch_cmd $ manifest $ cmd $ vectors $ evals $ journal
+               $ resume $ parallel $ job_timeout $ grace $ retries $ backoff
+               $ results))
+
 let main =
   Cmd.group
     (Cmd.info "sertool" ~version:"1.0.0"
        ~doc:"Soft-error tolerance analysis (ASERTA) and optimization (SERTOPT) \
              of combinational nanometer circuits")
     [ info_t; generate_t; analyze_t; optimize_t; rate_t; timing_t; pipeline_t;
-      harden_t; characterize_t; export_deck_t; export_lib_t ]
+      harden_t; characterize_t; export_deck_t; export_lib_t; batch_t;
+      worker_t ]
 
 let () = exit (Cmd.eval' main)

@@ -366,15 +366,162 @@ let util_scenarios () =
     };
   ]
 
+(* -------------------- batch supervisor corruption ------------------ *)
+
+module Journal = Ser_jobs.Journal
+module Supervisor = Ser_jobs.Supervisor
+
+(* quick watchdog + no retries unless a scenario overrides *)
+let jobs_config =
+  {
+    Supervisor.default_config with
+    Supervisor.timeout_s = 5.;
+    grace_s = 0.2;
+    retries = 0;
+    backoff_base_s = 0.01;
+    backoff_max_s = 0.05;
+  }
+
+let sh ~id script = Supervisor.job ~id [| "/bin/sh"; "-c"; script |]
+
+let batch_outcome ?(cfg = jobs_config) jobs judge =
+  let path = Filename.temp_file "faultsim" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Journal.create path with
+      | Error d -> Graceful d
+      | Ok j ->
+        Fun.protect
+          ~finally:(fun () -> Journal.close j)
+          (fun () ->
+            match Supervisor.run cfg ~journal:j jobs with
+            | Error d -> Graceful d
+            | Ok s -> judge s))
+
+let degraded_if_any (s : Supervisor.summary) =
+  if s.Supervisor.degraded > 0 then Degraded else Passed
+
+let ok_worker = {|printf '{"ok":true,"result":{"v":1}}'|}
+
+let diag_worker =
+  {|printf '{"ok":false,"diag":{"subsystem":"worker","message":"bad input"}}'; exit 2|}
+
+let jobs_scenarios () =
+  [
+    {
+      name = "worker healthy";
+      group = "jobs";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          batch_outcome [ sh ~id:"h" ok_worker ] (fun s ->
+              if s.Supervisor.ok = 1 then Passed else Degraded));
+    };
+    {
+      name = "worker crash (SIGSEGV)";
+      group = "jobs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          batch_outcome [ sh ~id:"segv" "kill -SEGV $$" ] degraded_if_any);
+    };
+    {
+      name = "worker killed outright (OOM-style SIGKILL)";
+      group = "jobs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          batch_outcome [ sh ~id:"oom" "kill -KILL $$" ] degraded_if_any);
+    };
+    {
+      name = "worker hang hits the watchdog";
+      group = "jobs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          batch_outcome
+            ~cfg:{ jobs_config with Supervisor.timeout_s = 0.3 }
+            [ sh ~id:"hang" "sleep 30" ]
+            degraded_if_any);
+    };
+    {
+      name = "worker emits garbage instead of the protocol";
+      group = "jobs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          batch_outcome
+            [ sh ~id:"noise" "echo not-the-protocol" ]
+            degraded_if_any);
+    };
+    {
+      name = "worker reports a clean diagnostic";
+      group = "jobs";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          batch_outcome [ sh ~id:"diag" diag_worker ] (fun s ->
+              if s.Supervisor.failed = 1 then
+                Graceful
+                  (Diag.error ~subsystem:"jobs"
+                     "worker failed cleanly with a structured diagnostic")
+              else Degraded));
+    };
+    {
+      name = "flaky worker recovers on retry";
+      group = "jobs";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          batch_outcome
+            ~cfg:{ jobs_config with Supervisor.retries = 2 }
+            [
+              sh ~id:"flaky"
+                (Printf.sprintf
+                   {|if [ "$SERTOOL_WORKER_ATTEMPT" -lt 2 ]; then kill -KILL $$; fi; %s|}
+                   ok_worker);
+            ]
+            (fun s -> if s.Supervisor.ok = 1 then Passed else Degraded));
+    };
+    {
+      name = "mixed batch keeps healthy results";
+      group = "jobs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          batch_outcome
+            ~cfg:{ jobs_config with Supervisor.timeout_s = 0.3; parallel = 2 }
+            [
+              sh ~id:"good1" ok_worker;
+              sh ~id:"segv" "kill -SEGV $$";
+              sh ~id:"hang" "sleep 30";
+              sh ~id:"good2" ok_worker;
+            ]
+            (fun s ->
+              (* the contract: faults are contained per job and healthy
+                 results are never lost *)
+              if s.Supervisor.ok = 2 && s.Supervisor.degraded = 2 then Degraded
+              else Uncaught (Failure "healthy results lost in mixed batch")));
+    };
+  ]
+
 let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
-  @ optimizer_scenarios () @ util_scenarios ()
+  @ optimizer_scenarios () @ util_scenarios () @ jobs_scenarios ()
 
 let run_all () =
   (* force the shared fixtures before fanning out: Lazy.force is not
      safe to race from several domains (the losers raise
      Lazy.Undefined), and base_asg pulls in the other two *)
   ignore (Lazy.force base_asg);
-  let ss = Array.of_list (scenarios ()) in
-  let outcomes = Ser_par.Par.parallel_map ~chunk:1 run_scenario ss in
-  Array.to_list (Array.mapi (fun i o -> (ss.(i), o)) outcomes)
+  let par, seq = List.partition (fun s -> s.group <> "jobs") (scenarios ()) in
+  let ps = Array.of_list par in
+  let outcomes = Ser_par.Par.parallel_map ~chunk:1 run_scenario ps in
+  let par_results =
+    Array.to_list (Array.mapi (fun i o -> (ps.(i), o)) outcomes)
+  in
+  (* the jobs scenarios fork child processes; fork from a pool worker
+     domain is unsafe in a multicore runtime, so they stay on the main
+     domain, after the pooled groups *)
+  par_results @ List.map (fun s -> (s, run_scenario s)) seq

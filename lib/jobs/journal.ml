@@ -1,0 +1,297 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+
+let subsystem = "jobs"
+
+type event =
+  | Batch_start of { manifest : string; jobs : string list }
+  | Enqueued of { job : string }
+  | Started of { job : string; attempt : int }
+  | Attempt_failed of {
+      job : string;
+      attempt : int;
+      cls : string;
+      detail : string;
+      backoff_s : float;
+    }
+  | Interrupted of { job : string; attempt : int }
+  | Done of { job : string; status : string; digest : string; payload : Json.t }
+  | Batch_end of { ok : int; failed : int; degraded : int; interrupted : int }
+
+let event_to_json = function
+  | Batch_start { manifest; jobs } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "batch_start");
+        ("manifest", Json.Str manifest);
+        ("jobs", Json.List (List.map (fun j -> Json.Str j) jobs));
+      ]
+  | Enqueued { job } ->
+    Json.Obj [ ("ev", Json.Str "enqueued"); ("job", Json.Str job) ]
+  | Started { job; attempt } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "started");
+        ("job", Json.Str job);
+        ("attempt", Json.int attempt);
+      ]
+  | Attempt_failed { job; attempt; cls; detail; backoff_s } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "attempt_failed");
+        ("job", Json.Str job);
+        ("attempt", Json.int attempt);
+        ("class", Json.Str cls);
+        ("detail", Json.Str detail);
+        ("backoff_s", Json.Num backoff_s);
+      ]
+  | Interrupted { job; attempt } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "interrupted");
+        ("job", Json.Str job);
+        ("attempt", Json.int attempt);
+      ]
+  | Done { job; status; digest; payload } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "done");
+        ("job", Json.Str job);
+        ("status", Json.Str status);
+        ("digest", Json.Str digest);
+        ("payload", payload);
+      ]
+  | Batch_end { ok; failed; degraded; interrupted } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "batch_end");
+        ("ok", Json.int ok);
+        ("failed", Json.int failed);
+        ("degraded", Json.int degraded);
+        ("interrupted", Json.int interrupted);
+      ]
+
+let event_of_json j =
+  let str name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing int field %S" name)
+  in
+  let num name =
+    match Option.bind (Json.member name j) Json.to_float_opt with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing number field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* ev = str "ev" in
+  match ev with
+  | "batch_start" ->
+    let* manifest = str "manifest" in
+    (match Option.bind (Json.member "jobs" j) Json.to_list_opt with
+    | None -> Error "missing list field \"jobs\""
+    | Some items ->
+      let jobs = List.filter_map Json.to_str_opt items in
+      if List.length jobs <> List.length items then
+        Error "non-string entry in \"jobs\""
+      else Ok (Batch_start { manifest; jobs }))
+  | "enqueued" ->
+    let* job = str "job" in
+    Ok (Enqueued { job })
+  | "started" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    Ok (Started { job; attempt })
+  | "attempt_failed" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    let* cls = str "class" in
+    let* detail = str "detail" in
+    let* backoff_s = num "backoff_s" in
+    Ok (Attempt_failed { job; attempt; cls; detail; backoff_s })
+  | "interrupted" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    Ok (Interrupted { job; attempt })
+  | "done" ->
+    let* job = str "job" in
+    let* status = str "status" in
+    let* digest = str "digest" in
+    (match Json.member "payload" j with
+    | None -> Error "missing field \"payload\""
+    | Some payload -> Ok (Done { job; status; digest; payload }))
+  | "batch_end" ->
+    let* ok = int "ok" in
+    let* failed = int "failed" in
+    let* degraded = int "degraded" in
+    let* interrupted = int "interrupted" in
+    Ok (Batch_end { ok; failed; degraded; interrupted })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+(* ------------------------------------------------------------------ *)
+
+type t = { path : string; fd : Unix.file_descr; mutable closed : bool }
+
+type final = { status : string; digest : string; payload : Json.t }
+
+type state = {
+  manifest : string option;
+  jobs : string list;
+  finals : (string * final) list;
+  records : int;
+  torn_tail : bool;
+  valid_bytes : int;
+}
+
+let create ?resume path =
+  Diag.guard ~subsystem (fun () ->
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+      in
+      (* resuming onto a journal with a torn tail: new records would be
+         glued onto the dead writer's fragment and corrupt the stream.
+         Cut the file back to its durable prefix first. *)
+      (match resume with
+      | Some st -> (
+        try Unix.ftruncate fd st.valid_bytes
+        with Unix.Unix_error (e, _, _) ->
+          Diag.fail ~subsystem ~context:[ Diag.file path ]
+            "cannot truncate torn journal tail: %s" (Unix.error_message e))
+      | None -> ());
+      { path; fd; closed = false })
+
+let append t ev =
+  if t.closed then
+    Diag.fail ~subsystem ~context:[ Diag.file t.path ] "journal is closed";
+  let line = Json.to_string ~indent:false (event_to_json ev) ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let written =
+    try Unix.write t.fd bytes 0 len
+    with Unix.Unix_error (e, _, _) ->
+      Diag.fail ~subsystem ~context:[ Diag.file t.path ]
+        "journal write failed: %s" (Unix.error_message e)
+  in
+  if written <> len then
+    Diag.fail ~subsystem ~context:[ Diag.file t.path ]
+      "short journal write (%d of %d bytes)" written len;
+  (* write-ahead: the record must be durable before the supervisor
+     acts on the transition it describes *)
+  try Unix.fsync t.fd
+  with Unix.Unix_error (e, _, _) ->
+    Diag.fail ~subsystem ~context:[ Diag.file t.path ] "journal fsync failed: %s"
+      (Unix.error_message e)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let empty_state =
+  {
+    manifest = None;
+    jobs = [];
+    finals = [];
+    records = 0;
+    torn_tail = false;
+    valid_bytes = 0;
+  }
+
+let apply st = function
+  | Batch_start { manifest; jobs } ->
+    { st with manifest = Some manifest; jobs }
+  | Done { job; status; digest; payload } ->
+    (* last record wins, but keep first-completion order for the rest *)
+    let final = { status; digest; payload } in
+    let finals =
+      if List.mem_assoc job st.finals then
+        List.map (fun (j, f) -> if j = job then (j, final) else (j, f)) st.finals
+      else st.finals @ [ (job, final) ]
+    in
+    { st with finals }
+  | Enqueued _ | Started _ | Attempt_failed _ | Interrupted _ | Batch_end _ ->
+    st
+
+let replay path =
+  Diag.guard ~subsystem (fun () ->
+      let ic =
+        try open_in_bin path
+        with Sys_error msg ->
+          Diag.fail ~subsystem ~context:[ Diag.file path ] "%s" msg
+      in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let text =
+            really_input_string ic (in_channel_length ic)
+          in
+          let n = String.length text in
+          (* split on '\n'; a final fragment without the newline is the
+             torn tail of a crashed writer *)
+          let lines = String.split_on_char '\n' text in
+          let complete, tail =
+            if n = 0 then ([], None)
+            else if text.[n - 1] = '\n' then
+              (* split yields a trailing "" after the final newline *)
+              (List.filteri (fun i _ -> i < List.length lines - 1) lines, None)
+            else
+              let rec split_last acc = function
+                | [] -> (List.rev acc, None)
+                | [ last ] -> (List.rev acc, Some last)
+                | x :: rest -> split_last (x :: acc) rest
+              in
+              split_last [] lines
+          in
+          let st = ref empty_state in
+          List.iteri
+            (fun i line ->
+              if line <> "" then
+                match Json.of_string line with
+                | Error msg ->
+                  Diag.fail ~subsystem
+                    ~context:[ Diag.file path; Diag.line (i + 1) ]
+                    "corrupt journal record: %s" msg
+                | Ok j ->
+                  (match event_of_json j with
+                  | Error msg ->
+                    Diag.fail ~subsystem
+                      ~context:[ Diag.file path; Diag.line (i + 1) ]
+                      "corrupt journal record: %s" msg
+                  | Ok ev ->
+                    st := { (apply !st ev) with records = !st.records + 1 }))
+            complete;
+          (* the torn tail is expected after a kill: even if it happens
+             to parse (flush landed mid-fsync), the write was not
+             acknowledged, so the conservative move is to drop it *)
+          match tail with
+          | Some frag when String.trim frag <> "" ->
+            { !st with torn_tail = true; valid_bytes = n - String.length frag }
+          | Some frag -> { !st with valid_bytes = n - String.length frag }
+          | None -> { !st with valid_bytes = n }))
+
+let final_results_json st =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare a b) st.finals
+  in
+  Json.Obj
+    [
+      ( "results",
+        Json.List
+          (List.map
+             (fun (job, f) ->
+               Json.Obj
+                 [
+                   ("job", Json.Str job);
+                   ("status", Json.Str f.status);
+                   ("digest", Json.Str f.digest);
+                   ("payload", f.payload);
+                 ])
+             sorted) );
+    ]

@@ -1,0 +1,80 @@
+(** Write-ahead JSON-lines journal for batch runs.
+
+    Every state transition of the batch supervisor is appended as one
+    compact JSON object per line and fsynced before the supervisor
+    acts on it, so a crash or [SIGKILL] at any point loses at most the
+    record being written. {!replay} tolerates a truncated final line
+    (the torn write of the fatal moment) and reconstructs the durable
+    state: which jobs already hold a [Done] record — and with which
+    result payload — so [--resume] can skip them bit-identically. *)
+
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+
+type event =
+  | Batch_start of { manifest : string; jobs : string list }
+      (** Written once, before any dispatch: pins the job universe so a
+          resume against the wrong journal is rejected. *)
+  | Enqueued of { job : string }
+  | Started of { job : string; attempt : int }
+  | Attempt_failed of {
+      job : string;
+      attempt : int;
+      cls : string;  (** supervisor failure taxonomy, e.g. ["hang"] *)
+      detail : string;
+      backoff_s : float;  (** delay before the retry; 0 when giving up *)
+    }
+  | Interrupted of { job : string; attempt : int }
+      (** In flight when the supervisor drained; re-run on resume. *)
+  | Done of { job : string; status : string; digest : string; payload : Json.t }
+      (** Terminal. [status] is ["ok"], ["failed"] or ["degraded"];
+          [digest] is the MD5 of the compact payload rendering. *)
+  | Batch_end of { ok : int; failed : int; degraded : int; interrupted : int }
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+(** {1 Appending} *)
+
+type t
+(** An open journal handle (append-only file descriptor). *)
+
+type final = { status : string; digest : string; payload : Json.t }
+
+type state = {
+  manifest : string option;  (** from [Batch_start], if present *)
+  jobs : string list;  (** job universe from [Batch_start] *)
+  finals : (string * final) list;  (** [Done] jobs, journal order *)
+  records : int;  (** complete records replayed *)
+  torn_tail : bool;  (** a truncated trailing line was dropped *)
+  valid_bytes : int;
+      (** length of the durable prefix: everything up to and including
+          the last complete record *)
+}
+
+val create : ?resume:state -> string -> (t, Diag.t) result
+(** Open [path] for appending (created if absent). With [resume] (the
+    replayed state of this same file) the file is first truncated to
+    [valid_bytes], dropping any torn tail so the resumed writer never
+    glues a new record onto a dead writer's fragment. *)
+
+val append : t -> event -> unit
+(** Serialise one record, write it with a trailing newline, fsync.
+    Raises [Diag.Diag_error] on I/O failure (subsystem ["jobs"]). *)
+
+val close : t -> unit
+
+(** {1 Replay} *)
+
+val replay : string -> (state, Diag.t) result
+(** Read a journal back. A missing file is an error; an empty file is
+    an empty state. Unparseable {e complete} lines are an error
+    (the journal is corrupt, not merely torn); a single unparseable
+    record at end-of-file without a trailing newline is dropped and
+    flagged [torn_tail]. *)
+
+val final_results_json : state -> Json.t
+(** Canonical results document derived from the journal alone:
+    the [Done] records sorted by job id. Two journals that replay to
+    the same finals render bit-identically, regardless of how many
+    interrupted runs it took to produce them. *)

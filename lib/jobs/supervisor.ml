@@ -1,0 +1,598 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+module Mono = Ser_util.Mono
+
+let subsystem = "jobs"
+
+type job = { id : string; argv : string array; env : (string * string) list }
+
+let job ?(env = []) ~id argv = { id; argv; env }
+
+type config = {
+  parallel : int;
+  timeout_s : float;
+  grace_s : float;
+  retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  max_output_bytes : int;
+}
+
+let default_config =
+  {
+    parallel = 1;
+    timeout_s = 300.;
+    grace_s = 2.;
+    retries = 2;
+    backoff_base_s = 1.;
+    backoff_max_s = 30.;
+    max_output_bytes = 4 * 1024 * 1024;
+  }
+
+(* -------------------- failure taxonomy -------------------- *)
+
+type failure =
+  | Clean_error of Diag.t
+  | Nonzero_exit of int
+  | Crashed of int
+  | Hung
+  | Malformed_output of string
+  | Spawn_failed of string
+
+let transient = function
+  | Clean_error _ -> false
+  | Nonzero_exit _ | Crashed _ | Hung | Malformed_output _ | Spawn_failed _ ->
+    true
+
+let failure_class = function
+  | Clean_error _ -> "error"
+  | Nonzero_exit _ -> "exit"
+  | Crashed _ -> "crash"
+  | Hung -> "hang"
+  | Malformed_output _ -> "garbage"
+  | Spawn_failed _ -> "spawn"
+
+let signal_name s =
+  (* OCaml signal numbers are its own negative encoding; name the ones
+     the supervisor and fault injection actually produce *)
+  if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else Printf.sprintf "signal %d" s
+
+let failure_detail = function
+  | Clean_error d -> Diag.to_string d
+  | Nonzero_exit c -> Printf.sprintf "exit code %d without a diagnostic" c
+  | Crashed s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Hung -> "watchdog timeout"
+  | Malformed_output m -> Printf.sprintf "undecodable worker output: %s" m
+  | Spawn_failed m -> Printf.sprintf "spawn failed: %s" m
+
+(* FNV-1a over (job id, attempt): a deterministic jitter source, so a
+   replayed batch reproduces its exact retry schedule *)
+let jitter ~job_id ~attempt =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
+  in
+  String.iter (fun c -> mix (Char.code c)) job_id;
+  mix 0x3a;
+  mix attempt;
+  let frac =
+    Int64.to_float (Int64.logand !h 0xFFFFFFL) /. 16777216.
+  in
+  0.75 +. (0.5 *. frac)
+
+let backoff_delay cfg ~job_id ~attempt =
+  let attempt = max 1 attempt in
+  let exp =
+    cfg.backoff_base_s *. Float.pow 2. (float_of_int (attempt - 1))
+  in
+  Float.min cfg.backoff_max_s exp *. jitter ~job_id ~attempt
+
+(* -------------------- results -------------------- *)
+
+type status = Job_ok | Job_failed | Job_degraded
+
+let status_to_string = function
+  | Job_ok -> "ok"
+  | Job_failed -> "failed"
+  | Job_degraded -> "degraded"
+
+let status_of_string = function
+  | "ok" -> Some Job_ok
+  | "failed" -> Some Job_failed
+  | "degraded" -> Some Job_degraded
+  | _ -> None
+
+type outcome = {
+  o_job : job;
+  o_status : status;
+  o_digest : string;
+  o_payload : Json.t;
+  o_attempts : int;
+  o_from_journal : bool;
+}
+
+type summary = {
+  outcomes : outcome list;
+  ok : int;
+  failed : int;
+  degraded : int;
+  skipped : int;
+  interrupted : int;
+  drained : bool;
+}
+
+let digest_of_payload payload =
+  Digest.to_hex (Digest.string (Json.to_string ~indent:false payload))
+
+(* -------------------- worker output decoding -------------------- *)
+
+let diag_of_worker_json j =
+  let field name =
+    match Option.bind (Json.member name j) Json.to_str_opt with
+    | Some s -> s
+    | None -> ""
+  in
+  let subsystem =
+    match field "subsystem" with "" -> "worker" | s -> s
+  in
+  let message =
+    match field "message" with
+    | "" -> Json.to_string ~indent:false j
+    | m -> m
+  in
+  let context =
+    match Json.member "context" j with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str_opt v))
+        kvs
+    | _ -> []
+  in
+  Diag.make ~subsystem ~context message
+
+(* Decode one attempt's stdout against the worker protocol. *)
+let decode_output ~overflowed text =
+  if overflowed then
+    Error (Malformed_output "stdout exceeded the output cap")
+  else
+    let text = String.trim text in
+    if text = "" then Error (Malformed_output "empty stdout")
+    else
+      match Json.of_string text with
+      | Error msg -> Error (Malformed_output msg)
+      | Ok doc ->
+        (match Json.member "ok" doc with
+        | Some (Json.Bool true) ->
+          let payload =
+            match Json.member "result" doc with Some r -> r | None -> doc
+          in
+          Ok payload
+        | Some (Json.Bool false) ->
+          let d =
+            match Json.member "diag" doc with
+            | Some dj -> diag_of_worker_json dj
+            | None -> Diag.make ~subsystem:"worker" "worker reported failure"
+          in
+          Error (Clean_error d)
+        | _ -> Error (Malformed_output "missing \"ok\" field"))
+
+(* -------------------- child process bookkeeping -------------------- *)
+
+type running = {
+  r_job : job;
+  r_attempt : int;
+  pid : int;
+  out_buf : Buffer.t;
+  err_buf : Buffer.t;
+  mutable out_overflow : bool;
+  mutable out_fd : Unix.file_descr option;
+  mutable err_fd : Unix.file_descr option;
+  deadline : float; (* monotonic; infinity = no watchdog *)
+  mutable term_sent : bool;
+  mutable kill_at : float;
+  mutable drain_kill : bool;
+}
+
+let rec waitpid_nohang pid =
+  try Unix.waitpid [ Unix.WNOHANG ] pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_nohang pid
+
+let kill_quietly pid signal =
+  try Unix.kill pid signal
+  with Unix.Unix_error (_, _, _) -> () (* already gone *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+(* Pull whatever is available from one nonblocking fd into [buf];
+   closes and clears the slot on EOF. Returns true while still open. *)
+let drain_one cfg r (slot : [ `Out | `Err ]) =
+  let get, set, buf =
+    match slot with
+    | `Out -> ((fun () -> r.out_fd), (fun v -> r.out_fd <- v), r.out_buf)
+    | `Err -> ((fun () -> r.err_fd), (fun v -> r.err_fd <- v), r.err_buf)
+  in
+  match get () with
+  | None -> false
+  | Some fd ->
+    let chunk = Bytes.create 4096 in
+    let rec loop () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 ->
+        close_quietly fd;
+        set None;
+        false
+      | n ->
+        (match slot with
+        | `Out ->
+          if Buffer.length buf + n > cfg.max_output_bytes then
+            r.out_overflow <- true
+          else Buffer.add_subbytes buf chunk 0 n
+        | `Err ->
+          (* keep a bounded tail for failure reports *)
+          if Buffer.length buf < 65536 then Buffer.add_subbytes buf chunk 0 n);
+        loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) ->
+        close_quietly fd;
+        set None;
+        false
+    in
+    loop ()
+
+let drain_fds cfg r =
+  ignore (drain_one cfg r `Out);
+  ignore (drain_one cfg r `Err)
+
+let close_fds cfg r =
+  (* final pull, then release both pipe ends *)
+  drain_fds cfg r;
+  (match r.out_fd with Some fd -> close_quietly fd | None -> ());
+  (match r.err_fd with Some fd -> close_quietly fd | None -> ());
+  r.out_fd <- None;
+  r.err_fd <- None
+
+let spawn cfg jb ~attempt =
+  match
+    let out_r, out_w = Unix.pipe ~cloexec:true () in
+    let err_r, err_w = Unix.pipe ~cloexec:true () in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    let env =
+      Array.append (Unix.environment ())
+        (Array.of_list
+           (List.map (fun (k, v) -> k ^ "=" ^ v)
+              (("SERTOOL_WORKER_ATTEMPT", string_of_int attempt) :: jb.env)))
+    in
+    let pid =
+      Fun.protect
+        ~finally:(fun () ->
+          close_quietly devnull;
+          close_quietly out_w;
+          close_quietly err_w)
+        (fun () ->
+          Unix.create_process_env jb.argv.(0) jb.argv env devnull out_w err_w)
+    in
+    Unix.set_nonblock out_r;
+    Unix.set_nonblock err_r;
+    (pid, out_r, err_r)
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Spawn_failed (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+  | pid, out_r, err_r ->
+    let now = Mono.now () in
+    Ok
+      {
+        r_job = jb;
+        r_attempt = attempt;
+        pid;
+        out_buf = Buffer.create 1024;
+        err_buf = Buffer.create 256;
+        out_overflow = false;
+        out_fd = Some out_r;
+        err_fd = Some err_r;
+        deadline =
+          (if cfg.timeout_s > 0. && cfg.timeout_s < infinity then
+             now +. cfg.timeout_s
+           else infinity);
+        term_sent = false;
+        kill_at = infinity;
+        drain_kill = false;
+      }
+
+(* Classify a reaped attempt. *)
+let classify r status =
+  match status with
+  | Unix.WEXITED 0 ->
+    decode_output ~overflowed:r.out_overflow (Buffer.contents r.out_buf)
+  | Unix.WEXITED code ->
+    (* a classed failure still counts as clean if the worker managed to
+       emit its diagnostic before exiting *)
+    (match
+       decode_output ~overflowed:r.out_overflow (Buffer.contents r.out_buf)
+     with
+    | Error (Clean_error _ as f) -> Error f
+    | Ok _ | Error _ -> Error (Nonzero_exit code))
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+    if r.term_sent && not r.drain_kill then Error Hung else Error (Crashed s)
+
+(* -------------------- the supervisor loop -------------------- *)
+
+type pend = { p_job : job; p_attempt : int; ready_at : float }
+
+let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
+    (cfg : config) ~(journal : Journal.t) ?resume jobs =
+  Diag.guard ~subsystem @@ fun () ->
+  if cfg.parallel < 1 then
+    Diag.fail ~subsystem "config.parallel must be >= 1 (got %d)" cfg.parallel;
+  if cfg.retries < 0 then
+    Diag.fail ~subsystem "config.retries must be >= 0 (got %d)" cfg.retries;
+  let ids = List.map (fun j -> j.id) jobs in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then
+        Diag.fail ~subsystem ~context:[ Diag.job id ] "duplicate job id %S" id;
+      Hashtbl.replace seen id ())
+    ids;
+  (* resume validation: the journal must describe this exact batch *)
+  let finals_from_journal =
+    match resume with
+    | None -> []
+    | Some (st : Journal.state) ->
+      if st.Journal.jobs <> [] && st.Journal.jobs <> ids then
+        Diag.fail ~subsystem
+          "cannot resume: journal describes a different batch (%d jobs, \
+           first %s)"
+          (List.length st.Journal.jobs)
+          (match st.Journal.jobs with j :: _ -> Printf.sprintf "%S" j | [] -> "-");
+      List.filter (fun (id, _) -> List.mem id ids) st.Journal.finals
+  in
+  let record ev =
+    Journal.append journal ev;
+    on_event ev
+  in
+  if resume = None then
+    record (Journal.Batch_start { manifest = ""; jobs = ids });
+  (* outcome table; pre-seeded from the journal on resume *)
+  let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (id, (f : Journal.final)) ->
+      match List.find_opt (fun j -> j.id = id) jobs with
+      | None -> ()
+      | Some jb ->
+        let status =
+          match status_of_string f.Journal.status with
+          | Some s -> s
+          | None ->
+            Diag.fail ~subsystem ~context:[ Diag.job id ]
+              "journal has unknown status %S" f.Journal.status
+        in
+        Hashtbl.replace outcomes id
+          {
+            o_job = jb;
+            o_status = status;
+            o_digest = f.Journal.digest;
+            o_payload = f.Journal.payload;
+            o_attempts = 0;
+            o_from_journal = true;
+          })
+    finals_from_journal;
+  let skipped = Hashtbl.length outcomes in
+  let to_run = List.filter (fun j -> not (Hashtbl.mem outcomes j.id)) jobs in
+  List.iter (fun j -> record (Journal.Enqueued { job = j.id })) to_run;
+  let pending =
+    ref (List.map (fun j -> { p_job = j; p_attempt = 1; ready_at = 0. }) to_run)
+  in
+  let running : running list ref = ref [] in
+  let draining = ref false in
+  let interrupted = ref 0 in
+  let finish jb status payload ~attempts =
+    let digest = digest_of_payload payload in
+    record
+      (Journal.Done
+         { job = jb.id; status = status_to_string status; digest; payload });
+    Hashtbl.replace outcomes jb.id
+      {
+        o_job = jb;
+        o_status = status;
+        o_digest = digest;
+        o_payload = payload;
+        o_attempts = attempts;
+        o_from_journal = false;
+      }
+  in
+  let handle_failure jb ~attempt failure =
+    let cls = failure_class failure in
+    let detail = failure_detail failure in
+    let retrying = transient failure && attempt <= cfg.retries && not !draining in
+    let backoff_s =
+      if retrying then backoff_delay cfg ~job_id:jb.id ~attempt else 0.
+    in
+    record
+      (Journal.Attempt_failed { job = jb.id; attempt; cls; detail; backoff_s });
+    if retrying then
+      pending :=
+        !pending
+        @ [
+            {
+              p_job = jb;
+              p_attempt = attempt + 1;
+              ready_at = Mono.now () +. backoff_s;
+            };
+          ]
+    else
+      match failure with
+      | Clean_error d ->
+        finish jb Job_failed
+          (Json.Obj
+             [ ("kind", Json.Str "diag"); ("diag", Diag.to_json d) ])
+          ~attempts:attempt
+      | _ ->
+        (* retry budget exhausted on a transient class: degraded, the
+           batch goes on *)
+        finish jb Job_degraded
+          (Json.Obj
+             [
+               ("kind", Json.Str "gave_up");
+               ("class", Json.Str cls);
+               ("detail", Json.Str detail);
+               ("attempts", Json.int attempt);
+             ])
+          ~attempts:attempt
+  in
+  let reap_one r status =
+    close_fds cfg r;
+    if !draining && r.drain_kill then begin
+      incr interrupted;
+      record (Journal.Interrupted { job = r.r_job.id; attempt = r.r_attempt })
+    end
+    else
+      match classify r status with
+      | Ok payload -> finish r.r_job Job_ok payload ~attempts:r.r_attempt
+      | Error failure -> handle_failure r.r_job ~attempt:r.r_attempt failure
+  in
+  let begin_drain () =
+    draining := true;
+    (* orphan the backoff queue: those attempts never started, so the
+       journal correctly shows them as enqueued-but-not-done *)
+    let now = Mono.now () in
+    List.iter
+      (fun r ->
+        r.drain_kill <- true;
+        if not r.term_sent then begin
+          r.term_sent <- true;
+          r.kill_at <- now +. cfg.grace_s;
+          kill_quietly r.pid Sys.sigterm
+        end)
+      !running
+  in
+  let dispatch () =
+    let now = Mono.now () in
+    let rec go () =
+      if (not !draining) && List.length !running < cfg.parallel then
+        match
+          List.find_opt (fun p -> p.ready_at <= now) !pending
+        with
+        | None -> ()
+        | Some p ->
+          pending := List.filter (fun q -> q != p) !pending;
+          record (Journal.Started { job = p.p_job.id; attempt = p.p_attempt });
+          (match spawn cfg p.p_job ~attempt:p.p_attempt with
+          | Error failure -> handle_failure p.p_job ~attempt:p.p_attempt failure
+          | Ok r -> running := !running @ [ r ]);
+          go ()
+    in
+    go ()
+  in
+  let watchdog () =
+    let now = Mono.now () in
+    List.iter
+      (fun r ->
+        if (not r.term_sent) && now >= r.deadline then begin
+          r.term_sent <- true;
+          r.kill_at <- now +. cfg.grace_s;
+          kill_quietly r.pid Sys.sigterm
+        end
+        else if r.term_sent && now >= r.kill_at then begin
+          r.kill_at <- infinity;
+          kill_quietly r.pid Sys.sigkill
+        end)
+      !running
+  in
+  let select_timeout () =
+    let now = Mono.now () in
+    let horizon = now +. 0.1 in
+    let horizon =
+      List.fold_left
+        (fun h r ->
+          let h = Float.min h r.deadline in
+          if r.term_sent then Float.min h r.kill_at else h)
+        horizon !running
+    in
+    let horizon =
+      if !draining then horizon
+      else
+        List.fold_left (fun h p -> Float.min h p.ready_at) horizon !pending
+    in
+    Float.max 0.005 (Float.min 0.1 (horizon -. now))
+  in
+  let reap () =
+    let still = ref [] in
+    List.iter
+      (fun r ->
+        match waitpid_nohang r.pid with
+        | 0, _ -> still := r :: !still
+        | _, status -> reap_one r status)
+      !running;
+    running := List.rev !still
+  in
+  while
+    (not !draining)
+    && ((!pending <> [] || !running <> []) || false)
+    || (!draining && !running <> [])
+  do
+    if (not !draining) && stop () then begin_drain ();
+    if not !draining then dispatch ();
+    let fds =
+      List.concat_map
+        (fun r ->
+          (match r.out_fd with Some fd -> [ fd ] | None -> [])
+          @ (match r.err_fd with Some fd -> [ fd ] | None -> []))
+        !running
+    in
+    (match Unix.select fds [] [] (select_timeout ()) with
+    | readable, _, _ ->
+      List.iter
+        (fun r ->
+          if
+            List.exists
+              (fun fd ->
+                (match r.out_fd with Some f -> f == fd | None -> false)
+                || match r.err_fd with Some f -> f == fd | None -> false)
+              readable
+          then drain_fds cfg r)
+        !running
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    reap ();
+    watchdog ()
+  done;
+  let counted status =
+    Hashtbl.fold
+      (fun _ o acc -> if o.o_status = status then acc + 1 else acc)
+      outcomes 0
+  in
+  let ok = counted Job_ok
+  and failed = counted Job_failed
+  and degraded = counted Job_degraded in
+  record
+    (Journal.Batch_end { ok; failed; degraded; interrupted = !interrupted });
+  let listed =
+    List.filter_map (fun j -> Hashtbl.find_opt outcomes j.id) jobs
+  in
+  {
+    outcomes = listed;
+    ok;
+    failed;
+    degraded;
+    skipped;
+    interrupted = !interrupted;
+    drained = !draining;
+  }
+
+let with_signal_drain f =
+  let flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
+  let prev_int = Sys.signal Sys.sigint handler in
+  let prev_term = Sys.signal Sys.sigterm handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term)
+    (fun () -> f (fun () -> Atomic.get flag))

@@ -1,0 +1,119 @@
+(** Crash-contained batch supervisor.
+
+    Runs a list of jobs, each as an isolated child process
+    (fork/exec), so that no single hang, crash, runaway allocation or
+    fatal exception can take down the batch. Per job the supervisor
+    enforces a wall-clock watchdog (SIGTERM, then SIGKILL after a
+    grace period — all on the monotonic clock), classifies every
+    failure, retries the transient classes with exponential backoff
+    and deterministic jitter, and records each state transition in a
+    write-ahead {!Journal} before acting on it. Jobs whose retry
+    budget is exhausted are recorded as [degraded]; the batch itself
+    always completes and never loses the results of healthy jobs.
+
+    The worker protocol: a child writes exactly one JSON document to
+    stdout —
+    [{"ok": true, "result": ...}] on success, or
+    [{"ok": false, "diag": ...}] with a structured diagnostic and a
+    classed nonzero exit for a clean failure. Anything else (nonzero
+    exit without a diagnostic, death by signal, watchdog timeout,
+    unparseable output) is classified and handled per taxonomy. *)
+
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+
+type job = {
+  id : string;  (** unique within the batch; the journal key *)
+  argv : string array;  (** [argv.(0)] is the executable path *)
+  env : (string * string) list;
+      (** extra environment entries appended to the inherited
+          environment; the supervisor adds [SERTOOL_WORKER_ATTEMPT]. *)
+}
+
+val job : ?env:(string * string) list -> id:string -> string array -> job
+
+type config = {
+  parallel : int;  (** concurrent children (>= 1) *)
+  timeout_s : float;  (** per-attempt watchdog; [infinity] disables *)
+  grace_s : float;  (** SIGTERM -> SIGKILL grace *)
+  retries : int;  (** transient retries per job (attempts <= retries+1) *)
+  backoff_base_s : float;  (** first retry delay before jitter *)
+  backoff_max_s : float;  (** backoff growth cap *)
+  max_output_bytes : int;  (** stdout cap per attempt; beyond it the
+                               attempt is classified as garbage *)
+}
+
+val default_config : config
+
+(** {1 Failure taxonomy} *)
+
+type failure =
+  | Clean_error of Diag.t
+      (** the worker reported a structured diagnostic — permanent *)
+  | Nonzero_exit of int  (** unexplained nonzero exit — transient *)
+  | Crashed of int  (** killed by a signal (OCaml signal number) — transient *)
+  | Hung  (** watchdog fired — transient *)
+  | Malformed_output of string  (** undecodable stdout — transient *)
+  | Spawn_failed of string  (** fork/pipe failure — transient *)
+
+val transient : failure -> bool
+val failure_class : failure -> string
+(** ["error"], ["exit"], ["crash"], ["hang"], ["garbage"] or
+    ["spawn"] — the [class] field of journal records. *)
+
+val failure_detail : failure -> string
+
+val backoff_delay : config -> job_id:string -> attempt:int -> float
+(** Delay before retrying after failed attempt number [attempt]
+    (1-based): [min (base * 2^(attempt-1)) max] scaled by a
+    deterministic jitter in [0.75, 1.25) keyed on (job id, attempt).
+    Pure — the retry schedule of a batch is reproducible. *)
+
+(** {1 Results} *)
+
+type status = Job_ok | Job_failed | Job_degraded
+
+val status_to_string : status -> string
+
+type outcome = {
+  o_job : job;
+  o_status : status;
+  o_digest : string;  (** MD5 of the compact payload *)
+  o_payload : Json.t;
+      (** worker result ([Job_ok]), diagnostic ([Job_failed]) or
+          last-failure record ([Job_degraded]) *)
+  o_attempts : int;  (** 0 when replayed from the journal *)
+  o_from_journal : bool;
+}
+
+type summary = {
+  outcomes : outcome list;  (** in job-list order *)
+  ok : int;
+  failed : int;
+  degraded : int;
+  skipped : int;  (** completed in a previous run, not re-executed *)
+  interrupted : int;  (** in flight at drain; will re-run on resume *)
+  drained : bool;  (** the run stopped early on [stop]/signal *)
+}
+
+val run :
+  ?stop:(unit -> bool) ->
+  ?on_event:(Journal.event -> unit) ->
+  config ->
+  journal:Journal.t ->
+  ?resume:Journal.state ->
+  job list ->
+  (summary, Diag.t) result
+(** Execute the batch. [stop] is polled between dispatches; once true
+    the supervisor drains: no new dispatches, running children get
+    SIGTERM (then SIGKILL after the grace), their state is journalled
+    as [Interrupted], and the partial summary is returned with
+    [drained = true]. With [resume], jobs holding a [Done] record are
+    skipped and their journalled outcome is returned verbatim; the
+    resume state must describe the same job universe. [on_event] sees
+    every journal record as it is appended (progress reporting). *)
+
+val with_signal_drain : ((unit -> bool) -> 'a) -> 'a
+(** [with_signal_drain f] installs SIGINT/SIGTERM handlers that latch
+    a drain flag, calls [f stop], and restores the previous handlers
+    on the way out. *)

@@ -52,11 +52,19 @@ let parse_statement line s =
     | ("INPUT" | "OUTPUT"), _ -> fail line "INPUT/OUTPUT take one argument"
     | _ -> fail line "unrecognised statement %S" head)
 
+(* Adversarial-input guard: no legitimate .bench statement comes close
+   to this, and rejecting up front keeps a hostile single-line blob
+   from turning every downstream string scan into quadratic work. *)
+let max_line_bytes = 65536
+
 let parse_statements text =
   let stmts = ref [] in
   String.split_on_char '\n' text
   |> List.iteri (fun i raw ->
          let line = i + 1 in
+         if String.length raw > max_line_bytes then
+           fail line "line exceeds %d bytes (%d)" max_line_bytes
+             (String.length raw);
          let no_comment =
            match String.index_opt raw '#' with
            | Some h -> String.sub raw 0 h
@@ -88,23 +96,44 @@ let build_circuit ~name stmts =
   let line_of n =
     match Hashtbl.find_opt gates n with Some (l, _, _) -> l | None -> 1
   in
-  (* topological sort over net names (gates may be declared in any order) *)
+  (* topological sort over net names (gates may be declared in any
+     order). The DFS runs on an explicit stack: a pathologically deep
+     chain must produce a circuit or a located Diag error, never a
+     Stack_overflow escaping the guard. *)
   let state = Hashtbl.create 256 in (* name -> [`Visiting | `Done] *)
   let sorted = ref [] in
-  let rec visit ~from ~from_line n =
-    match Hashtbl.find_opt state n with
-    | Some `Done -> ()
-    | Some `Visiting ->
-      fail (line_of n) "combinational cycle through %S" n
-    | None ->
-      (match Hashtbl.find_opt gates n with
-      | None ->
-        fail from_line "undefined net %S referenced by %S" n from
-      | Some (line, _, args) ->
-        Hashtbl.replace state n `Visiting;
-        List.iter (visit ~from:n ~from_line:line) args;
-        Hashtbl.replace state n `Done;
-        sorted := n :: !sorted)
+  let stack = ref [] in
+  let visit ~from ~from_line n =
+    stack := [ `Enter (n, from, from_line) ];
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | frame :: rest ->
+        stack := rest;
+        (match frame with
+        | `Exit n ->
+          Hashtbl.replace state n `Done;
+          sorted := n :: !sorted
+        | `Enter (n, from, from_line) ->
+          (match Hashtbl.find_opt state n with
+          | Some `Done -> ()
+          | Some `Visiting ->
+            (* re-entering a node whose Exit frame is still below us on
+               the stack means it is its own ancestor: a cycle *)
+            fail (line_of n) "combinational cycle through %S" n
+          | None ->
+            (match Hashtbl.find_opt gates n with
+            | None ->
+              fail from_line "undefined net %S referenced by %S" n from
+            | Some (line, _, args) ->
+              Hashtbl.replace state n `Visiting;
+              stack := `Exit n :: !stack;
+              (* push reversed so fan-ins are visited left to right,
+                 preserving the recursive version's node order exactly *)
+              List.iter
+                (fun a -> stack := `Enter (a, n, line) :: !stack)
+                (List.rev args))))
+    done
   in
   List.iter (fun n -> visit ~from:"<top>" ~from_line:(line_of n) n) order;
   let sorted = List.rev !sorted in

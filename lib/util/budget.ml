@@ -1,15 +1,20 @@
 (* Budgets are polled from parallel sections (lib/par ticks and checks
    them from worker domains), so the counters are atomics: a tick must
-   never be lost and the latch must be monotone across domains. *)
+   never be lost and the latch must be monotone across domains.
+
+   All time is measured on the monotonic clock (Mono.now): budgets and
+   the supervisor watchdogs built on them must be immune to system
+   clock adjustments during long batch runs. *)
 type t = {
   max_evals : int option;
-  deadline : float option; (* absolute Unix time, seconds *)
-  started : float;
+  deadline : float option; (* absolute monotonic time, seconds *)
+  started : float; (* monotonic *)
   evals : int Atomic.t;
   latched : bool Atomic.t;
+  cancelled : bool Atomic.t;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Mono.now ()
 
 let create ?max_evals ?max_seconds () =
   (match max_evals with
@@ -26,6 +31,7 @@ let create ?max_evals ?max_seconds () =
     started;
     evals = Atomic.make 0;
     latched = Atomic.make false;
+    cancelled = Atomic.make false;
   }
 
 let unlimited () = create ()
@@ -35,6 +41,14 @@ let tick b = Atomic.incr b.evals
 let evals b = Atomic.get b.evals
 
 let elapsed b = now () -. b.started
+
+(* async-signal-safe: two atomic stores, no allocation, so it may be
+   called from a Sys.Signal_handle *)
+let cancel b =
+  Atomic.set b.cancelled true;
+  Atomic.set b.latched true
+
+let was_cancelled b = Atomic.get b.cancelled
 
 let exhausted b =
   if Atomic.get b.latched then true
@@ -61,10 +75,13 @@ let remaining_evals b =
 let diag b =
   let evals = Atomic.get b.evals in
   let reason =
-    match (b.max_evals, b.deadline) with
-    | Some n, _ when evals >= n ->
-      Printf.sprintf "evaluation budget exhausted (%d evals)" evals
-    | _ -> Printf.sprintf "deadline exceeded after %.2f s" (elapsed b)
+    if Atomic.get b.cancelled then
+      Printf.sprintf "interrupted after %.2f s (operator signal)" (elapsed b)
+    else
+      match (b.max_evals, b.deadline) with
+      | Some n, _ when evals >= n ->
+        Printf.sprintf "evaluation budget exhausted (%d evals)" evals
+      | _ -> Printf.sprintf "deadline exceeded after %.2f s" (elapsed b)
   in
   Diag.make ~severity:Warning ~subsystem:"budget"
     ~context:

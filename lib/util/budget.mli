@@ -5,13 +5,17 @@
     evaluation and poll {!exhausted}; when it fires they stop and
     return their best-so-far incumbent instead of hanging or raising.
     Results computed under an exhausted budget are flagged [degraded]
-    by their producers. *)
+    by their producers.
+
+    Elapsed time is measured on the monotonic clock ({!Mono.now}), so
+    deadlines are immune to system clock adjustments during long
+    runs. *)
 
 type t
 
 val create : ?max_evals:int -> ?max_seconds:float -> unit -> t
-(** Omitted limits are unlimited. The wall clock starts at creation.
-    Raises [Invalid_argument] on negative limits. *)
+(** Omitted limits are unlimited. The (monotonic) clock starts at
+    creation. Raises [Invalid_argument] on negative limits. *)
 
 val unlimited : unit -> t
 
@@ -28,6 +32,15 @@ val exhausted : t -> bool
 
 val was_exhausted : t -> bool
 (** The latched flag, without re-checking the clock. *)
+
+val cancel : t -> unit
+(** Latch the budget as exhausted immediately (e.g. from a
+    SIGINT/SIGTERM handler): every loop polling {!exhausted} stops at
+    its next check and returns its best-so-far incumbent. Safe to call
+    from a signal handler (two atomic stores, no allocation). *)
+
+val was_cancelled : t -> bool
+(** True iff {!cancel} fired (as opposed to a limit being hit). *)
 
 val remaining_evals : t -> int option
 

@@ -41,6 +41,9 @@ let with_context d extra = { d with context = d.context @ extra }
 let line n = ("line", string_of_int n)
 let file path = ("file", path)
 let gate name = ("gate", name)
+let job id = ("job", id)
+let attempt n = ("attempt", string_of_int n)
+let failure_class c = ("class", c)
 
 let context_value d key = List.assoc_opt key d.context
 

@@ -63,6 +63,17 @@ val line : int -> string * string
 val file : string -> string * string
 val gate : string -> string * string
 
+val job : string -> string * string
+(** Context entry ["job" = id] — batch supervisor diagnostics. *)
+
+val attempt : int -> string * string
+(** Context entry ["attempt" = n]. *)
+
+val failure_class : string -> string * string
+(** Context entry ["class" = c]: the supervisor failure taxonomy
+    (["error"], ["exit"], ["crash"], ["hang"], ["garbage"],
+    ["spawn"]). *)
+
 val context_value : t -> string -> string option
 
 val located : t -> bool

@@ -1,0 +1,18 @@
+external mono_now : unit -> float = "ser_util_mono_now"
+
+(* Belt and braces: the C side already prefers CLOCK_MONOTONIC, and
+   this wrapper additionally never lets a reading go backwards even if
+   the platform fell back to the wall clock. *)
+let last = Atomic.make neg_infinity
+
+let now () =
+  let t = mono_now () in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let elapsed_since t0 = Float.max 0. (now () -. t0)

@@ -1,0 +1,13 @@
+(** Monotonic clock (CLOCK_MONOTONIC).
+
+    Timeouts, budgets and watchdogs must measure elapsed time with a
+    source that cannot jump when the system clock is adjusted
+    (NTP step, manual change, VM migration). The absolute value is
+    meaningless — only differences between two {!now} readings are. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin; never decreases. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] = [now () -. t0], clamped to be
+    non-negative. *)

@@ -1,0 +1,24 @@
+/* Monotonic wall-clock source for budgets and watchdogs.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and manual clock
+ * adjustments, which matters for long batch runs: a supervisor
+ * timeout must measure real elapsed time, not the distance between
+ * two settings of the system clock. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <sys/time.h>
+#include <time.h>
+
+CAMLprim value ser_util_mono_now(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  /* no monotonic clock on this platform: degrade to the wall clock */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

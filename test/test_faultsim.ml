@@ -14,6 +14,19 @@ let test_catalogue_size () =
     (Printf.sprintf "at least 25 scenarios (got %d)" n)
     true (n >= 25)
 
+let test_jobs_group_present () =
+  (* the supervisor scenarios fork real child processes; make sure the
+     group is in the catalogue and actually ran *)
+  let js =
+    List.filter
+      (fun ((s : H.scenario), _) -> s.H.group = "jobs")
+      (Lazy.force results)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs scenarios present (got %d)" (List.length js))
+    true
+    (List.length js >= 6)
+
 let test_zero_uncaught () =
   List.iter
     (fun ((s : H.scenario), outcome) ->
@@ -90,6 +103,7 @@ let () =
       ( "harness",
         [
           Alcotest.test_case "catalogue size" `Quick test_catalogue_size;
+          Alcotest.test_case "jobs group present" `Quick test_jobs_group_present;
           Alcotest.test_case "zero uncaught exceptions" `Quick
             test_zero_uncaught;
           Alcotest.test_case "expectations met" `Quick test_expectations_met;

@@ -248,6 +248,71 @@ let test_parse_errors () =
   check_err ~line:2 "INPUT(a)\nOUTPUT(y)\n" "undefined";
   check_err ~line:4 "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nz = NOT(a)\n" "dangling"
 
+(* every file in the malformed-input corpus must yield a located Diag error —
+   never an exception, a hang, or silent acceptance *)
+let test_corpus_malformed () =
+  (* dune runtest runs with cwd = test/; direct execution may not *)
+  let dir =
+    if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+  in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".bench")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Bench.parse_file path with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "corpus file accepted: %s" f)
+      | Error d ->
+        let msg = Ser_util.Diag.to_string d in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: line context in %S" f msg)
+          true
+          (Ser_util.Diag.context_value d "line" <> None))
+    files
+
+let test_oversized_line () =
+  let big = String.make 70_000 'a' in
+  let text = Printf.sprintf "INPUT(a)\nOUTPUT(y)\ny = NOT(%s)\n" big in
+  match Bench.parse_string text with
+  | Ok _ -> Alcotest.fail "accepted oversized line"
+  | Error d ->
+    let msg = Ser_util.Diag.to_string d in
+    Alcotest.(check bool) ("mentions limit: " ^ msg) true (contains ~sub:"exceeds" msg)
+
+(* a 10k-deep inverter chain must parse without Stack_overflow: the topo sort
+   is iterative, so depth is bounded by heap, not the OS stack *)
+let test_deep_chain () =
+  let n = 10_000 in
+  let buf = Buffer.create (n * 16) in
+  Buffer.add_string buf "INPUT(n0)\n";
+  Buffer.add_string buf (Printf.sprintf "OUTPUT(n%d)\n" n);
+  for i = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "n%d = NOT(n%d)\n" i (i - 1))
+  done;
+  match Bench.parse_string (Buffer.contents buf) with
+  | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
+  | Ok c -> Alcotest.(check int) "gates" n (Circuit.gate_count c)
+
+(* a long cycle must be reported as a cycle, not blow the stack *)
+let test_deep_cycle () =
+  let n = 5_000 in
+  let buf = Buffer.create (n * 16) in
+  Buffer.add_string buf "INPUT(a)\nOUTPUT(y)\n";
+  Buffer.add_string buf (Printf.sprintf "y = AND(a, n0)\n");
+  Buffer.add_string buf (Printf.sprintf "n0 = NOT(n%d)\n" (n - 1));
+  for i = 1 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "n%d = NOT(n%d)\n" i (i - 1))
+  done;
+  match Bench.parse_string (Buffer.contents buf) with
+  | Ok _ -> Alcotest.fail "accepted deep cycle"
+  | Error d ->
+    let msg = Ser_util.Diag.to_string d in
+    Alcotest.(check bool) ("mentions cycle: " ^ msg) true (contains ~sub:"cycle" msg)
+
 let test_single_input_normalisation () =
   match Bench.parse_string "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n" with
   | Error e -> Alcotest.fail (Ser_util.Diag.to_string e)
@@ -438,6 +503,10 @@ let () =
         [
           Alcotest.test_case "forward refs" `Quick test_parse_forward_refs;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "malformed corpus" `Quick test_corpus_malformed;
+          Alcotest.test_case "oversized line" `Quick test_oversized_line;
+          Alcotest.test_case "deep chain (iterative topo)" `Quick test_deep_chain;
+          Alcotest.test_case "deep cycle" `Quick test_deep_cycle;
           Alcotest.test_case "1-input normalisation" `Quick test_single_input_normalisation;
           Alcotest.test_case "c17 round trip" `Quick test_roundtrip_c17;
           QCheck_alcotest.to_alcotest roundtrip_prop;
