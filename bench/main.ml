@@ -230,6 +230,7 @@ let par_bench () =
           ("pool_sequential_phase", seq_pool);
           ("pool_parallel_phase", par_pool);
           ("pool", par_pool);
+          ("metrics", Ser_obs.Obs.Metrics.snapshot ());
         ])
   in
   let oc = open_out "BENCH_par.json" in
@@ -357,6 +358,7 @@ let sertopt_bench ?(smoke = false) () =
           ("recommended_domains", int (Ser_par.Par.recommended_jobs ()));
           ("cases", List rows);
           ("pool", Ser_par.Par.stats_json ());
+          ("metrics", Ser_obs.Obs.Metrics.snapshot ());
         ])
   in
   let file = if smoke then "BENCH_sertopt_smoke.json" else "BENCH_sertopt.json" in
@@ -453,7 +455,8 @@ let jobs_bench () =
   let doc =
     Ser_util.Json.(
       Obj [ ("jobs_per_batch", int n); ("journal", Str "fsync-per-record");
-            ("widths", List rows) ])
+            ("widths", List rows);
+            ("metrics", Ser_obs.Obs.Metrics.snapshot ()) ])
   in
   let oc = open_out "BENCH_jobs.json" in
   output_string oc (Ser_util.Json.to_string doc);

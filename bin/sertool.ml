@@ -27,6 +27,15 @@ let render_diag d = prerr_endline ("sertool: " ^ Ser_util.Diag.to_string d)
    setting; see lib/par. *)
 let apply_jobs j = if j >= 0 then Ser_par.Par.set_jobs j
 
+module Obs = Ser_obs.Obs
+
+(* --trace/--metrics: arrange the export; the files are written by the
+   obs process-exit hook (and on failure degrade to a stderr
+   diagnostic — observability must never take the analysis down). *)
+let apply_obs (trace, metrics) =
+  (match trace with Some p -> Obs.set_trace_file (Some p) | None -> ());
+  match metrics with Some p -> Obs.set_metrics_file (Some p) | None -> ()
+
 (* one-line pool summary on stderr after a heavy command, so timing
    investigations can see how the work was spread without the output
    format changing *)
@@ -110,9 +119,11 @@ let generate_cmd name seed format output =
     `Ok exit_ok
   end
 
-let analyze_cmd jobs spec vectors charge top vdds vths json dot =
+let analyze_cmd jobs obs spec vectors charge top vdds vths json dot =
   wrap @@ fun () ->
   apply_jobs jobs;
+  apply_obs obs;
+  Obs.Trace.with_span "sertool.analyze" @@ fun () ->
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
@@ -180,10 +191,12 @@ let analyze_cmd jobs spec vectors charge top vdds vths json dot =
   report_pool ();
   `Ok exit_ok
 
-let optimize_cmd jobs spec vectors evals greedy vdds vths budget_evals timeout
-    checkpoint output json =
+let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
+    timeout checkpoint output json =
   wrap @@ fun () ->
   apply_jobs jobs;
+  apply_obs obs;
+  Obs.Trace.with_span "sertool.optimize" @@ fun () ->
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let baseline = Sertopt.Optimizer.size_for_speed lib c in
@@ -288,9 +301,11 @@ let optimize_cmd jobs spec vectors evals greedy vdds vths budget_evals timeout
   report_pool ();
   `Ok exit_ok
 
-let rate_cmd jobs spec vectors clock q_slope top =
+let rate_cmd jobs obs spec vectors clock q_slope top =
   wrap @@ fun () ->
   apply_jobs jobs;
+  apply_obs obs;
+  Obs.Trace.with_span "sertool.rate" @@ fun () ->
   let c = load_circuit spec in
   let lib = make_library [] [] in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
@@ -713,9 +728,56 @@ let print_batch_event ev =
       (String.sub digest 0 (min 12 (String.length digest)))
   | Journal.Batch_start _ | Journal.Batch_end _ | Journal.Enqueued _ -> ()
 
+(* Per-job observability files under --obs-dir: the supervisor hands
+   each worker its own SERTOOL_TRACE/SERTOOL_METRICS paths through the
+   environment, and the results document references them. Job ids may
+   embed '/' (path specs) — flatten for the filename. *)
+let obs_job_file dir id ext =
+  let flat = String.map (fun ch -> if ch = '/' then '_' else ch) id in
+  Filename.concat dir (flat ^ ext)
+
+let obs_job_env obs_dir id =
+  match obs_dir with
+  | None -> []
+  | Some dir ->
+    [
+      ("SERTOOL_TRACE", obs_job_file dir id ".trace.json");
+      ("SERTOOL_METRICS", obs_job_file dir id ".metrics.json");
+    ]
+
+let obs_results_field obs_dir entries =
+  match obs_dir with
+  | None -> []
+  | Some dir ->
+    [
+      ( "obs",
+        Ser_util.Json.Obj
+          [
+            ("dir", Ser_util.Json.Str dir);
+            ( "jobs",
+              Ser_util.Json.Obj
+                (List.map
+                   (fun (id, _, _) ->
+                     ( id,
+                       Ser_util.Json.Obj
+                         [
+                           ( "trace",
+                             Ser_util.Json.Str (obs_job_file dir id ".trace.json") );
+                           ( "metrics",
+                             Ser_util.Json.Str (obs_job_file dir id ".metrics.json")
+                           );
+                         ] ))
+                   entries) );
+          ] );
+    ]
+
 let batch_cmd manifest cmd vectors evals journal_path resume parallel
-    job_timeout grace retries backoff results =
+    job_timeout grace retries backoff results obs obs_dir =
   wrap @@ fun () ->
+  apply_obs obs;
+  (match obs_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | Some _ | None -> ());
   let entries = parse_manifest manifest in
   let journal_path =
     match journal_path with Some p -> p | None -> manifest ^ ".journal"
@@ -747,7 +809,7 @@ let batch_cmd manifest cmd vectors evals journal_path resume parallel
           @ (match fault with Some f -> [ "--fault"; f ] | None -> [])
           @ [ spec ]
         in
-        Supervisor.job ~id (Array.of_list argv))
+        Supervisor.job ~env:(obs_job_env obs_dir id) ~id (Array.of_list argv))
       entries
   in
   let cfg =
@@ -782,8 +844,14 @@ let batch_cmd manifest cmd vectors evals journal_path resume parallel
     (* derived from the journal alone, so an interrupted-then-resumed
        batch renders bit-identically to an uninterrupted one *)
     let st = or_diag (Journal.replay journal_path) in
+    let doc =
+      match Journal.final_results_json st with
+      | Ser_util.Json.Obj fields ->
+        Ser_util.Json.Obj (fields @ obs_results_field obs_dir entries)
+      | other -> other
+    in
     let oc = open_out path in
-    output_string oc (Ser_util.Json.to_string (Journal.final_results_json st));
+    output_string oc (Ser_util.Json.to_string doc);
     output_string oc "\n";
     close_out oc;
     Printf.printf "wrote %s\n" path);
@@ -812,6 +880,25 @@ let jobs_arg =
                width. Defaults to the SERTOOL_JOBS environment variable, \
                else autodetection. Results are bit-identical for every \
                setting.")
+
+let obs_args =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace-event timeline of the run and write \
+                 it to FILE at exit (open with Perfetto or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a JSON snapshot of all internal counters, gauges and \
+                 histograms to FILE at exit.")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+let obs_dir_arg =
+  Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
+         ~doc:"Collect per-job trace and metrics files from batch workers \
+               into DIR (sets SERTOOL_TRACE/SERTOOL_METRICS in each child); \
+               the results JSON references them under an \"obs\" field.")
 
 let info_t =
   Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics")
@@ -855,8 +942,8 @@ let analyze_t =
            ~doc:"Export the circuit as Graphviz with unreliability heat.")
   in
   Cmd.v (Cmd.info "analyze" ~doc:"ASERTA soft-error tolerance analysis")
-    Term.(ret (const analyze_cmd $ jobs_arg $ circuit_arg $ vectors $ charge
-               $ top $ vdds_arg $ vths_arg $ json $ dot))
+    Term.(ret (const analyze_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
+               $ charge $ top $ vdds_arg $ vths_arg $ json $ dot))
 
 let optimize_t =
   let vectors =
@@ -892,8 +979,8 @@ let optimize_t =
                  assignment back to it (JSON incumbent).")
   in
   Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
-    Term.(ret (const optimize_cmd $ jobs_arg $ circuit_arg $ vectors $ evals
-               $ greedy $ vdds_arg $ vths_arg $ budget_evals $ timeout
+    Term.(ret (const optimize_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
+               $ evals $ greedy $ vdds_arg $ vths_arg $ budget_evals $ timeout
                $ checkpoint $ output $ json))
 
 let export_deck_t =
@@ -949,8 +1036,8 @@ let rate_t =
   Cmd.v
     (Cmd.info "rate"
        ~doc:"Soft-error rate (FIT) over a particle charge spectrum")
-    Term.(ret (const rate_cmd $ jobs_arg $ circuit_arg $ vectors $ clock
-               $ q_slope $ top))
+    Term.(ret (const rate_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
+               $ clock $ q_slope $ top))
 
 let harden_t =
   let method_ =
@@ -1093,7 +1180,7 @@ let batch_t =
              a resumable write-ahead journal")
     Term.(ret (const batch_cmd $ manifest $ cmd $ vectors $ evals $ journal
                $ resume $ parallel $ job_timeout $ grace $ retries $ backoff
-               $ results))
+               $ results $ obs_args $ obs_dir_arg))
 
 let main =
   Cmd.group
@@ -1104,4 +1191,7 @@ let main =
       harden_t; characterize_t; export_deck_t; export_lib_t; batch_t;
       worker_t ]
 
+(* Batch workers inherit SERTOOL_TRACE/SERTOOL_METRICS from the supervisor
+   so their observability lands in per-job files without extra flags. *)
+let () = Obs.install_from_env ()
 let () = exit (Cmd.eval' main)

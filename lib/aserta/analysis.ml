@@ -5,6 +5,11 @@ module Library = Ser_cell.Library
 module Assignment = Ser_sta.Assignment
 module Timing = Ser_sta.Timing
 module Lut = Ser_table.Lut
+module Obs = Ser_obs.Obs
+
+let m_analyses = Obs.Metrics.counter "aserta.analyses"
+let m_masking_runs = Obs.Metrics.counter "aserta.masking_runs"
+let m_gate_evals = Obs.Metrics.counter "aserta.gate_evals"
 
 type pi_split = Normalized | Naive
 
@@ -59,16 +64,18 @@ let sample_widths config =
   Ser_util.Floatx.logspace 2. config.max_sample_width config.n_samples
 
 let compute_masking ?domains config (c : Circuit.t) =
-  let probs = Probs.signal_probabilities ?pi_probs:config.pi_probs c in
-  let path_probs =
-    match config.masking_backend with
-    | Monte_carlo ->
-      let rng = Ser_rng.Rng.create config.seed in
-      Probs.path_probabilities ?domains ?pi_probs:config.pi_probs ~rng
-        ~vectors:config.vectors c
-    | Analytic_masking -> Probs.path_probabilities_analytic ~probs c
-  in
-  { probs; path_probs }
+  Obs.Metrics.incr m_masking_runs;
+  Obs.Trace.with_span "aserta.masking" (fun () ->
+      let probs = Probs.signal_probabilities ?pi_probs:config.pi_probs c in
+      let path_probs =
+        match config.masking_backend with
+        | Monte_carlo ->
+          let rng = Ser_rng.Rng.create config.seed in
+          Probs.path_probabilities ?domains ?pi_probs:config.pi_probs ~rng
+            ~vectors:config.vectors c
+        | Analytic_masking -> Probs.path_probabilities_analytic ~probs c
+      in
+      { probs; path_probs })
 
 (* Unique successor ids of a node (fanout lists one entry per pin). *)
 let successors (c : Circuit.t) id =
@@ -344,7 +351,11 @@ let run_electrical config lib asg masking =
   let c = Assignment.circuit asg in
   let n = Circuit.node_count c in
   let n_pos = Array.length c.outputs in
-  let timing = Timing.analyze ~env:config.env lib asg in
+  Obs.Metrics.incr m_analyses;
+  let timing =
+    Obs.Trace.with_span "aserta.sta" (fun () ->
+        Timing.analyze ~env:config.env lib asg)
+  in
   let ws = sample_widths config in
   (* expected output width tables per gate: WS.(id).(po).(k) *)
   let table = Array.make n [||] in
@@ -382,18 +393,25 @@ let run_electrical config lib asg masking =
   for id = n - 1 downto 0 do
     if level.(id) >= 0 then by_level.(level.(id)) <- id :: by_level.(level.(id))
   done;
-  Array.iter
-    (fun ids ->
-      let ids = Array.of_list ids in
-      Ser_par.Par.parallel_for ~n:(Array.length ids) (fun k ->
-          compute_table ids.(k)))
-    by_level;
+  Obs.Trace.with_span "aserta.ws_tables" (fun () ->
+      Array.iter
+        (fun ids ->
+          let ids = Array.of_list ids in
+          Ser_par.Par.parallel_for ~n:(Array.length ids) (fun k ->
+              compute_table ids.(k)))
+        by_level);
   (* generated widths, step (iv) interpolation, and Eqs 3-4; the
      per-gate pass is embarrassingly parallel, the total is summed
      sequentially in gate order afterwards *)
   let gen_width = Array.make n 0. in
   let expected_width = Array.make n [||] in
   let unreliability = Array.make n 0. in
+  let gate_evals = ref 0 in
+  for id = 0 to n - 1 do
+    if not (Circuit.is_input c id) then Stdlib.incr gate_evals
+  done;
+  Obs.Metrics.add m_gate_evals !gate_evals;
+  let unrel_sp = Obs.Trace.start "aserta.unreliability" in
   Ser_par.Par.parallel_for ~n (fun id ->
     if Circuit.is_input c id then expected_width.(id) <- Array.make n_pos 0.
     else begin
@@ -419,6 +437,7 @@ let run_electrical config lib asg masking =
     end);
   let total = ref 0. in
   Array.iter (fun u -> total := !total +. u) unreliability;
+  Obs.Trace.finish unrel_sp;
   {
     config;
     circuit = c;

@@ -366,6 +366,81 @@ let util_scenarios () =
     };
   ]
 
+(* -------------------- observability export failures ---------------- *)
+
+module Obs = Ser_obs.Obs
+
+(* writers that fail the way a full or read-only filesystem does *)
+let enospc_writer _path _contents =
+  raise (Sys_error "trace.json: No space left on device")
+
+let eperm_writer _path _contents =
+  raise (Sys_error "metrics.json: Permission denied")
+
+let obs_scenarios () =
+  [
+    {
+      name = "trace export hits ENOSPC";
+      group = "obs";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          Obs.Trace.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Obs.Trace.set_enabled false)
+            (fun () ->
+              Obs.Trace.with_span "faultsim.enospc" (fun () -> ());
+              of_result (Obs.write_trace ~writer:enospc_writer "trace.json")));
+    };
+    {
+      name = "metrics export hits EPERM";
+      group = "obs";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          Obs.Metrics.incr (Obs.Metrics.counter "faultsim.obs_probe");
+          of_result (Obs.write_metrics ~writer:eperm_writer "metrics.json"));
+    };
+    {
+      name = "trace file in a nonexistent directory";
+      group = "obs";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Obs.write_trace "/nonexistent-faultsim-dir/trace.json"));
+    };
+    {
+      name = "flush failure degrades, analysis survives";
+      group = "obs";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          (* configure both files, fail both writes, then prove the
+             observability core (and so the surrounding analysis) is
+             still healthy *)
+          let saved_t = Obs.trace_file () and saved_m = Obs.metrics_file () in
+          Obs.set_trace_file (Some "t.json");
+          Obs.set_metrics_file (Some "m.json");
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.set_trace_file saved_t;
+              Obs.set_metrics_file saved_m;
+              Obs.Trace.set_enabled false)
+            (fun () ->
+              let diags = Obs.flush ~writer:enospc_writer () in
+              let c = Obs.Metrics.counter "faultsim.survivor" in
+              let before = Obs.Metrics.value c in
+              Obs.Metrics.incr c;
+              let alive = Obs.Metrics.value c = before + 1 in
+              match (diags, alive) with
+              | [], _ -> Uncaught (Failure "failed flush reported no diagnostic")
+              | _ :: _, true -> Degraded
+              | _ :: _, false ->
+                Uncaught (Failure "metrics core corrupted by failed flush")));
+    };
+  ]
+
 (* -------------------- batch supervisor corruption ------------------ *)
 
 module Journal = Ser_jobs.Journal
@@ -508,7 +583,8 @@ let jobs_scenarios () =
 
 let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
-  @ optimizer_scenarios () @ util_scenarios () @ jobs_scenarios ()
+  @ optimizer_scenarios () @ util_scenarios () @ obs_scenarios ()
+  @ jobs_scenarios ()
 
 let run_all () =
   (* force the shared fixtures before fanning out: Lazy.force is not

@@ -5,6 +5,7 @@ module Cell_params = Ser_device.Cell_params
 module Assignment = Ser_sta.Assignment
 module Timing = Ser_sta.Timing
 module Analysis = Aserta.Analysis
+module Obs = Ser_obs.Obs
 
 (* The early-cutoff comparison. [true] guarantees the two values are
    bit-identical, so they are interchangeable in every downstream
@@ -115,6 +116,21 @@ let fresh_stats () =
     drift_snaps = 0;
     full_rebuilds = 0;
   }
+
+(* Process-wide obs probes. The per-gate loops below stay free of
+   atomics and allocation: [update] accumulates into the engine's own
+   mutable [stats] record and the wrapper flushes the per-update deltas
+   into these counters in one go. *)
+let m_updates = Obs.Metrics.counter "incr.updates"
+let m_cells = Obs.Metrics.counter "incr.cells_changed"
+let m_sta = Obs.Metrics.counter "incr.sta_recomputed"
+let m_sta_cut = Obs.Metrics.counter "incr.sta_cutoff"
+let m_tbl = Obs.Metrics.counter "incr.tables_recomputed"
+let m_tbl_cut = Obs.Metrics.counter "incr.tables_cutoff"
+let m_gates = Obs.Metrics.counter "incr.gates_recomputed"
+let m_rebuilds = Obs.Metrics.counter "incr.full_rebuilds"
+let m_drift = Obs.Metrics.counter "incr.drift_snaps"
+let m_cone = Obs.Metrics.histogram "incr.cone_gates"
 
 type t = {
   lib : Library.t;
@@ -404,6 +420,7 @@ let build_assignment t =
    instead. Either path yields the same bit-identical state. *)
 let rebuild t changes =
   t.stats.full_rebuilds <- t.stats.full_rebuilds + 1;
+  Obs.Metrics.incr m_rebuilds;
   List.iter
     (fun (g, cell) ->
       t.stats.cells_changed <- t.stats.cells_changed + 1;
@@ -443,7 +460,7 @@ let rebuild t changes =
   t.kahan_sum <- refold t;
   t.kahan_c <- 0.
 
-let update t changes =
+let update_impl t changes =
   let changes =
     List.filter
       (fun (g, cell) ->
@@ -606,6 +623,37 @@ let update t changes =
     end
   end
 
+(* [update_impl] + obs: a span over the whole cone propagation and a
+   single delta flush of the engine's stats into the process-wide
+   counters (covers the [rebuild] path too, which [update_impl] may
+   take). The cone-size histogram records how many gates the forward
+   STA pass actually visited per incremental update. *)
+let update t changes =
+  let s = t.stats in
+  let b_updates = s.updates
+  and b_cells = s.cells_changed
+  and b_sta = s.sta_recomputed
+  and b_sta_cut = s.sta_cutoff
+  and b_tbl = s.tables_recomputed
+  and b_tbl_cut = s.tables_cutoff
+  and b_gates = s.gates_recomputed
+  and b_rebuilds = s.full_rebuilds in
+  let sp = Obs.Trace.start "incr.update" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.finish sp;
+      let d c now before = if now > before then Obs.Metrics.add c (now - before) in
+      d m_updates s.updates b_updates;
+      d m_cells s.cells_changed b_cells;
+      d m_sta s.sta_recomputed b_sta;
+      d m_sta_cut s.sta_cutoff b_sta_cut;
+      d m_tbl s.tables_recomputed b_tbl;
+      d m_tbl_cut s.tables_cutoff b_tbl_cut;
+      d m_gates s.gates_recomputed b_gates;
+      if s.updates > b_updates && s.full_rebuilds = b_rebuilds then
+        Obs.Metrics.observe m_cone (s.sta_recomputed - b_sta))
+    (fun () -> update_impl t changes)
+
 let set_cell t g cell = update t [ (g, cell) ]
 
 let sync t asg =
@@ -632,6 +680,7 @@ let total t =
      cancellation damage, so snap the running value back *)
   if Float.abs (t.kahan_sum -. r) > 1e-9 *. (Float.abs r +. 1.) then begin
     t.stats.drift_snaps <- t.stats.drift_snaps + 1;
+    Obs.Metrics.incr m_drift;
     t.kahan_sum <- r;
     t.kahan_c <- 0.
   end;

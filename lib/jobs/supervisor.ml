@@ -1,8 +1,18 @@
 module Json = Ser_util.Json
 module Diag = Ser_util.Diag
 module Mono = Ser_util.Mono
+module Obs = Ser_obs.Obs
 
 let subsystem = "jobs"
+
+let m_spawned = Obs.Metrics.counter "jobs.spawned"
+let m_retries = Obs.Metrics.counter "jobs.retries"
+let m_watchdog_term = Obs.Metrics.counter "jobs.watchdog_term"
+let m_watchdog_kill = Obs.Metrics.counter "jobs.watchdog_kill"
+let m_ok = Obs.Metrics.counter "jobs.ok"
+let m_failed = Obs.Metrics.counter "jobs.failed"
+let m_degraded = Obs.Metrics.counter "jobs.degraded"
+let m_interrupted = Obs.Metrics.counter "jobs.interrupted"
 
 type job = { id : string; argv : string array; env : (string * string) list }
 
@@ -187,6 +197,7 @@ let decode_output ~overflowed text =
 type running = {
   r_job : job;
   r_attempt : int;
+  r_t0 : float; (* monotonic spawn time, for the lifecycle trace event *)
   pid : int;
   out_buf : Buffer.t;
   err_buf : Buffer.t;
@@ -287,10 +298,12 @@ let spawn cfg jb ~attempt =
     Error (Spawn_failed (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
   | pid, out_r, err_r ->
     let now = Mono.now () in
+    Obs.Metrics.incr m_spawned;
     Ok
       {
         r_job = jb;
         r_attempt = attempt;
+        r_t0 = now;
         pid;
         out_buf = Buffer.create 1024;
         err_buf = Buffer.create 256;
@@ -394,6 +407,11 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
   let draining = ref false in
   let interrupted = ref 0 in
   let finish jb status payload ~attempts =
+    Obs.Metrics.incr
+      (match status with
+      | Job_ok -> m_ok
+      | Job_failed -> m_failed
+      | Job_degraded -> m_degraded);
     let digest = digest_of_payload payload in
     record
       (Journal.Done
@@ -417,6 +435,7 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
     in
     record
       (Journal.Attempt_failed { job = jb.id; attempt; cls; detail; backoff_s });
+    if retrying then Obs.Metrics.incr m_retries;
     if retrying then
       pending :=
         !pending
@@ -449,8 +468,11 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
   in
   let reap_one r status =
     close_fds cfg r;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ("job:" ^ r.r_job.id) ~since:r.r_t0;
     if !draining && r.drain_kill then begin
       incr interrupted;
+      Obs.Metrics.incr m_interrupted;
       record (Journal.Interrupted { job = r.r_job.id; attempt = r.r_attempt })
     end
     else
@@ -498,10 +520,12 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
         if (not r.term_sent) && now >= r.deadline then begin
           r.term_sent <- true;
           r.kill_at <- now +. cfg.grace_s;
+          Obs.Metrics.incr m_watchdog_term;
           kill_quietly r.pid Sys.sigterm
         end
         else if r.term_sent && now >= r.kill_at then begin
           r.kill_at <- infinity;
+          Obs.Metrics.incr m_watchdog_kill;
           kill_quietly r.pid Sys.sigkill
         end)
       !running

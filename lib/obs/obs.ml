@@ -1,0 +1,403 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+module Mono = Ser_util.Mono
+
+(* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = { c_name : string; c_cell : int Atomic.t }
+  type gauge = { g_name : string; g_cell : float Atomic.t }
+
+  (* Bucket k >= 1 holds values in [2^(k-1), 2^k); bucket 0 holds
+     values <= 0. 63 buckets cover the whole non-negative int range. *)
+  let n_buckets = 63
+
+  type histogram = {
+    h_name : string;
+    h_count : int Atomic.t;
+    h_sum : int Atomic.t;
+    h_cells : int Atomic.t array;
+  }
+
+  let registry_m = Mutex.create ()
+  let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+  let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+  let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  let registered tbl name create =
+    Mutex.lock registry_m;
+    let m =
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+        let m = create () in
+        Hashtbl.add tbl name m;
+        m
+    in
+    Mutex.unlock registry_m;
+    m
+
+  let counter name =
+    registered counters name (fun () ->
+        { c_name = name; c_cell = Atomic.make 0 })
+
+  let incr c = Atomic.incr c.c_cell
+  let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+  let value c = Atomic.get c.c_cell
+
+  let gauge name =
+    registered gauges name (fun () ->
+        { g_name = name; g_cell = Atomic.make 0. })
+
+  let set_gauge g v = Atomic.set g.g_cell v
+
+  let rec add_gauge g d =
+    let cur = Atomic.get g.g_cell in
+    if not (Atomic.compare_and_set g.g_cell cur (cur +. d)) then add_gauge g d
+
+  let gauge_value g = Atomic.get g.g_cell
+
+  let histogram name =
+    registered histograms name (fun () ->
+        {
+          h_name = name;
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_cells = Array.init n_buckets (fun _ -> Atomic.make 0);
+        })
+
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1)
+
+  let bucket_of v = if v <= 0 then 0 else min (n_buckets - 1) (bits v 0)
+
+  let observe h v =
+    Atomic.incr h.h_count;
+    ignore (Atomic.fetch_and_add h.h_sum v);
+    Atomic.incr h.h_cells.(bucket_of v)
+
+  let histogram_count h = Atomic.get h.h_count
+  let histogram_sum h = Atomic.get h.h_sum
+
+  let find tbl name =
+    Mutex.lock registry_m;
+    let r = Hashtbl.find_opt tbl name in
+    Mutex.unlock registry_m;
+    r
+
+  let find_counter name = find counters name
+  let find_gauge name = find gauges name
+
+  let sorted_values tbl name_of =
+    Hashtbl.fold (fun _ m acc -> m :: acc) tbl []
+    |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
+
+  (* Bucket labels are the bucket's lower bound, so a snapshot reads as
+     "cone size >= 16 happened n times". *)
+  let bucket_label k = if k = 0 then "0" else string_of_int (1 lsl (k - 1))
+
+  let histogram_json h =
+    let buckets = ref [] in
+    for k = n_buckets - 1 downto 0 do
+      let n = Atomic.get h.h_cells.(k) in
+      if n > 0 then buckets := (bucket_label k, Json.int n) :: !buckets
+    done;
+    Json.Obj
+      [
+        ("count", Json.int (Atomic.get h.h_count));
+        ("sum", Json.int (Atomic.get h.h_sum));
+        ("buckets", Json.Obj !buckets);
+      ]
+
+  let snapshot () =
+    Mutex.lock registry_m;
+    let cs =
+      sorted_values counters (fun c -> c.c_name)
+      |> List.map (fun c -> (c.c_name, Json.int (Atomic.get c.c_cell)))
+    in
+    let gs =
+      sorted_values gauges (fun g -> g.g_name)
+      |> List.map (fun g -> (g.g_name, Json.Num (Atomic.get g.g_cell)))
+    in
+    let hs =
+      sorted_values histograms (fun h -> h.h_name)
+      |> List.map (fun h -> (h.h_name, histogram_json h))
+    in
+    Mutex.unlock registry_m;
+    Json.Obj [ ("counters", Json.Obj cs); ("gauges", Json.Obj gs); ("histograms", Json.Obj hs) ]
+
+  let reset ?(prefix = "") () =
+    let matches name = String.starts_with ~prefix name in
+    Mutex.lock registry_m;
+    Hashtbl.iter
+      (fun _ c -> if matches c.c_name then Atomic.set c.c_cell 0)
+      counters;
+    Hashtbl.iter
+      (fun _ g -> if matches g.g_name then Atomic.set g.g_cell 0.)
+      gauges;
+    Hashtbl.iter
+      (fun _ h ->
+        if matches h.h_name then begin
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Array.iter (fun cell -> Atomic.set cell 0) h.h_cells
+        end)
+      histograms;
+    Mutex.unlock registry_m
+end
+
+(* ------------------------------------------------------------------ *)
+(* tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  let enabled_flag = Atomic.make false
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+
+  (* 64 Ki events per domain; ~2 MiB of arrays. When a buffer fills we
+     drop NEW events (counting them) rather than overwrite old ones, so
+     the recorded prefix stays a faithful stream; the export repairs
+     the resulting torn tail. *)
+  let capacity = 1 lsl 16
+
+  type buf = {
+    tid : int;
+    names : string array;
+    ts : float array; (* raw monotonic seconds *)
+    durs : float array; (* 'X' events only *)
+    phs : Bytes.t;
+    mutable len : int;
+    mutable dropped : int;
+  }
+
+  (* Registry of every buffer ever created, so events survive their
+     domain (pool teardown/respawn) until export. Single-writer per
+     buffer: only the owning domain appends. *)
+  let bufs : buf list ref = ref []
+  let bufs_m = Mutex.create ()
+
+  let make_buf () =
+    let b =
+      {
+        tid = (Domain.self () :> int);
+        names = Array.make capacity "";
+        ts = Array.make capacity 0.;
+        durs = Array.make capacity 0.;
+        phs = Bytes.make capacity ' ';
+        len = 0;
+        dropped = 0;
+      }
+    in
+    Mutex.lock bufs_m;
+    bufs := b :: !bufs;
+    Mutex.unlock bufs_m;
+    b
+
+  let buf_key : buf Domain.DLS.key = Domain.DLS.new_key make_buf
+
+  let push ph name ~ts ~dur =
+    let b = Domain.DLS.get buf_key in
+    if b.len < capacity then begin
+      let i = b.len in
+      b.names.(i) <- name;
+      b.ts.(i) <- ts;
+      b.durs.(i) <- dur;
+      Bytes.set b.phs i ph;
+      b.len <- i + 1
+    end
+    else b.dropped <- b.dropped + 1
+
+  (* The token IS the name: starting a span allocates nothing, and a
+     disabled probe returns the shared empty string. *)
+  type span = string
+
+  let none : span = ""
+
+  let start name =
+    if (not (Atomic.get enabled_flag)) || String.length name = 0 then none
+    else begin
+      push 'B' name ~ts:(Mono.now ()) ~dur:0.;
+      name
+    end
+
+  let finish (s : span) =
+    if String.length s > 0 then push 'E' s ~ts:(Mono.now ()) ~dur:0.
+
+  let with_span name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let s = start name in
+      Fun.protect ~finally:(fun () -> finish s) f
+    end
+
+  let instant name =
+    if Atomic.get enabled_flag then push 'i' name ~ts:(Mono.now ()) ~dur:0.
+
+  let timestamp () = Mono.now ()
+
+  let complete name ~since =
+    if Atomic.get enabled_flag then
+      push 'X' name ~ts:since ~dur:(Mono.now () -. since)
+
+  let with_bufs f =
+    Mutex.lock bufs_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock bufs_m) (fun () -> f !bufs)
+
+  let dropped () = with_bufs (List.fold_left (fun acc b -> acc + b.dropped) 0)
+
+  let clear () =
+    with_bufs
+      (List.iter (fun b ->
+           b.len <- 0;
+           b.dropped <- 0))
+
+  (* Epoch for exported timestamps, so ts values stay small. *)
+  let t0 = Mono.now ()
+
+  let to_json () =
+    let pid = Unix.getpid () in
+    let us t = Float.round ((t -. t0) *. 1e6) in
+    let events = ref [] in
+    (* built back-to-front *)
+    let emit e = events := e :: !events in
+    let base name ph ts = [ ("name", Json.Str name); ("cat", Json.Str "sertool"); ("ph", Json.Str ph); ("ts", Json.Num (us ts)); ("pid", Json.int pid) ] in
+    with_bufs (fun all ->
+        let all = List.sort (fun a b -> compare a.tid b.tid) all in
+        List.iter
+          (fun b ->
+            let n = b.len in
+            let tid = [ ("tid", Json.int b.tid) ] in
+            if n > 0 then
+              emit
+                (Json.Obj
+                   ([
+                      ("name", Json.Str "thread_name");
+                      ("ph", Json.Str "M");
+                      ("pid", Json.int pid);
+                      ( "args",
+                        Json.Obj
+                          [ ("name", Json.Str (Printf.sprintf "domain-%d" b.tid)) ]
+                      );
+                    ]
+                   @ tid));
+            (* Stream repair: match B/E with a stack so the document is
+               always balanced and properly nested, whatever the drop
+               pattern did to the tail. *)
+            let open_spans = ref [] in
+            let last_ts = ref t0 in
+            for i = 0 to n - 1 do
+              let ts = b.ts.(i) in
+              if ts > !last_ts then last_ts := ts;
+              match Bytes.get b.phs i with
+              | 'B' ->
+                open_spans := b.names.(i) :: !open_spans;
+                emit (Json.Obj (base b.names.(i) "B" ts @ tid))
+              | 'E' -> (
+                match !open_spans with
+                | _ :: rest ->
+                  open_spans := rest;
+                  emit (Json.Obj (base b.names.(i) "E" ts @ tid))
+                | [] -> () (* orphan close: drop *))
+              | 'X' ->
+                emit
+                  (Json.Obj
+                     (base b.names.(i) "X" ts
+                     @ [ ("dur", Json.Num (Float.round (b.durs.(i) *. 1e6))) ]
+                     @ tid))
+              | _ -> emit (Json.Obj (base b.names.(i) "i" ts @ tid))
+            done;
+            (* synthetic closes for spans torn open by a full buffer *)
+            List.iter
+              (fun name -> emit (Json.Obj (base name "E" !last_ts @ tid)))
+              !open_spans)
+          all);
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.rev !events));
+        ("displayTimeUnit", Json.Str "ms");
+        ( "otherData",
+          Json.Obj
+            [ ("tool", Json.Str "sertool"); ("dropped", Json.int (dropped ())) ]
+        );
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = string -> string -> unit
+
+let default_writer path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n';
+      flush oc)
+
+let write_doc ?(writer = default_writer) ~indent path doc =
+  Diag.guard ~subsystem:"obs" (fun () -> writer path (Json.to_string ~indent doc))
+  |> Result.map_error (fun d -> Diag.with_context d [ Diag.file path ])
+
+(* Traces can hold 100k+ events: no pretty-printing. *)
+let write_trace ?writer path = write_doc ?writer ~indent:false path (Trace.to_json ())
+let write_metrics ?writer path = write_doc ?writer ~indent:true path (Metrics.snapshot ())
+
+let cfg_m = Mutex.create ()
+let trace_path = ref None
+let metrics_path = ref None
+let exit_hook = ref false
+
+let trace_file () =
+  Mutex.lock cfg_m;
+  let p = !trace_path in
+  Mutex.unlock cfg_m;
+  p
+
+let metrics_file () =
+  Mutex.lock cfg_m;
+  let p = !metrics_path in
+  Mutex.unlock cfg_m;
+  p
+
+let flush ?writer () =
+  let write w = function
+    | None -> None
+    | Some path -> ( match w path with Ok () -> None | Error d -> Some d)
+  in
+  let t = write (write_trace ?writer) (trace_file ()) in
+  let m = write (write_metrics ?writer) (metrics_file ()) in
+  List.filter_map Fun.id [ t; m ]
+
+(* Observability must never abort the run it observed: the exit hook
+   reports failed writes on stderr and carries on. *)
+let ensure_exit_hook () =
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit (fun () ->
+        List.iter (fun d -> prerr_endline (Diag.to_string d)) (flush ()))
+  end
+
+let set_path cell p =
+  Mutex.lock cfg_m;
+  cell := p;
+  if p <> None then ensure_exit_hook ();
+  Mutex.unlock cfg_m
+
+let set_trace_file p =
+  set_path trace_path p;
+  if p <> None then Trace.set_enabled true
+
+let set_metrics_file p = set_path metrics_path p
+
+let install_from_env () =
+  (match Sys.getenv_opt "SERTOOL_TRACE" with
+  | Some p when String.trim p <> "" -> set_trace_file (Some p)
+  | Some _ | None -> ());
+  match Sys.getenv_opt "SERTOOL_METRICS" with
+  | Some p when String.trim p <> "" -> set_metrics_file (Some p)
+  | Some _ | None -> ()

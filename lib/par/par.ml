@@ -148,50 +148,53 @@ type stats = {
   busy : float array;
 }
 
-let stats_m = Mutex.create ()
-let s_sections = ref 0
-let s_seq_sections = ref 0
-let s_chunks = ref 0
-let s_stolen = ref 0
-let s_busy = ref [||]
+(* The counters live in the process-wide obs registry — one source of
+   truth shared with --metrics snapshots and the bench writers. This
+   section is a compatibility shim over that registry preserving the
+   historical [stats]/[stats_diag]/[stats_json] API. *)
+
+module Obs = Ser_obs.Obs
+
+let m_sections = Obs.Metrics.counter "par.sections"
+let m_seq_sections = Obs.Metrics.counter "par.sequential_sections"
+let m_chunks = Obs.Metrics.counter "par.chunks"
+let m_stolen = Obs.Metrics.counter "par.stolen_chunks"
+let m_section_chunks = Obs.Metrics.histogram "par.section_chunks"
+let busy_name slot = "par.busy_s.slot" ^ string_of_int slot
 
 let record_section ~parallel ~chunks ~stolen ~busy =
-  Mutex.lock stats_m;
-  if parallel then incr s_sections else incr s_seq_sections;
-  s_chunks := !s_chunks + chunks;
-  s_stolen := !s_stolen + stolen;
-  let slots = Array.length busy in
-  if Array.length !s_busy < slots then begin
-    let grown = Array.make slots 0. in
-    Array.blit !s_busy 0 grown 0 (Array.length !s_busy);
-    s_busy := grown
-  end;
-  Array.iteri (fun i b -> !s_busy.(i) <- !s_busy.(i) +. b) busy;
-  Mutex.unlock stats_m
+  Obs.Metrics.incr (if parallel then m_sections else m_seq_sections);
+  Obs.Metrics.add m_chunks chunks;
+  Obs.Metrics.add m_stolen stolen;
+  Obs.Metrics.observe m_section_chunks chunks;
+  Array.iteri
+    (fun i b -> Obs.Metrics.add_gauge (Obs.Metrics.gauge (busy_name i)) b)
+    busy
 
 let stats () =
-  Mutex.lock stats_m;
-  let r =
-    {
-      jobs = jobs ();
-      sections = !s_sections;
-      sequential_sections = !s_seq_sections;
-      chunks = !s_chunks;
-      stolen_chunks = !s_stolen;
-      busy = Array.copy !s_busy;
-    }
-  in
-  Mutex.unlock stats_m;
-  r
+  (* Slot gauges are registered densely from slot 0 up by
+     [record_section], so scanning until the first miss recovers the
+     widest busy array seen so far. *)
+  let busy = ref [] in
+  let scanning = ref true in
+  let i = ref 0 in
+  while !scanning do
+    match Obs.Metrics.find_gauge (busy_name !i) with
+    | Some g ->
+      busy := Obs.Metrics.gauge_value g :: !busy;
+      Stdlib.incr i
+    | None -> scanning := false
+  done;
+  {
+    jobs = jobs ();
+    sections = Obs.Metrics.value m_sections;
+    sequential_sections = Obs.Metrics.value m_seq_sections;
+    chunks = Obs.Metrics.value m_chunks;
+    stolen_chunks = Obs.Metrics.value m_stolen;
+    busy = Array.of_list (List.rev !busy);
+  }
 
-let reset_stats () =
-  Mutex.lock stats_m;
-  s_sections := 0;
-  s_seq_sections := 0;
-  s_chunks := 0;
-  s_stolen := 0;
-  s_busy := [||];
-  Mutex.unlock stats_m
+let reset_stats () = Obs.Metrics.reset ~prefix:"par." ()
 
 let stats_diag () =
   let s = stats () in
@@ -245,6 +248,7 @@ let located_error ~chunk e =
 let parallel_chunks ?budget ?chunk ~n body =
   if n < 0 then invalid_arg "Par.parallel_chunks: negative n";
   if n > 0 then begin
+    let section_sp = Obs.Trace.start "par.section" in
     let csize =
       match chunk with
       | Some c when c <= 0 -> invalid_arg "Par.parallel_chunks: chunk <= 0"
@@ -272,10 +276,12 @@ let parallel_chunks ?budget ?chunk ~n body =
           if ci >= nchunks then continue := false
           else begin
             let lo = ci * csize and hi = min n ((ci + 1) * csize) in
+            let sp = Obs.Trace.start "par.chunk" in
             (try body ~slot ~lo ~hi
              with e ->
                errors.(ci) <- Some e;
                Atomic.set halt true);
+            Obs.Trace.finish sp;
             Atomic.incr done_chunks;
             if slot > 0 then Atomic.incr stolen
           end
@@ -321,6 +327,7 @@ let parallel_chunks ?budget ?chunk ~n body =
     end;
     record_section ~parallel:ran_parallel ~chunks:(Atomic.get done_chunks)
       ~stolen:(Atomic.get stolen) ~busy;
+    Obs.Trace.finish section_sp;
     (* re-raise the failure of the lowest failed chunk, located *)
     Array.iteri
       (fun ci err ->

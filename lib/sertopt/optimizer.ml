@@ -7,6 +7,13 @@ module Timing = Ser_sta.Timing
 module Paths = Ser_sta.Paths
 module Matrix = Ser_linalg.Matrix
 module Analysis = Aserta.Analysis
+module Obs = Ser_obs.Obs
+
+let m_evals = Obs.Metrics.counter "sertopt.evals"
+let m_improvements = Obs.Metrics.counter "sertopt.improvements"
+let m_menus = Obs.Metrics.counter "sertopt.menus"
+let m_menu_evals = Obs.Metrics.counter "sertopt.menu_evals"
+let m_accepts = Obs.Metrics.counter "sertopt.greedy_accepts"
 
 type eval_mode = Full_recompute | Incremental
 
@@ -210,8 +217,9 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
      other evaluation *)
   budget_tick ();
   let baseline_metrics, baseline_analysis =
-    Cost.measure ~config:config.aserta ~masking ~objective:config.objective lib
-      baseline
+    Obs.Trace.with_span "sertopt.baseline" (fun () ->
+        Cost.measure ~config:config.aserta ~masking ~objective:config.objective
+          lib baseline)
   in
   if budget_spent () then
     (* nothing left for the search: the baseline itself is the valid,
@@ -292,6 +300,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
   let best_delta = ref (Array.make n 0.) in
   let objective delta =
     incr evals;
+    Obs.Metrics.incr m_evals;
     let asg = assignment_of delta in
     let m = eval_metrics asg in
     let cost =
@@ -300,7 +309,8 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     in
     if cost < !best_cost then begin
       best_cost := cost;
-      best_delta := Array.copy delta
+      best_delta := Array.copy delta;
+      Obs.Metrics.incr m_improvements
     end;
     cost
   in
@@ -311,6 +321,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     | Some inc when not (budget_spent ()) ->
       budget_tick ();
       incr evals;
+      Obs.Metrics.incr m_evals;
       let m = eval_metrics inc in
       let cost =
         Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
@@ -354,11 +365,13 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     |> List.filter_map Fun.id
   in
   let directions = Array.of_list (soft_dirs @ random_dirs) in
+  let search_sp = Obs.Trace.start "sertopt.search" in
   let search =
     Ser_opt.Minimize.direction_search ~f:objective ~x0:(Array.make n 0.)
       ~directions ~step:config.step ~shrink:0.5 ~min_step:0.75
       ~max_evals:config.max_evals ?budget ()
   in
+  Obs.Trace.finish search_sp;
   let trace = ref search.Ser_opt.Minimize.trace in
   if config.annealing_steps > 0 then begin
     let neighbor rng x =
@@ -377,9 +390,10 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
       d
     in
     let sa =
-      Ser_opt.Minimize.simulated_annealing ~rng ~f:objective
-        ~x0:!best_delta ~neighbor ~t0:0.05 ~t_end:1e-4
-        ~steps:config.annealing_steps ?budget ()
+      Obs.Trace.with_span "sertopt.annealing" (fun () ->
+          Ser_opt.Minimize.simulated_annealing ~rng ~f:objective
+            ~x0:!best_delta ~neighbor ~t0:0.05 ~t_end:1e-4
+            ~steps:config.annealing_steps ?budget ())
     in
     trace := !trace @ sa.Ser_opt.Minimize.trace
   end;
@@ -404,6 +418,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     if config.greedy_passes = 0 || budget_spent () then optimized
     else begin
       let asg = Assignment.copy optimized in
+      let greedy_sp = Obs.Trace.start "sertopt.greedy" in
       budget_tick ();
       (* the incumbent's per-gate unreliability, for the visit order:
          from the engine when incremental, else from the last full
@@ -481,6 +496,9 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
                entries once it expires and the incumbent so far is kept
                (graceful degradation). *)
             let cands = Array.of_list cands in
+            Obs.Metrics.incr m_menus;
+            Obs.Metrics.add m_menu_evals (Array.length cands);
+            let menu_sp = Obs.Trace.start "sertopt.menu" in
             let try_cand cand =
               budget_tick ();
               match engine with
@@ -513,6 +531,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
               | Some b ->
                 Ser_par.Par.parallel_map_budgeted ~budget:b ~chunk:1 try_cand cands
             in
+            Obs.Trace.finish menu_sp;
             let best = ref None in
             Array.iteri
               (fun i r ->
@@ -520,6 +539,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
                 | None -> ()
                 | Some (cost, _) -> (
                   incr evals;
+                  Obs.Metrics.incr m_evals;
                   match !best with
                   | Some (_, bc) when bc <= cost -> ()
                   | _ -> best := Some (i, cost)))
@@ -527,6 +547,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
             match !best with
             | Some (i, cost) when cost < !cur_cost ->
               cur_cost := cost;
+              Obs.Metrics.incr m_accepts;
               (match measured.(i) with
               | Some (_, Some a) -> cur_analysis := Some a
               | _ -> ());
@@ -538,6 +559,7 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
           order
       done;
       if !cur_cost < !best_cost then best_cost := !cur_cost;
+      Obs.Trace.finish greedy_sp;
       asg
     end
   in

@@ -205,6 +205,14 @@ type health = {
 
 let healthy = { steps = 0; rejects = 0; retries = 0; fallbacks = 0; flagged = false }
 
+module Obs = Ser_obs.Obs
+
+let m_transients = Obs.Metrics.counter "spice.transients"
+let m_steps = Obs.Metrics.counter "spice.steps"
+let m_rejects = Obs.Metrics.counter "spice.rejects"
+let m_retries = Obs.Metrics.counter "spice.retries"
+let m_fallbacks = Obs.Metrics.counter "spice.fallbacks"
+
 let merge_health a b =
   {
     steps = a.steps + b.steps;
@@ -360,6 +368,13 @@ let simulate_h net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
   in
   let trace, steps, step_rejects = run dt 0 in
   if step_rejects > 0 then flagged := true;
+  (* obs flush: one batch of atomic adds per transient, so the
+     integrator's inner loop carries no probes at all *)
+  Obs.Metrics.incr m_transients;
+  Obs.Metrics.add m_steps steps;
+  if step_rejects > 0 then Obs.Metrics.add m_rejects step_rejects;
+  if !retries > 0 then Obs.Metrics.add m_retries !retries;
+  if !fallbacks > 0 then Obs.Metrics.add m_fallbacks !fallbacks;
   ( trace,
     {
       steps;

@@ -274,3 +274,16 @@ let to_int_opt = function
 let to_str_opt = function Str s -> Some s | _ -> None
 
 let to_list_opt = function List l -> Some l | _ -> None
+
+let to_file ?indent path t =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string ?indent t);
+        output_char oc '\n';
+        flush oc)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

@@ -21,6 +21,10 @@ val of_string : string -> (t, string) result
 (** Parse a JSON document. Errors carry the byte offset. Total: never
     raises on any input. *)
 
+val to_file : ?indent:bool -> string -> t -> (unit, string) result
+(** Write [to_string t] plus a trailing newline to [path]. I/O errors
+    ([Sys_error]) surface as [Error msg]; never raises. *)
+
 val nonfinite_count : t -> int
 (** Number of NaN/Inf numeric leaves in the tree — callers emit a
     diagnostic when a report they are about to write contains any. *)
