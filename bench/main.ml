@@ -464,6 +464,115 @@ let jobs_bench () =
   close_out oc;
   Printf.printf "  wrote BENCH_jobs.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Serve daemon (lib/serve): cold path vs content-addressed cache hit  *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  section "Serve daemon (lib/serve): cold vs cache-hit latency";
+  let module Server = Ser_serve.Server in
+  let module Client = Ser_serve.Client in
+  let module Wire = Ser_serve.Wire in
+  let module Request = Ser_cli.Request in
+  let dir = Filename.temp_file "bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "d.sock" in
+      let cfg =
+        { (Server.default ~socket) with Server.spool_dir = Some dir }
+      in
+      let pid =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             Ser_par.Par.set_jobs 1;
+             let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+             Unix.dup2 devnull Unix.stdout;
+             Unix.dup2 devnull Unix.stderr;
+             Unix.close devnull;
+             ignore (Server.run cfg)
+           with _ -> ());
+          Unix._exit 0
+        | pid -> pid
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let addr = Server.Unix_sock socket in
+          if not (Client.wait_ready addr) then begin
+            Printf.eprintf "FATAL: serve daemon did not come up\n";
+            exit 1
+          end;
+          let circuit = "c432" and vectors = 1000 in
+          let req =
+            Request.to_json
+              (Request.make ~vectors Request.Analyze (Request.Spec circuit))
+          in
+          let timed_call expect_hit =
+            let t0 = Unix.gettimeofday () in
+            match Client.call addr req with
+            | Error d ->
+              Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+              exit 1
+            | Ok r -> (
+              match r.Wire.r_status with
+              | Wire.Rejected (k, msg, _) ->
+                Printf.eprintf "FATAL: rejected (%s): %s\n"
+                  (Wire.reject_to_string k) msg;
+                exit 1
+              | Wire.Ok_payload _ ->
+                if r.Wire.r_cache_hit <> expect_hit then begin
+                  Printf.eprintf "FATAL: cache_hit=%b, expected %b\n"
+                    r.Wire.r_cache_hit expect_hit;
+                  exit 1
+                end;
+                Unix.gettimeofday () -. t0)
+          in
+          let cold_s = timed_call false in
+          let n = 20 in
+          let hits =
+            Array.init n (fun _ -> timed_call true)
+          in
+          Array.sort compare hits;
+          let hit_median_s = hits.(n / 2) in
+          let hit_max_s = hits.(n - 1) in
+          let speedup = cold_s /. Float.max 1e-9 hit_median_s in
+          Printf.printf
+            "  %s, %d vectors: cold %.4f s, hit median %.6f s (max %.6f s), \
+             %.0fx\n%!"
+            circuit vectors cold_s hit_median_s hit_max_s speedup;
+          let doc =
+            Ser_util.Json.(
+              Obj
+                [
+                  ("circuit", Str circuit);
+                  ("vectors", int vectors);
+                  ("hit_samples", int n);
+                  ("cold_s", Num cold_s);
+                  ("hit_median_s", Num hit_median_s);
+                  ("hit_max_s", Num hit_max_s);
+                  ("speedup", Num speedup);
+                ])
+          in
+          let oc = open_out "BENCH_serve.json" in
+          output_string oc (Ser_util.Json.to_string doc);
+          output_string oc "\n";
+          close_out oc;
+          Printf.printf "  wrote BENCH_serve.json\n"))
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* a leading "-j N" pins the pool width for every target *)
@@ -506,6 +615,7 @@ let () =
   | [ "sertopt" ] -> sertopt_bench ()
   | [ "sertopt-smoke" ] -> sertopt_bench ~smoke:true ()
   | [ "jobs" ] -> jobs_bench ()
+  | [ "serve" ] -> serve_bench ()
   | other ->
     Printf.eprintf
       "unknown bench target %s\n\
@@ -514,6 +624,6 @@ let () =
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
        alternatives variation ser-rate pipeline micro par sertopt \
-       sertopt-smoke jobs\n"
+       sertopt-smoke jobs serve\n"
       (String.concat " " other);
     exit 2

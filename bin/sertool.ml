@@ -58,32 +58,16 @@ let wrap f =
 
 let or_diag = function Ok v -> v | Error d -> raise (Ser_util.Diag.Diag_error d)
 
-let load_circuit spec =
-  if Sys.file_exists spec then
-    let parse =
-      if Filename.check_suffix spec ".v" then
-        Ser_netlist.Verilog_format.parse_file
-      else Ser_netlist.Bench_format.parse_file
-    in
-    match parse spec with
-    | Ok c -> c
-    | Error d -> raise (Ser_util.Diag.Diag_error d)
-  else if List.mem spec Ser_circuits.Iscas.names then
-    Ser_circuits.Iscas.load spec
-  else
-    failwith
-      (Printf.sprintf
-         "unknown circuit %S (not a file; known benchmarks: %s)" spec
-         (String.concat ", " Ser_circuits.Iscas.names))
+(* The canonical request/handler pair (lib/cli) is the single place
+   that loads netlists, builds libraries and executes the three core
+   operations; one-shot commands, the batch worker and the serve daemon
+   all go through it. The bin side keeps only flag parsing and
+   pretty-printing. *)
+module Request = Ser_cli.Request
+module Handlers = Ser_cli.Handlers
 
-let make_library vdds vths =
-  let axes =
-    Ser_cell.Library.restrict
-      ?vdds:(if vdds = [] then None else Some vdds)
-      ?vths:(if vths = [] then None else Some vths)
-      Ser_cell.Library.default_axes
-  in
-  Ser_cell.Library.create ~axes ()
+let load_circuit spec = Handlers.load_circuit (Request.Spec spec)
+let make_library vdds vths = Handlers.make_library ~vdds ~vths
 
 (* ------------------------------------------------------------------ *)
 
@@ -124,16 +108,16 @@ let analyze_cmd jobs obs spec vectors charge top vdds vths json dot =
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.analyze" @@ fun () ->
-  let c = load_circuit spec in
-  let lib = make_library vdds vths in
-  let asg = Sertopt.Optimizer.size_for_speed lib c in
-  let config =
-    { Aserta.Analysis.default_config with
-      Aserta.Analysis.vectors; charge }
+  let req =
+    Request.make ~vectors ~charge ~top ~vdds ~vths Request.Analyze
+      (Request.Spec spec)
   in
   let t0 = Unix.gettimeofday () in
-  let r = or_diag (Aserta.Analysis.run_checked ~config lib asg) in
+  let { Handlers.assignment = asg; analysis = r } =
+    or_diag (Handlers.analyze req)
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  let c = r.Aserta.Analysis.circuit in
   Printf.printf "circuit %s: %d gates, critical delay %.1f ps\n"
     c.Ser_netlist.Circuit.name
     (Ser_netlist.Circuit.gate_count c)
@@ -197,24 +181,19 @@ let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.optimize" @@ fun () ->
+  let req =
+    Request.make ~vectors ~evals ~greedy ~vdds ~vths ?budget_evals
+      Request.Optimize (Request.Spec spec)
+  in
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let baseline = Sertopt.Optimizer.size_for_speed lib c in
-  let cfg =
-    {
-      Sertopt.Optimizer.default_config with
-      Sertopt.Optimizer.aserta =
-        { Aserta.Analysis.default_config with Aserta.Analysis.vectors };
-      max_evals = evals;
-      greedy_passes = greedy;
-    }
-  in
   (* a budget always exists so that SIGINT/SIGTERM can cancel it: the
      optimizer then stops at its next poll and returns the best-so-far
      incumbent, which flushes the checkpoint and prints the partial
      summary instead of discarding the run *)
   let budget =
-    Some (Ser_util.Budget.create ?max_evals:budget_evals ?max_seconds:timeout ())
+    Ser_util.Budget.create ?max_evals:budget_evals ?max_seconds:timeout ()
   in
   let initial =
     match checkpoint with
@@ -230,8 +209,7 @@ let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
   in
   let restore_signals =
     let handler =
-      Sys.Signal_handle
-        (fun _ -> Option.iter Ser_util.Budget.cancel budget)
+      Sys.Signal_handle (fun _ -> Ser_util.Budget.cancel budget)
     in
     let prev_int = Sys.signal Sys.sigint handler in
     let prev_term = Sys.signal Sys.sigterm handler in
@@ -242,14 +220,10 @@ let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
   let t0 = Unix.gettimeofday () in
   let r =
     Fun.protect ~finally:restore_signals (fun () ->
-        Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline)
+        or_diag (Handlers.optimize ~budget ?initial req))
   in
   let dt = Unix.gettimeofday () -. t0 in
-  let interrupted =
-    match budget with
-    | Some b -> Ser_util.Budget.was_cancelled b
-    | None -> false
-  in
+  let interrupted = Ser_util.Budget.was_cancelled budget in
   if interrupted then
     print_endline
       "interrupted (SIGINT/SIGTERM): returning the best-so-far incumbent; \
@@ -270,8 +244,9 @@ let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
   | None -> ()
   | Some path ->
     let cost =
-      Sertopt.Cost.eval ~weights:cfg.Sertopt.Optimizer.weights
-        ~delay_slack:cfg.Sertopt.Optimizer.delay_slack ~baseline:b o
+      let dcfg = Sertopt.Optimizer.default_config in
+      Sertopt.Cost.eval ~weights:dcfg.Sertopt.Optimizer.weights
+        ~delay_slack:dcfg.Sertopt.Optimizer.delay_slack ~baseline:b o
     in
     or_diag
       (Sertopt.Checkpoint.save path ~cost ~evals:r.Sertopt.Optimizer.evals
@@ -306,17 +281,12 @@ let rate_cmd jobs obs spec vectors clock q_slope top =
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.rate" @@ fun () ->
-  let c = load_circuit spec in
-  let lib = make_library [] [] in
-  let asg = Sertopt.Optimizer.size_for_speed lib c in
-  let config =
-    { Aserta.Analysis.default_config with Aserta.Analysis.vectors }
+  let req =
+    Request.make ~vectors ?clock ~q_slope ~top Request.Rate
+      (Request.Spec spec)
   in
-  let analysis = Aserta.Analysis.run ~config lib asg in
-  let spectrum =
-    { Aserta.Ser_rate.default_spectrum with Aserta.Ser_rate.q_slope }
-  in
-  let r = Aserta.Ser_rate.run ~spectrum ?clock_period:clock lib asg analysis in
+  let { Handlers.r_analysis; r_rate = r; _ } = or_diag (Handlers.rate req) in
+  let c = r_analysis.Aserta.Analysis.circuit in
   Printf.printf
     "%s: SER = %.2f FIT (synthetic flux normalisation)\n\
      clock %.0f ps, exponential charge spectrum with Qs = %.1f fC\n\n"
@@ -548,85 +518,231 @@ let apply_worker_fault fault =
       | None -> 2
     in
     if worker_attempt () < n then crash Sys.sigsegv
+  | Some f when String.length f > 6 && String.sub f 0 6 = "sleep:" -> (
+    (* non-destructive delay, for deadline/overload scenarios *)
+    match float_of_string_opt (String.sub f 6 (String.length f - 6)) with
+    | Some ms when ms >= 0. -> Unix.sleepf (ms /. 1000.)
+    | _ ->
+      prerr_endline ("sertool worker: unparseable fault " ^ f);
+      exit exit_input)
   | Some other ->
     prerr_endline ("sertool worker: unknown fault " ^ other);
     exit exit_input
 
-let worker_result_json spec cmd vectors evals =
-  let c = load_circuit spec in
-  let lib = make_library [] [] in
-  match cmd with
-  | "analyze" ->
-    let asg = Sertopt.Optimizer.size_for_speed lib c in
-    let config =
-      { Aserta.Analysis.default_config with Aserta.Analysis.vectors }
+(* The worker body is just [Handlers.run] over a canonical request.
+   Two ways in: the batch flags (--cmd/--vectors/--evals, CIRCUIT), or
+   --req-file pointing at a spooled request JSON — how the serve daemon
+   ships arbitrary requests (including inline netlists) to an isolated
+   child. *)
+let worker_request spec cmd vectors evals req_file =
+  match req_file with
+  | Some path ->
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Ser_util.Json.of_string s with
+    | Error msg ->
+      failwith (Printf.sprintf "unreadable request file %s: %s" path msg)
+    | Ok j -> or_diag (Request.of_json j))
+  | None ->
+    let spec =
+      match spec with
+      | Some s -> s
+      | None -> failwith "worker needs a CIRCUIT argument or --req-file"
     in
-    let r = or_diag (Aserta.Analysis.run_checked ~config lib asg) in
-    Ser_util.Json.(
-      Obj
-        [
-          ("cmd", Str "analyze");
-          ("circuit", Str c.Ser_netlist.Circuit.name);
-          ("gates", int (Ser_netlist.Circuit.gate_count c));
-          ( "critical_delay_ps",
-            Num r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay );
-          ("total_unreliability", Num r.Aserta.Analysis.total);
-          ("vectors", int vectors);
-        ])
-  | "optimize" ->
-    let baseline = Sertopt.Optimizer.size_for_speed lib c in
-    let cfg =
-      {
-        Sertopt.Optimizer.default_config with
-        Sertopt.Optimizer.aserta =
-          { Aserta.Analysis.default_config with Aserta.Analysis.vectors };
-        max_evals = evals;
-        greedy_passes = 1;
-      }
+    let op =
+      match Request.op_of_string cmd with
+      | Some op -> op
+      | None -> failwith (Printf.sprintf "unknown worker command %S" cmd)
     in
-    let r = Sertopt.Optimizer.optimize ~config:cfg lib baseline in
-    let b = r.Sertopt.Optimizer.baseline_metrics in
-    let o = r.Sertopt.Optimizer.optimized_metrics in
-    let rat = Sertopt.Cost.ratios ~baseline:b o in
-    Ser_util.Json.(
-      Obj
-        [
-          ("cmd", Str "optimize");
-          ("circuit", Str c.Ser_netlist.Circuit.name);
-          ("gates", int (Ser_netlist.Circuit.gate_count c));
-          ("u_before", Num b.Sertopt.Cost.unreliability);
-          ("u_after", Num o.Sertopt.Cost.unreliability);
-          ("evals", int r.Sertopt.Optimizer.evals);
-          ("area_ratio", Num rat.Sertopt.Cost.area);
-          ("energy_ratio", Num rat.Sertopt.Cost.energy);
-          ("delay_ratio", Num rat.Sertopt.Cost.delay);
-          ("degraded", Bool r.Sertopt.Optimizer.degraded);
-        ])
-  | other -> failwith (Printf.sprintf "unknown worker command %S" other)
+    Request.make ~vectors ~evals ~greedy:1 op (Request.Spec spec)
 
-let worker_cmd spec cmd vectors evals fault =
-  apply_worker_fault fault;
+let emit_worker_doc doc =
+  print_string (Ser_util.Json.to_string ~indent:false doc);
+  print_newline ()
+
+let worker_cmd spec cmd vectors evals fault req_file =
   match
     Ser_util.Diag.guard ~subsystem:"worker" (fun () ->
-        worker_result_json spec cmd vectors evals)
+        worker_request spec cmd vectors evals req_file)
   with
-  | Ok result ->
-    print_string
-      (Ser_util.Json.to_string ~indent:false
-         (Ser_util.Json.Obj
-            [ ("ok", Ser_util.Json.Bool true); ("result", result) ]));
-    print_newline ();
+  | Error d ->
+    emit_worker_doc
+      (Ser_util.Json.Obj
+         [
+           ("ok", Ser_util.Json.Bool false);
+           ("diag", Ser_util.Diag.to_json d);
+         ]);
+    `Ok (exit_code_of_diag d)
+  | Ok req -> (
+    (* --fault wins over the request's fault field (batch manifests
+       pass --fault; serve spools it inside the request) *)
+    apply_worker_fault
+      (match fault with Some _ -> fault | None -> req.Request.fault);
+    match Handlers.run req with
+    | Ok result ->
+      emit_worker_doc
+        (Ser_util.Json.Obj
+           [ ("ok", Ser_util.Json.Bool true); ("result", result) ]);
+      `Ok exit_ok
+    | Error d ->
+      emit_worker_doc
+        (Ser_util.Json.Obj
+           [
+             ("ok", Ser_util.Json.Bool false);
+             ("diag", Ser_util.Diag.to_json d);
+           ]);
+      `Ok (exit_code_of_diag d))
+
+(* ------------------------------------------------------------------ *)
+(* the persistent analysis service and its client                      *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Ser_serve.Server
+module Client = Ser_serve.Client
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 ->
+      (Server.Tcp ((if host = "" then "127.0.0.1" else host), p))
+    | _ -> failwith (Printf.sprintf "bad tcp address %S (want HOST:PORT)" spec))
+  | None -> failwith (Printf.sprintf "bad tcp address %S (want HOST:PORT)" spec)
+
+let serve_cmd jobs obs socket tcp max_queue max_frame deadline cache_dir
+    cache_entries pool_entries worker_timeout worker_retries spool_dir
+    no_isolate quiet =
+  wrap @@ fun () ->
+  apply_jobs jobs;
+  apply_obs obs;
+  let addrs =
+    Server.Unix_sock socket
+    :: (match tcp with Some spec -> [ parse_tcp spec ] | None -> [])
+  in
+  let cfg =
+    {
+      (Server.default ~socket) with
+      Server.addrs;
+      max_queue;
+      max_frame;
+      default_deadline_s = deadline;
+      cache_dir;
+      cache_entries;
+      pool_entries;
+      worker_timeout_s = worker_timeout;
+      worker_retries;
+      spool_dir;
+      isolate_optimize = not no_isolate;
+      verbose = not quiet;
+    }
+  in
+  Printf.printf "sertool serve: pid %d listening on %s\n%!" (Unix.getpid ())
+    (String.concat ", "
+       (List.map
+          (function
+            | Server.Unix_sock p -> "unix:" ^ p
+            | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+          addrs));
+  (match Server.run cfg with
+  | Ok () ->
+    print_endline "sertool serve: drained cleanly";
     `Ok exit_ok
   | Error d ->
-    print_string
-      (Ser_util.Json.to_string ~indent:false
-         (Ser_util.Json.Obj
-            [
-              ("ok", Ser_util.Json.Bool false);
-              ("diag", Ser_util.Diag.to_json d);
-            ]));
-    print_newline ();
-    `Ok (exit_code_of_diag d)
+    render_diag d;
+    `Ok (exit_code_of_diag d))
+
+let reject_exit = function
+  | Ser_serve.Wire.Bad_request -> exit_input
+  | Ser_serve.Wire.Deadline_exceeded -> exit_budget
+  | Ser_serve.Wire.Overloaded | Ser_serve.Wire.Worker_failed
+  | Ser_serve.Wire.Shutting_down | Ser_serve.Wire.Internal ->
+    exit_numerical
+
+let client_cmd socket tcp op spec inline id vectors charge top evals greedy
+    clock q_slope deadline isolate fault connect_timeout timeout retries
+    retry_rejected =
+  wrap @@ fun () ->
+  let addr =
+    match tcp with Some s -> parse_tcp s | None -> Server.Unix_sock socket
+  in
+  let opts =
+    {
+      Client.default_opts with
+      Client.connect_timeout_s = connect_timeout;
+      request_timeout_s = timeout;
+      retries;
+    }
+  in
+  let request =
+    match op with
+    | "health" | "stats" -> Ser_util.Json.Obj [ ("op", Ser_util.Json.Str op) ]
+    | _ ->
+      let opv =
+        match Request.op_of_string op with
+        | Some o -> o
+        | None ->
+          failwith
+            (Printf.sprintf
+               "unknown op %S (want analyze, optimize, rate, health)" op)
+      in
+      let spec =
+        match spec with
+        | Some s -> s
+        | None -> failwith "this op needs a CIRCUIT argument"
+      in
+      let source =
+        if inline then begin
+          (* ship the netlist text inside the request: the daemon never
+             touches this client's filesystem *)
+          let text =
+            if Sys.file_exists spec then begin
+              let ic = open_in_bin spec in
+              let s = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              s
+            end
+            else Ser_netlist.Bench_format.to_string (load_circuit spec)
+          in
+          Request.Inline_bench text
+        end
+        else Request.Spec spec
+      in
+      Request.to_json
+        (Request.make ?id ?vectors ?charge ?top ?evals ?greedy ?clock
+           ?q_slope ?deadline_s:deadline ?isolate ?fault opv source)
+  in
+  let call = if retry_rejected then Client.call_retrying else Client.call in
+  match call ~opts addr request with
+  | Error d ->
+    render_diag d;
+    `Ok exit_numerical
+  | Ok r -> (
+    match r.Ser_serve.Wire.r_status with
+    | Ser_serve.Wire.Ok_payload payload ->
+      print_endline (Ser_util.Json.to_string ~indent:true payload);
+      Printf.eprintf
+        "sertool client: ok in %.3fs%s%s%s\n" r.Ser_serve.Wire.r_elapsed_s
+        (if r.Ser_serve.Wire.r_cache_hit then " (cache hit)" else "")
+        (if r.Ser_serve.Wire.r_warm then " (warm)" else "")
+        (if r.Ser_serve.Wire.r_replayed then " (replayed)" else "");
+      `Ok exit_ok
+    | Ser_serve.Wire.Rejected (reject, msg, diag) ->
+      print_endline
+        (Ser_util.Json.to_string ~indent:true
+           (Ser_util.Json.Obj
+              [
+                ( "error",
+                  Ser_util.Json.Str (Ser_serve.Wire.reject_to_string reject)
+                );
+                ("diag", diag);
+              ]));
+      Printf.eprintf "sertool client: rejected (%s): %s\n"
+        (Ser_serve.Wire.reject_to_string reject)
+        msg;
+      `Ok (reject_exit reject))
 
 (* Manifest: one job per line, "SPEC [fault=F]"; '#' comments and
    blank lines ignored. SPEC is a .bench/.v path or a benchmark name,
@@ -1097,9 +1213,13 @@ let export_lib_t =
     Term.(ret (const export_lib_cmd $ kind $ fanin $ output))
 
 let worker_t =
+  let spec =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+           ~doc:"Benchmark name or .bench file path (omit with --req-file).")
+  in
   let cmd =
     Arg.(value & opt string "analyze" & info [ "cmd" ] ~docv:"CMD"
-           ~doc:"Worker command: analyze or optimize.")
+           ~doc:"Worker command: analyze, optimize or rate.")
   in
   let vectors =
     Arg.(value & opt int 2000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
@@ -1110,13 +1230,184 @@ let worker_t =
   let fault =
     Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"F"
            ~doc:"Test-only fault injection: hang, crash, oom, garbage, \
-                 exit:N or flaky:N (crash on attempts below N).")
+                 exit:N, flaky:N (crash on attempts below N) or sleep:MS.")
+  in
+  let req_file =
+    Arg.(value & opt (some string) None & info [ "req-file" ] ~docv:"FILE"
+           ~doc:"Read the full request record (canonical JSON) from FILE \
+                 instead of the flags; how the serve daemon dispatches \
+                 isolated requests.")
   in
   Cmd.v
     (Cmd.info "worker"
-       ~doc:"(internal) Run one job as a batch-supervisor child process and \
+       ~doc:"(internal) Run one job as a supervised child process and \
              emit the result as JSON on stdout")
-    Term.(ret (const worker_cmd $ circuit_arg $ cmd $ vectors $ evals $ fault))
+    Term.(ret (const worker_cmd $ spec $ cmd $ vectors $ evals $ fault
+               $ req_file))
+
+let default_socket = "/tmp/sertool.sock"
+
+let socket_arg =
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Also (serve) / instead (client) use a TCP endpoint.")
+
+let serve_t =
+  let max_queue =
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound: one request beyond it is answered \
+                 with a typed 'overloaded' rejection immediately \
+                 (deterministic load shedding).")
+  in
+  let max_frame =
+    Arg.(value & opt int Ser_serve.Frame.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+           ~doc:"Largest accepted request frame.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Default per-request deadline for requests that carry none.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist the result cache to DIR/cache.json (atomic \
+                 tmp+rename after every insert); a restarted daemon reloads \
+                 it warm.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"Result-cache LRU bound.")
+  in
+  let pool_entries =
+    Arg.(value & opt int 4 & info [ "pool-entries" ] ~docv:"N"
+           ~doc:"Warm incremental-handle pool LRU bound.")
+  in
+  let worker_timeout =
+    Arg.(value & opt float 120. & info [ "worker-timeout" ] ~docv:"SECONDS"
+           ~doc:"Watchdog per isolated-worker attempt.")
+  in
+  let worker_retries =
+    Arg.(value & opt int 1 & info [ "worker-retries" ] ~docv:"N"
+           ~doc:"Transient-failure retries per isolated request.")
+  in
+  let spool_dir =
+    Arg.(value & opt (some string) None & info [ "spool-dir" ] ~docv:"DIR"
+           ~doc:"Directory for request spool files and per-request journals \
+                 (default: the system temp directory).")
+  in
+  let no_isolate =
+    Arg.(value & flag & info [ "no-isolate-optimize" ]
+           ~doc:"Run optimize requests inline instead of in an isolated \
+                 worker process (faster, but a crashing evaluation then \
+                 takes the daemon with it).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ]
+           ~doc:"Suppress per-event lifecycle lines on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a persistent analysis daemon: length-framed JSON requests \
+             over a Unix (or TCP) socket, content-addressed result cache, \
+             warm incremental handles, admission control with load \
+             shedding, per-request deadlines, crash-contained isolated \
+             workers and graceful drain on SIGTERM")
+    Term.(ret (const serve_cmd $ jobs_arg $ obs_args $ socket_arg $ tcp_arg
+               $ max_queue $ max_frame $ deadline $ cache_dir $ cache_entries
+               $ pool_entries $ worker_timeout $ worker_retries $ spool_dir
+               $ no_isolate $ quiet))
+
+let client_t =
+  let op =
+    Arg.(value & pos 0 string "health" & info [] ~docv:"OP"
+           ~doc:"Operation: analyze, optimize, rate, health or stats.")
+  in
+  let spec =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT"
+           ~doc:"Benchmark name or .bench/.v file path (not needed for \
+                 health).")
+  in
+  let inline =
+    Arg.(value & flag & info [ "inline" ]
+           ~doc:"Ship the netlist text inside the request instead of a \
+                 path/name the daemon resolves on its own filesystem.")
+  in
+  let id =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID"
+           ~doc:"Idempotency key: a repeated id replays the stored response \
+                 instead of re-executing.")
+  in
+  let vectors =
+    Arg.(value & opt (some int) None & info [ "vectors" ]
+           ~doc:"Random vectors for P_ij.")
+  in
+  let charge =
+    Arg.(value & opt (some float) None & info [ "charge" ]
+           ~doc:"Injected charge, fC (analyze).")
+  in
+  let top =
+    Arg.(value & opt (some int) None & info [ "top" ]
+           ~doc:"Softest gates / contributors to list.")
+  in
+  let evals =
+    Arg.(value & opt (some int) None & info [ "evals" ]
+           ~doc:"Optimizer cost evaluations.")
+  in
+  let greedy =
+    Arg.(value & opt (some int) None & info [ "greedy" ]
+           ~doc:"Greedy refinement passes (optimize).")
+  in
+  let clock =
+    Arg.(value & opt (some float) None & info [ "clock" ] ~docv:"PS"
+           ~doc:"Clock period (rate).")
+  in
+  let q_slope =
+    Arg.(value & opt (some float) None & info [ "q-slope" ]
+           ~doc:"Charge-collection slope, fC (rate).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline enforced by the daemon.")
+  in
+  let isolate =
+    Arg.(value & opt (some bool) None & info [ "isolate" ] ~docv:"BOOL"
+           ~doc:"Force (true) or forbid (false) worker isolation; default: \
+                 the daemon's per-op policy.")
+  in
+  let fault =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"F"
+           ~doc:"Test-only fault injection, forwarded to the isolated \
+                 worker (crash, hang, sleep:MS, ...).")
+  in
+  let connect_timeout =
+    Arg.(value & opt float 5. & info [ "connect-timeout" ] ~docv:"SECONDS"
+           ~doc:"Connection-establishment timeout per attempt.")
+  in
+  let timeout =
+    Arg.(value & opt float 300. & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Response timeout.")
+  in
+  let retries =
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N"
+           ~doc:"Transport-failure retries with exponential backoff.")
+  in
+  let retry_rejected =
+    Arg.(value & flag & info [ "retry-rejected" ]
+           ~doc:"Also retry retryable protocol rejections (overloaded, \
+                 shutting_down, worker_failed); pair with --id so \
+                 re-execution stays idempotent.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running sertool serve daemon and print \
+             the response payload")
+    Term.(ret (const client_cmd $ socket_arg $ tcp_arg $ op $ spec $ inline
+               $ id $ vectors $ charge $ top $ evals $ greedy $ clock
+               $ q_slope $ deadline $ isolate $ fault $ connect_timeout
+               $ timeout $ retries $ retry_rejected))
 
 let batch_t =
   let manifest =
@@ -1189,7 +1480,7 @@ let main =
              of combinational nanometer circuits")
     [ info_t; generate_t; analyze_t; optimize_t; rate_t; timing_t; pipeline_t;
       harden_t; characterize_t; export_deck_t; export_lib_t; batch_t;
-      worker_t ]
+      serve_t; client_t; worker_t ]
 
 (* Batch workers inherit SERTOOL_TRACE/SERTOOL_METRICS from the supervisor
    so their observability lands in per-job files without extra flags. *)

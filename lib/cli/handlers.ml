@@ -1,0 +1,240 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+
+let or_diag = function Ok v -> v | Error d -> raise (Diag.Diag_error d)
+
+let load_circuit (src : Request.source) =
+  match src with
+  | Request.Inline_bench text ->
+    or_diag (Ser_netlist.Bench_format.parse_string ~name:"inline" text)
+  | Request.Spec spec ->
+    if Sys.file_exists spec then
+      let parse =
+        if Filename.check_suffix spec ".v" then
+          Ser_netlist.Verilog_format.parse_file
+        else Ser_netlist.Bench_format.parse_file
+      in
+      or_diag (parse spec)
+    else if List.mem spec Ser_circuits.Iscas.names then
+      Ser_circuits.Iscas.load spec
+    else
+      failwith
+        (Printf.sprintf
+           "unknown circuit %S (not a file; known benchmarks: %s)" spec
+           (String.concat ", " Ser_circuits.Iscas.names))
+
+let make_library ~vdds ~vths =
+  let axes =
+    Ser_cell.Library.restrict
+      ?vdds:(if vdds = [] then None else Some vdds)
+      ?vths:(if vths = [] then None else Some vths)
+      Ser_cell.Library.default_axes
+  in
+  Ser_cell.Library.create ~axes ()
+
+let library_id lib =
+  let axes = Ser_cell.Library.axes lib in
+  let render vs = String.concat "," (List.map (Printf.sprintf "%.17g") vs) in
+  Printf.sprintf "sizes=%s;lengths=%s;vdds=%s;vths=%s"
+    (render axes.Ser_cell.Library.sizes)
+    (render axes.Ser_cell.Library.lengths)
+    (render axes.Ser_cell.Library.vdds)
+    (render axes.Ser_cell.Library.vths)
+
+let aserta_config (req : Request.t) =
+  {
+    Aserta.Analysis.default_config with
+    Aserta.Analysis.vectors = req.Request.vectors;
+    charge = req.Request.charge;
+  }
+
+type analyzed = {
+  assignment : Ser_sta.Assignment.t;
+  analysis : Aserta.Analysis.t;
+}
+
+type rated = {
+  r_assignment : Ser_sta.Assignment.t;
+  r_analysis : Aserta.Analysis.t;
+  r_rate : Aserta.Ser_rate.t;
+}
+
+let subsystem = "cli"
+
+let analyze (req : Request.t) =
+  Diag.guard ~subsystem (fun () ->
+      let c = load_circuit req.Request.source in
+      let lib =
+        make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
+      in
+      let assignment = Sertopt.Optimizer.size_for_speed lib c in
+      let config = aserta_config req in
+      let analysis =
+        or_diag (Aserta.Analysis.run_checked ~config lib assignment)
+      in
+      { assignment; analysis })
+
+let optimize ?budget ?initial (req : Request.t) =
+  Diag.guard ~subsystem (fun () ->
+      let c = load_circuit req.Request.source in
+      let lib =
+        make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
+      in
+      let baseline = Sertopt.Optimizer.size_for_speed lib c in
+      let cfg =
+        {
+          Sertopt.Optimizer.default_config with
+          Sertopt.Optimizer.aserta =
+            {
+              Aserta.Analysis.default_config with
+              Aserta.Analysis.vectors = req.Request.vectors;
+            };
+          max_evals = req.Request.evals;
+          greedy_passes = req.Request.greedy;
+        }
+      in
+      let budget =
+        match (budget, req.Request.budget_evals) with
+        | Some b, _ -> Some b
+        | None, Some n -> Some (Ser_util.Budget.create ~max_evals:n ())
+        | None, None -> None
+      in
+      Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline)
+
+let rate (req : Request.t) =
+  Diag.guard ~subsystem (fun () ->
+      let c = load_circuit req.Request.source in
+      let lib =
+        make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
+      in
+      let r_assignment = Sertopt.Optimizer.size_for_speed lib c in
+      let config = aserta_config req in
+      let r_analysis =
+        or_diag (Aserta.Analysis.run_checked ~config lib r_assignment)
+      in
+      let spectrum =
+        {
+          Aserta.Ser_rate.default_spectrum with
+          Aserta.Ser_rate.q_slope = req.Request.q_slope;
+        }
+      in
+      let r_rate =
+        Aserta.Ser_rate.run ~spectrum ?clock_period:req.Request.clock lib
+          r_assignment r_analysis
+      in
+      { r_assignment; r_analysis; r_rate })
+
+(* ------------------------------ payloads -------------------------- *)
+
+(* Indices of the [top] largest positive entries, value-descending with
+   ascending-id tie-break — fully canonical, unlike a bare
+   [Array.sort] whose tie order would depend on the sort algorithm. *)
+let top_indices values top =
+  let idx = Array.init (Array.length values) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare values.(b) values.(a) in
+      if c <> 0 then c else compare a b)
+    idx;
+  let picked = ref [] and n = ref 0 in
+  Array.iter
+    (fun id ->
+      if !n < top && values.(id) > 0. then begin
+        picked := id :: !picked;
+        n := !n + 1
+      end)
+    idx;
+  List.rev !picked
+
+let analyze_payload (req : Request.t) { assignment; analysis = r } =
+  let c = r.Aserta.Analysis.circuit in
+  let total = r.Aserta.Analysis.total in
+  let top =
+    top_indices r.Aserta.Analysis.unreliability req.Request.top
+    |> List.map (fun id ->
+           Json.Obj
+             [
+               ("gate", Json.Str (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name);
+               ( "cell",
+                 Json.Str
+                   (Ser_device.Cell_params.to_string
+                      (Ser_sta.Assignment.get assignment id)) );
+               ("u", Json.Num r.Aserta.Analysis.unreliability.(id));
+               ("w_gen_ps", Json.Num r.Aserta.Analysis.gen_width.(id));
+               ( "share",
+                 Json.Num
+                   (if total > 0. then
+                      r.Aserta.Analysis.unreliability.(id) /. total
+                    else 0.) );
+             ])
+  in
+  Json.Obj
+    [
+      ("cmd", Json.Str "analyze");
+      ("circuit", Json.Str c.Ser_netlist.Circuit.name);
+      ("gates", Json.int (Ser_netlist.Circuit.gate_count c));
+      ( "critical_delay_ps",
+        Json.Num r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay );
+      ("total_unreliability", Json.Num total);
+      ("vectors", Json.int req.Request.vectors);
+      ("charge", Json.Num req.Request.charge);
+      ("top", Json.List top);
+    ]
+
+let optimize_payload (req : Request.t) (r : Sertopt.Optimizer.result) =
+  let c = r.Sertopt.Optimizer.baseline_analysis.Aserta.Analysis.circuit in
+  let b = r.Sertopt.Optimizer.baseline_metrics in
+  let o = r.Sertopt.Optimizer.optimized_metrics in
+  let rat = Sertopt.Cost.ratios ~baseline:b o in
+  let k = Sertopt.Optimizer.knob_summary r in
+  Json.Obj
+    [
+      ("cmd", Json.Str "optimize");
+      ("circuit", Json.Str c.Ser_netlist.Circuit.name);
+      ("gates", Json.int (Ser_netlist.Circuit.gate_count c));
+      ("u_before", Json.Num b.Sertopt.Cost.unreliability);
+      ("u_after", Json.Num o.Sertopt.Cost.unreliability);
+      ("evals", Json.int r.Sertopt.Optimizer.evals);
+      ("area_ratio", Json.Num rat.Sertopt.Cost.area);
+      ("energy_ratio", Json.Num rat.Sertopt.Cost.energy);
+      ("delay_ratio", Json.Num rat.Sertopt.Cost.delay);
+      ("changed_gates", Json.int k.Sertopt.Optimizer.changed_gates);
+      ("vectors", Json.int req.Request.vectors);
+      ("degraded", Json.Bool r.Sertopt.Optimizer.degraded);
+    ]
+
+let rate_payload (req : Request.t) { r_analysis; r_rate = r; _ } =
+  let c = r_analysis.Aserta.Analysis.circuit in
+  let total = r.Aserta.Ser_rate.total in
+  let top =
+    top_indices r.Aserta.Ser_rate.per_gate req.Request.top
+    |> List.map (fun id ->
+           Json.Obj
+             [
+               ("gate", Json.Str (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name);
+               ("fit", Json.Num r.Aserta.Ser_rate.per_gate.(id));
+               ( "share",
+                 Json.Num
+                   (if total > 0. then r.Aserta.Ser_rate.per_gate.(id) /. total
+                    else 0.) );
+             ])
+  in
+  Json.Obj
+    [
+      ("cmd", Json.Str "rate");
+      ("circuit", Json.Str c.Ser_netlist.Circuit.name);
+      ("gates", Json.int (Ser_netlist.Circuit.gate_count c));
+      ("total_fit", Json.Num total);
+      ("clock_ps", Json.Num r.Aserta.Ser_rate.clock_period);
+      ("q_slope_fc", Json.Num req.Request.q_slope);
+      ("vectors", Json.int req.Request.vectors);
+      ("top", Json.List top);
+    ]
+
+let run ?budget (req : Request.t) =
+  match req.Request.op with
+  | Request.Analyze ->
+    Result.map (fun a -> analyze_payload req a) (analyze req)
+  | Request.Optimize ->
+    Result.map (fun r -> optimize_payload req r) (optimize ?budget req)
+  | Request.Rate -> Result.map (fun r -> rate_payload req r) (rate req)

@@ -1,0 +1,63 @@
+(** Execution of canonical {!Request} records — the shared back half of
+    the one-shot CLI commands, the batch worker and the serve daemon.
+
+    Each operation returns its full result records (for front ends that
+    pretty-print tables or export reports) and has a [_payload]
+    rendering producing the compact, deterministic JSON document that
+    the worker protocol and the serve response carry. Payloads contain
+    no timestamps or elapsed times, so an identical request on an
+    identical build renders bit-identically — the property the serve
+    result cache and journal resume rely on. *)
+
+val load_circuit : Request.source -> Ser_netlist.Circuit.t
+(** The one canonical netlist loader: a [Spec] that names an existing
+    file parses it (.v as Verilog, anything else as .bench), a known
+    benchmark name generates it, an [Inline_bench] parses the carried
+    text. Raises [Ser_util.Diag.Diag_error] (or [Failure] for an
+    unknown name) — call under {!Ser_util.Diag.guard} or {!run}. *)
+
+val make_library :
+  vdds:float list -> vths:float list -> Ser_cell.Library.t
+(** Default axes restricted to the given VDD/Vth menus ([] keeps the
+    default axis). *)
+
+val library_id : Ser_cell.Library.t -> string
+(** Canonical one-line rendering of the library's axes — the "library"
+    component of serve cache keys. Two libraries built by
+    {!make_library} with equal menus have equal ids. *)
+
+val aserta_config : Request.t -> Aserta.Analysis.config
+
+type analyzed = {
+  assignment : Ser_sta.Assignment.t;
+  analysis : Aserta.Analysis.t;
+}
+
+type rated = {
+  r_assignment : Ser_sta.Assignment.t;
+  r_analysis : Aserta.Analysis.t;
+  r_rate : Aserta.Ser_rate.t;
+}
+
+val analyze : Request.t -> (analyzed, Ser_util.Diag.t) result
+(** Size-for-speed baseline assignment + checked ASERTA analysis. *)
+
+val optimize :
+  ?budget:Ser_util.Budget.t ->
+  ?initial:Ser_sta.Assignment.t ->
+  Request.t ->
+  (Sertopt.Optimizer.result, Ser_util.Diag.t) result
+
+val rate : Request.t -> (rated, Ser_util.Diag.t) result
+
+val analyze_payload : Request.t -> analyzed -> Ser_util.Json.t
+val optimize_payload : Request.t -> Sertopt.Optimizer.result -> Ser_util.Json.t
+val rate_payload : Request.t -> rated -> Ser_util.Json.t
+
+val run :
+  ?budget:Ser_util.Budget.t ->
+  Request.t ->
+  (Ser_util.Json.t, Ser_util.Diag.t) result
+(** Execute any request from scratch and render its payload — the
+    whole body of a batch/serve worker. [budget] bounds the optimize
+    search (analyze and rate check it only between phases). *)

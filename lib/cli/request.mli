@@ -1,0 +1,92 @@
+(** The canonical request record shared by every front end.
+
+    One-shot CLI commands ([sertool analyze/optimize/rate]), the batch
+    worker and the serve daemon all execute the same three operations;
+    historically each re-parsed its own flags and re-assembled its own
+    parameter set. A {!t} is the single source of truth: the CLI builds
+    one from cmdliner flags, the daemon decodes one from a framed JSON
+    request, the worker reads one back from a spool file — and all of
+    them hand it to {!Handlers}.
+
+    The JSON codec is total ({!of_json} never raises) and the
+    {!params_json} rendering is canonical (fixed field order, per-op
+    field subset), which is what makes it usable as a cache-key
+    component. *)
+
+type source =
+  | Spec of string
+      (** benchmark name ([c17], ...) or a path on the local disk *)
+  | Inline_bench of string
+      (** .bench netlist text carried inside the request — how serve
+          clients ship circuits the daemon cannot see on its own
+          filesystem *)
+
+type op = Analyze | Optimize | Rate
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+type t = {
+  id : string option;
+      (** idempotency key: the daemon replays the stored response for a
+          repeated id instead of re-executing *)
+  op : op;
+  source : source;
+  vectors : int;  (** random vectors for [P_ij] *)
+  charge : float;  (** injected charge, fC (analyze) *)
+  top : int;  (** softest gates / contributors listed in the payload *)
+  vdds : float list;  (** supply menu; [] = library default axis *)
+  vths : float list;  (** threshold menu; [] = default axis *)
+  evals : int;  (** nullspace-search cost evaluations (optimize) *)
+  greedy : int;  (** greedy refinement passes (optimize) *)
+  budget_evals : int option;  (** hard eval cap (optimize) *)
+  clock : float option;  (** clock period, ps (rate) *)
+  q_slope : float;  (** charge-collection slope, fC (rate) *)
+  deadline_s : float option;  (** per-request deadline (serve) *)
+  isolate : bool option;
+      (** serve: [Some true] forces worker isolation, [Some false]
+          forbids it; [None] = the daemon's per-op default *)
+  fault : string option;
+      (** test-only fault injection, forwarded to the worker exactly
+          like a batch manifest's [fault=] field *)
+}
+
+val default_vectors : op -> int
+(** 10 000 for analyze, 4 000 for optimize and rate — the historical
+    per-command CLI defaults. *)
+
+val make :
+  ?id:string ->
+  ?vectors:int ->
+  ?charge:float ->
+  ?top:int ->
+  ?vdds:float list ->
+  ?vths:float list ->
+  ?evals:int ->
+  ?greedy:int ->
+  ?budget_evals:int ->
+  ?clock:float ->
+  ?q_slope:float ->
+  ?deadline_s:float ->
+  ?isolate:bool ->
+  ?fault:string ->
+  op ->
+  source ->
+  t
+(** Omitted fields take the per-op defaults ([default_vectors],
+    16 fC, top 10, evals 120, greedy 2, q-slope 6). *)
+
+val to_json : t -> Ser_util.Json.t
+
+val of_json : Ser_util.Json.t -> (t, Ser_util.Diag.t) result
+(** Total decoder with validation: unknown op, missing/ill-typed
+    circuit, non-positive vectors/evals/charge come back as a located
+    [Error] (subsystem ["cli"]), never an exception. Unknown fields
+    are ignored. *)
+
+val params_json : t -> Ser_util.Json.t
+(** Canonical rendering of exactly the fields that determine the
+    result payload for this op (excludes [id], [deadline_s],
+    [isolate], [fault] and the circuit itself). Two requests with
+    equal [params_json] and equal netlists produce identical payloads
+    — the contract the serve result cache is keyed on. *)

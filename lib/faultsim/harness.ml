@@ -581,23 +581,377 @@ let jobs_scenarios () =
     };
   ]
 
+(* -------------------- serve daemon corruption ---------------------- *)
+
+module Server = Ser_serve.Server
+module Sclient = Ser_serve.Client
+module Frame = Ser_serve.Frame
+module Wire = Ser_serve.Wire
+module Request = Ser_cli.Request
+module Json = Ser_util.Json
+
+let serve_tmpdir () =
+  let d = Filename.temp_file "faultsim-serve" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* The daemon under test is a forked child of the test process: the
+   serve group runs sequentially on the main domain (like "jobs",
+   forking from a pool worker is unsafe) and the child immediately
+   drops to one worker so it never touches the inherited pool. *)
+let fork_server cfg =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Ser_par.Par.set_jobs 1;
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+       Unix.dup2 devnull Unix.stdout;
+       Unix.dup2 devnull Unix.stderr;
+       Unix.close devnull;
+       ignore (Server.run cfg)
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let stop_server ?(signal = Sys.sigterm) pid =
+  (try Unix.kill pid signal with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let client_opts =
+  { Sclient.default_opts with Sclient.request_timeout_s = 60.; retries = 2 }
+
+let with_server ?(configure = fun c -> c) f =
+  let dir = serve_tmpdir () in
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    configure
+      { (Server.default ~socket) with Server.spool_dir = Some dir }
+  in
+  let addr = Server.Unix_sock socket in
+  let pid = fork_server cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_server pid;
+      rm_rf dir)
+    (fun () ->
+      if not (Sclient.wait_ready ~opts:client_opts addr) then
+        Uncaught (Failure "serve daemon did not come up")
+      else f ~dir ~socket ~addr)
+
+let analyze_req ?id ?isolate ?fault () =
+  Request.to_json
+    (Request.make ?id ?isolate ?fault ~vectors:200 Request.Analyze
+       (Request.Spec "c17"))
+
+let raw_connect socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let read_reject fd =
+  match Frame.read_frame ~deadline:(Ser_util.Mono.now () +. 30.) fd with
+  | Error e ->
+    Uncaught (Failure ("no response frame: " ^ Frame.error_to_string e))
+  | Ok j -> (
+    match Wire.response_of_json j with
+    | Ok { Wire.r_status = Wire.Rejected (Wire.Bad_request, msg, _); _ } ->
+      Graceful (Diag.error ~subsystem:"serve" "%s" msg)
+    | Ok _ -> Uncaught (Failure "daemon accepted a corrupt frame")
+    | Error msg -> Uncaught (Failure ("bad envelope: " ^ msg)))
+
+let health_int addr path =
+  match Sclient.health ~opts:client_opts addr with
+  | Error _ -> None
+  | Ok payload ->
+    let rec walk j = function
+      | [] -> Json.to_int_opt j
+      | k :: rest -> (
+        match Json.member k j with Some j' -> walk j' rest | None -> None)
+    in
+    walk payload path
+
+let serve_scenarios () =
+  [
+    {
+      name = "mid-request client disconnect";
+      group = "serve";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          with_server (fun ~dir:_ ~socket ~addr ->
+              let fd = raw_connect socket in
+              (match Frame.write_frame fd (analyze_req ~fault:"sleep:200" ())
+               with
+              | Ok () | Error _ -> ());
+              Unix.close fd;
+              (* the daemon must absorb the dead peer and keep serving *)
+              match Sclient.health ~opts:client_opts addr with
+              | Ok _ -> Passed
+              | Error d -> Graceful d));
+    };
+    {
+      name = "malformed frame payload";
+      group = "serve";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          with_server (fun ~dir:_ ~socket ~addr:_ ->
+              let fd = raw_connect socket in
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  write_all fd (Frame.encode_raw "]( not json )[");
+                  read_reject fd)));
+    };
+    {
+      name = "oversized frame";
+      group = "serve";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          with_server
+            ~configure:(fun c -> { c with Server.max_frame = 1024 })
+            (fun ~dir:_ ~socket ~addr ->
+              let fd = raw_connect socket in
+              let verdict =
+                Fun.protect
+                  ~finally:(fun () ->
+                    try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    write_all fd
+                      (Frame.encode (Json.Str (String.make 4096 'x')));
+                    read_reject fd)
+              in
+              (* shedding the frame must not take the daemon down *)
+              match (verdict, Sclient.health ~opts:client_opts addr) with
+              | Graceful d, Ok _ -> Graceful d
+              | Graceful _, Error _ ->
+                Uncaught (Failure "daemon died after oversized frame")
+              | other, _ -> other));
+    };
+    {
+      name = "worker crash under a live request";
+      group = "serve";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          with_server
+            ~configure:(fun c ->
+              {
+                c with
+                Server.worker_retries = 0;
+                worker_timeout_s = 10.;
+                make_worker =
+                  Some
+                    (fun _req ~spool:_ ->
+                      Supervisor.job ~id:"crash"
+                        [| "/bin/sh"; "-c"; "kill -SEGV $$" |]);
+              })
+            (fun ~dir:_ ~socket:_ ~addr ->
+              match
+                Sclient.call ~opts:client_opts addr
+                  (analyze_req ~isolate:true ())
+              with
+              | Error d ->
+                Uncaught (Failure ("transport failure: " ^ Diag.to_string d))
+              | Ok
+                  {
+                    Wire.r_status = Wire.Rejected (Wire.Worker_failed, msg, _);
+                    _;
+                  } -> (
+                (* typed rejection AND the daemon survived its worker *)
+                match Sclient.health ~opts:client_opts addr with
+                | Ok _ -> Graceful (Diag.error ~subsystem:"serve" "%s" msg)
+                | Error _ ->
+                  Uncaught (Failure "daemon died with its crashed worker"))
+              | Ok _ ->
+                Uncaught
+                  (Failure "crashed worker did not yield worker_failed")));
+    };
+    {
+      name = "cache directory hits ENOSPC";
+      group = "serve";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          with_server
+            ~configure:(fun c ->
+              {
+                c with
+                Server.cache_dir = Some "/nonexistent-is-ignored";
+                cache_writer =
+                  Some
+                    (fun path _ ->
+                      raise (Unix.Unix_error (Unix.ENOSPC, "write", path)));
+              })
+            (fun ~dir:_ ~socket:_ ~addr ->
+              match Sclient.call ~opts:client_opts addr (analyze_req ()) with
+              | Error d ->
+                Uncaught
+                  (Failure ("analysis lost to a full disk: " ^ Diag.to_string d))
+              | Ok { Wire.r_status = Wire.Ok_payload _; _ } -> (
+                (* the result still reached the client; persistence
+                   degraded and said so *)
+                match health_int addr [ "cache"; "persist_errors" ] with
+                | Some n when n >= 1 -> Degraded
+                | _ ->
+                  Uncaught
+                    (Failure "persist failure left no trace in health"))
+              | Ok _ -> Uncaught (Failure "analyze rejected under ENOSPC")));
+    };
+    {
+      name = "overload burst sheds with typed rejections";
+      group = "serve";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          with_server
+            ~configure:(fun c -> { c with Server.max_queue = 1 })
+            (fun ~dir:_ ~socket ~addr ->
+              let n = 5 in
+              let fds =
+                List.init n (fun _ ->
+                    let fd = raw_connect socket in
+                    (match
+                       Frame.write_frame fd (analyze_req ~fault:"sleep:300" ())
+                     with
+                    | Ok () | Error _ -> ());
+                    fd)
+              in
+              let deadline = Ser_util.Mono.now () +. 60. in
+              let statuses =
+                List.map
+                  (fun fd ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        try Unix.close fd with Unix.Unix_error _ -> ())
+                      (fun () ->
+                        match Frame.read_frame ~deadline fd with
+                        | Error _ -> `Lost
+                        | Ok j -> (
+                          match Wire.response_of_json j with
+                          | Ok { Wire.r_status = Wire.Ok_payload _; _ } -> `Ok
+                          | Ok
+                              {
+                                Wire.r_status =
+                                  Wire.Rejected (Wire.Overloaded, _, _);
+                                _;
+                              } ->
+                            `Shed
+                          | _ -> `Lost)))
+                  fds
+              in
+              let count tag = List.length (List.filter (( = ) tag) statuses) in
+              let ok = count `Ok and shed = count `Shed in
+              match Sclient.health ~opts:client_opts addr with
+              | Error _ -> Uncaught (Failure "daemon died under the burst")
+              | Ok _ ->
+                if ok >= 1 && shed >= 1 && ok + shed = n then Degraded
+                else
+                  Uncaught
+                    (Failure
+                       (Printf.sprintf
+                          "burst of %d: %d ok, %d shed, %d lost" n ok shed
+                          (n - ok - shed)))));
+    };
+    {
+      name = "kill -9 then restart reuses the warm cache";
+      group = "serve";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          let dir = serve_tmpdir () in
+          Fun.protect
+            ~finally:(fun () -> rm_rf dir)
+            (fun () ->
+              let socket = Filename.concat dir "d.sock" in
+              let cfg =
+                {
+                  (Server.default ~socket) with
+                  Server.cache_dir = Some (Filename.concat dir "cache");
+                  spool_dir = Some dir;
+                }
+              in
+              let addr = Server.Unix_sock socket in
+              let req = analyze_req () in
+              let pid = fork_server cfg in
+              let first =
+                if not (Sclient.wait_ready ~opts:client_opts addr) then
+                  Error "daemon did not come up"
+                else
+                  match Sclient.call ~opts:client_opts addr req with
+                  | Ok { Wire.r_status = Wire.Ok_payload p; _ } -> Ok p
+                  | Ok _ -> Error "first analyze rejected"
+                  | Error d -> Error (Diag.to_string d)
+              in
+              stop_server ~signal:Sys.sigkill pid;
+              match first with
+              | Error msg -> Uncaught (Failure msg)
+              | Ok p1 -> (
+                let pid2 = fork_server cfg in
+                Fun.protect
+                  ~finally:(fun () -> stop_server pid2)
+                  (fun () ->
+                    if not (Sclient.wait_ready ~opts:client_opts addr) then
+                      Uncaught (Failure "daemon did not restart")
+                    else
+                      match Sclient.call ~opts:client_opts addr req with
+                      | Ok
+                          {
+                            Wire.r_status = Wire.Ok_payload p2;
+                            r_cache_hit = true;
+                            _;
+                          }
+                        when p2 = p1 ->
+                        Passed
+                      | Ok { Wire.r_status = Wire.Ok_payload _; _ } ->
+                        Uncaught
+                          (Failure
+                             "restarted daemon recomputed instead of \
+                              reusing the persisted cache")
+                      | Ok _ -> Uncaught (Failure "replay after restart failed")
+                      | Error d -> Graceful d))));
+    };
+  ]
+
 let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
   @ optimizer_scenarios () @ util_scenarios () @ obs_scenarios ()
-  @ jobs_scenarios ()
+  @ jobs_scenarios () @ serve_scenarios ()
 
 let run_all () =
   (* force the shared fixtures before fanning out: Lazy.force is not
      safe to race from several domains (the losers raise
      Lazy.Undefined), and base_asg pulls in the other two *)
   ignore (Lazy.force base_asg);
-  let par, seq = List.partition (fun s -> s.group <> "jobs") (scenarios ()) in
+  let par, seq =
+    List.partition
+      (fun s -> s.group <> "jobs" && s.group <> "serve")
+      (scenarios ())
+  in
   let ps = Array.of_list par in
   let outcomes = Ser_par.Par.parallel_map ~chunk:1 run_scenario ps in
   let par_results =
     Array.to_list (Array.mapi (fun i o -> (ps.(i), o)) outcomes)
   in
-  (* the jobs scenarios fork child processes; fork from a pool worker
-     domain is unsafe in a multicore runtime, so they stay on the main
-     domain, after the pooled groups *)
+  (* the jobs and serve scenarios fork child processes; fork from a
+     pool worker domain is unsafe in a multicore runtime, so they stay
+     on the main domain, after the pooled groups *)
   par_results @ List.map (fun s -> (s, run_scenario s)) seq

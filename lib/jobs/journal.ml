@@ -1,7 +1,13 @@
 module Json = Ser_util.Json
 module Diag = Ser_util.Diag
+module Mono = Ser_util.Mono
 
 let subsystem = "jobs"
+
+(* The write-ahead fsync is the journal's dominant cost; its latency
+   distribution (ROADMAP metric gap) decides how many records per
+   second a batch or the serve daemon can durably absorb. *)
+let m_fsync_us = Ser_obs.Obs.Metrics.histogram "jobs.journal_fsync_us"
 
 type event =
   | Batch_start of { manifest : string; jobs : string list }
@@ -181,10 +187,13 @@ let append t ev =
       "short journal write (%d of %d bytes)" written len;
   (* write-ahead: the record must be durable before the supervisor
      acts on the transition it describes *)
-  try Unix.fsync t.fd
-  with Unix.Unix_error (e, _, _) ->
-    Diag.fail ~subsystem ~context:[ Diag.file t.path ] "journal fsync failed: %s"
-      (Unix.error_message e)
+  let t0 = Mono.now () in
+  (try Unix.fsync t.fd
+   with Unix.Unix_error (e, _, _) ->
+     Diag.fail ~subsystem ~context:[ Diag.file t.path ]
+       "journal fsync failed: %s" (Unix.error_message e));
+  Ser_obs.Obs.Metrics.observe m_fsync_us
+    (int_of_float (1e6 *. Mono.elapsed_since t0))
 
 let close t =
   if not t.closed then begin

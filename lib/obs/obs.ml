@@ -57,6 +57,10 @@ module Metrics = struct
     let cur = Atomic.get g.g_cell in
     if not (Atomic.compare_and_set g.g_cell cur (cur +. d)) then add_gauge g d
 
+  let rec max_gauge g v =
+    let cur = Atomic.get g.g_cell in
+    if v > cur && not (Atomic.compare_and_set g.g_cell cur v) then max_gauge g v
+
   let gauge_value g = Atomic.get g.g_cell
 
   let histogram name =
@@ -79,6 +83,28 @@ module Metrics = struct
 
   let histogram_count h = Atomic.get h.h_count
   let histogram_sum h = Atomic.get h.h_sum
+
+  (* Bucket-resolution quantile: the lower bound of the bucket holding
+     the q-th observation. Good to a factor of two — enough for a
+     health endpoint's p50/p99 without recording raw samples. *)
+  let histogram_quantile h q =
+    let count = Atomic.get h.h_count in
+    if count = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = int_of_float (ceil (q *. float_of_int count)) in
+      let rank = max 1 (min count rank) in
+      let seen = ref 0 and result = ref 0. and k = ref 0 in
+      while !seen < rank && !k < n_buckets do
+        let n = Atomic.get h.h_cells.(!k) in
+        if n > 0 then begin
+          seen := !seen + n;
+          result := (if !k = 0 then 0. else float_of_int (1 lsl (!k - 1)))
+        end;
+        k := !k + 1
+      done;
+      !result
+    end
 
   let find tbl name =
     Mutex.lock registry_m;
@@ -146,6 +172,17 @@ module Metrics = struct
       histograms;
     Mutex.unlock registry_m
 end
+
+(* Per-domain memory high-water gauges (mem.domainN.heap_words_hwm):
+   the probe is called at coarse boundaries — end of a parallel
+   section's slot, end of a served request — so the cost of
+   Gc.quick_stat and the registry lookup is off every hot loop. *)
+let memory_probe () =
+  let words = (Gc.quick_stat ()).Gc.heap_words in
+  let name =
+    "mem.domain" ^ string_of_int (Domain.self () :> int) ^ ".heap_words_hwm"
+  in
+  Metrics.max_gauge (Metrics.gauge name) (float_of_int words)
 
 (* ------------------------------------------------------------------ *)
 (* tracing                                                             *)

@@ -42,6 +42,10 @@ module Metrics : sig
   val add_gauge : gauge -> float -> unit
   (** Atomic accumulate (CAS loop). *)
 
+  val max_gauge : gauge -> float -> unit
+  (** Atomic running maximum (CAS loop): the gauge keeps the largest
+      value ever offered — high-water marks. *)
+
   val gauge_value : gauge -> float
 
   val histogram : string -> histogram
@@ -55,6 +59,11 @@ module Metrics : sig
 
   val histogram_count : histogram -> int
   val histogram_sum : histogram -> int
+
+  val histogram_quantile : histogram -> float -> float
+  (** [histogram_quantile h q] is the lower bound of the log2 bucket
+      holding the [q]-th fraction of the observations (0 on an empty
+      histogram) — bucket-resolution p50/p99 for health endpoints. *)
 
   val find_counter : string -> counter option
   val find_gauge : string -> gauge option
@@ -120,6 +129,12 @@ module Trace : sig
       unclosed "B" spans get a synthetic close at the buffer's last
       timestamp. *)
 end
+
+val memory_probe : unit -> unit
+(** Record the calling domain's major-heap size into the
+    [mem.domain<i>.heap_words_hwm] high-water gauge. Called at coarse
+    boundaries (parallel-section slots, served requests) — cheap, but
+    not free: keep it out of per-gate loops. *)
 
 type writer = string -> string -> unit
 (** [writer path contents] persists a rendered document. The default

@@ -287,7 +287,9 @@ let parallel_chunks ?budget ?chunk ~n body =
           end
         end
       done;
-      if slot < slots then busy.(slot) <- Unix.gettimeofday () -. t0
+      if slot < slots then busy.(slot) <- Unix.gettimeofday () -. t0;
+      (* per-domain memory high-water: one probe per section per slot *)
+      Obs.memory_probe ()
     in
     let ran_parallel =
       if slots <= 1 || Domain.DLS.get in_section then false

@@ -1,0 +1,249 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+module Circuit = Ser_netlist.Circuit
+
+let subsystem = "serve"
+
+(* --------------------------- content keys -------------------------- *)
+
+(* The bench parser accepts declarations in any order, so the digest
+   must too: render inputs, outputs and gates as sorted lines. Fanin
+   pin order stays as-built — it is semantically significant for the
+   electrical model even on symmetric gates. *)
+let circuit_digest (c : Circuit.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "name ";
+  Buffer.add_string b c.Circuit.name;
+  Buffer.add_char b '\n';
+  let names ids =
+    Array.to_list ids
+    |> List.map (fun id -> (Circuit.node c id).Circuit.name)
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun n ->
+      Buffer.add_string b "I ";
+      Buffer.add_string b n;
+      Buffer.add_char b '\n')
+    (names c.Circuit.inputs);
+  List.iter
+    (fun n ->
+      Buffer.add_string b "O ";
+      Buffer.add_string b n;
+      Buffer.add_char b '\n')
+    (names c.Circuit.outputs);
+  let gate_lines =
+    Array.to_list c.Circuit.nodes
+    |> List.filter_map (fun (n : Circuit.node) ->
+           if n.Circuit.kind = Ser_netlist.Gate.Input then None
+           else
+             let fanin =
+               Array.to_list n.Circuit.fanin
+               |> List.map (fun id -> (Circuit.node c id).Circuit.name)
+             in
+             Some
+               (Printf.sprintf "G %s = %s(%s)" n.Circuit.name
+                  (Ser_netlist.Gate.to_string n.Circuit.kind)
+                  (String.concat "," fanin)))
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    gate_lines;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let key ~circuit ~library ~params =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "v1|%s|%s|%s" circuit library (Json.to_string params)))
+
+(* ------------------------------- LRU ------------------------------- *)
+
+type entry = { value : Json.t; mutable gen : int }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  persist_errors : int;
+  entries : int;
+}
+
+type t = {
+  max_entries : int;
+  dir : string option;
+  writer : string -> string -> unit;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable persist_errors : int;
+}
+
+let m_hits = Ser_obs.Obs.Metrics.counter "serve.cache_hits"
+let m_misses = Ser_obs.Obs.Metrics.counter "serve.cache_misses"
+let m_evictions = Ser_obs.Obs.Metrics.counter "serve.cache_evictions"
+let m_persist_errors = Ser_obs.Obs.Metrics.counter "serve.cache_persist_errors"
+
+let atomic_write path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     flush oc;
+     close_out oc
+   with e ->
+     (try close_out_noerr oc with _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let cache_file dir = Filename.concat dir "cache.json"
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let insert t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some _ -> Hashtbl.replace t.table k { value = v; gen = tick t }
+  | None -> Hashtbl.replace t.table k { value = v; gen = tick t });
+  while Hashtbl.length t.table > t.max_entries do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, g) when g <= e.gen -> acc
+          | _ -> Some (k, e.gen))
+        t.table None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      Ser_obs.Obs.Metrics.incr m_evictions
+    | None -> ()
+  done
+
+let load t path =
+  if not (Sys.file_exists path) then []
+  else
+    match
+      Diag.guard ~subsystem (fun () ->
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          match Json.of_string s with
+          | Error msg -> failwith msg
+          | Ok j -> j)
+    with
+    | Error d ->
+      [ Diag.with_context d [ ("file", path); ("action", "cache-load") ] ]
+    | Ok j -> (
+      match Json.member "entries" j with
+      | Some (Json.List items) ->
+        (* Stored oldest-first, so straight inserts rebuild recency. *)
+        List.iter
+          (fun item ->
+            match (Json.member "key" item, Json.member "payload" item) with
+            | Some (Json.Str k), Some v -> insert t k v
+            | _ -> ())
+          items;
+        []
+      | _ ->
+        [
+          Diag.make ~subsystem ~context:[ ("file", path) ]
+            "cache file has no entries list; starting empty";
+        ])
+
+let create ?(max_entries = 256) ?dir ?(writer = atomic_write) () =
+  let max_entries = max 1 max_entries in
+  let t =
+    {
+      max_entries;
+      dir;
+      writer;
+      table = Hashtbl.create 64;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      persist_errors = 0;
+    }
+  in
+  let diags =
+    match dir with None -> [] | Some d -> load t (cache_file d)
+  in
+  (* Loading is not eviction churn worth reporting. *)
+  t.evictions <- 0;
+  (t, diags)
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    e.gen <- tick t;
+    t.hits <- t.hits + 1;
+    Ser_obs.Obs.Metrics.incr m_hits;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Ser_obs.Obs.Metrics.incr m_misses;
+    None
+
+let add t k v = insert t k v
+
+let render t =
+  let items =
+    Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table []
+    |> List.sort (fun (_, a) (_, b) -> compare a.gen b.gen)
+    |> List.map (fun (k, e) ->
+           Json.Obj [ ("key", Json.Str k); ("payload", e.value) ])
+  in
+  Json.to_string
+    (Json.Obj [ ("version", Json.int 1); ("entries", Json.List items) ])
+
+let flush t =
+  match t.dir with
+  | None -> []
+  | Some dir -> (
+    match
+      Diag.guard ~subsystem (fun () ->
+          try
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            t.writer (cache_file dir) (render t)
+          with Unix.Unix_error (e, fn, arg) ->
+            (* injected writers raise raw [Unix_error]s (ENOSPC, ...) *)
+            failwith
+              (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+    with
+    | Ok () -> []
+    | Error d ->
+      t.persist_errors <- t.persist_errors + 1;
+      Ser_obs.Obs.Metrics.incr m_persist_errors;
+      [ Diag.with_context d [ ("dir", dir); ("action", "cache-flush") ] ])
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    persist_errors = t.persist_errors;
+    entries = Hashtbl.length t.table;
+  }
+
+let stats_json t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  Json.Obj
+    [
+      ("entries", Json.int s.entries);
+      ("hits", Json.int s.hits);
+      ("misses", Json.int s.misses);
+      ("hit_rate", Json.Num (if total = 0 then 0. else float_of_int s.hits /. float_of_int total));
+      ("evictions", Json.int s.evictions);
+      ("persist_errors", Json.int s.persist_errors);
+    ]

@@ -1,0 +1,143 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+module Mono = Ser_util.Mono
+
+let subsystem = "serve"
+
+type opts = {
+  connect_timeout_s : float;
+  request_timeout_s : float;
+  retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  max_frame : int;
+}
+
+let default_opts =
+  {
+    connect_timeout_s = 5.;
+    request_timeout_s = 300.;
+    retries = 5;
+    backoff_base_s = 0.1;
+    backoff_max_s = 2.;
+    max_frame = Frame.default_max_frame;
+  }
+
+let backoff opts attempt =
+  Float.min opts.backoff_max_s
+    (opts.backoff_base_s *. (2. ** float_of_int attempt))
+
+let sockaddr = function
+  | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (ip, port)
+
+let connect opts addr =
+  let domain =
+    match addr with
+    | Server.Unix_sock _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  let deadline = Mono.now () +. opts.connect_timeout_s in
+  let rec go () =
+    match Unix.connect fd (sockaddr addr) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Mono.now () > deadline then Error "connect timed out" else go ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Unix.error_message e)
+  in
+  match go () with
+  | Ok fd -> Ok fd
+  | Error msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error msg
+
+let once opts addr request =
+  match connect opts addr with
+  | Error msg -> Error (`Transport msg)
+  | Ok fd -> (
+    let finish r =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+    in
+    match Frame.write_frame fd request with
+    | Error e -> finish (Error (`Transport (Frame.error_to_string e)))
+    | Ok () -> (
+      let deadline = Mono.now () +. opts.request_timeout_s in
+      match Frame.read_frame ~max:opts.max_frame ~deadline fd with
+      | Error Frame.Timeout ->
+        finish (Error (`Timeout opts.request_timeout_s))
+      | Error e -> finish (Error (`Transport (Frame.error_to_string e)))
+      | Ok json -> (
+        match Wire.response_of_json json with
+        | Ok r -> finish (Ok r)
+        | Error msg -> finish (Error (`Transport ("bad envelope: " ^ msg))))))
+
+let call_gen ~retry_rejections ?(opts = default_opts) addr request =
+  let rec go attempt last =
+    if attempt > opts.retries then
+      Error
+        (Diag.make ~subsystem
+           ~context:[ ("attempts", string_of_int (attempt)) ]
+           (Printf.sprintf "request failed after %d attempt(s): %s" attempt
+              last))
+    else begin
+      if attempt > 0 then Unix.sleepf (backoff opts (attempt - 1));
+      match once opts addr request with
+      | Ok r -> (
+        match r.Wire.r_status with
+        | Wire.Rejected (reject, msg, _)
+          when retry_rejections && Wire.retryable reject ->
+          go (attempt + 1)
+            (Printf.sprintf "%s: %s" (Wire.reject_to_string reject) msg)
+        | _ -> Ok r)
+      | Error (`Timeout s) ->
+        (* the request may still be executing server-side; retrying a
+           timed-out call is only idempotent when the request carries
+           an id, so surface it instead of silently re-running *)
+        Error
+          (Diag.make ~subsystem
+             (Printf.sprintf "no response within %.1fs" s))
+      | Error (`Transport msg) -> go (attempt + 1) msg
+    end
+  in
+  go 0 "never attempted"
+
+let call ?opts addr request =
+  call_gen ~retry_rejections:false ?opts addr request
+
+let call_retrying ?opts addr request =
+  call_gen ~retry_rejections:true ?opts addr request
+
+let health ?(opts = default_opts) addr =
+  let probe_opts = { opts with retries = 0 } in
+  match call ~opts:probe_opts addr (Json.Obj [ ("op", Json.Str "health") ]) with
+  | Error d -> Error d
+  | Ok r -> (
+    match r.Wire.r_status with
+    | Wire.Ok_payload p -> Ok p
+    | Wire.Rejected (reject, msg, _) ->
+      Error
+        (Diag.make ~subsystem
+           (Printf.sprintf "health rejected (%s): %s"
+              (Wire.reject_to_string reject) msg)))
+
+let wait_ready ?(opts = default_opts) ?(timeout_s = 10.) addr =
+  let deadline = Mono.now () +. timeout_s in
+  let rec go () =
+    match health ~opts addr with
+    | Ok _ -> true
+    | Error _ ->
+      if Mono.now () > deadline then false
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()

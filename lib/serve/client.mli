@@ -1,0 +1,47 @@
+(** Client side of the serve protocol: connect, frame one request,
+    read one response — with timeouts and exponential-backoff retry.
+
+    Retry policy: connect-phase failures (socket absent, connection
+    refused — a daemon still starting or restarting) and transport
+    failures before a response arrives are retried with exponential
+    backoff. A decoded response is returned as-is, even a typed
+    rejection — retrying [overloaded] or [worker_failed] is the
+    caller's decision ({!call_retrying} makes it for batch-style
+    callers, which is only safe because request ids make re-execution
+    idempotent). *)
+
+type opts = {
+  connect_timeout_s : float;
+  request_timeout_s : float;  (** waiting for the response frame *)
+  retries : int;  (** additional attempts after the first *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+  max_frame : int;
+}
+
+val default_opts : opts
+(** 5 s connect, 300 s request, 5 retries from 0.1 s doubling to 2 s. *)
+
+val call :
+  ?opts:opts ->
+  Server.addr ->
+  Ser_util.Json.t ->
+  (Wire.response, Ser_util.Diag.t) result
+(** One request/response exchange with transport-level retry. *)
+
+val call_retrying :
+  ?opts:opts ->
+  Server.addr ->
+  Ser_util.Json.t ->
+  (Wire.response, Ser_util.Diag.t) result
+(** Like {!call}, but also consumes the retry budget on retryable
+    protocol rejections ([overloaded], [shutting_down], ...). *)
+
+val wait_ready :
+  ?opts:opts -> ?timeout_s:float -> Server.addr -> bool
+(** Poll the health endpoint until the daemon answers (true) or
+    [timeout_s] (default 10 s) elapses (false). *)
+
+val health :
+  ?opts:opts -> Server.addr -> (Ser_util.Json.t, Ser_util.Diag.t) result
+(** The health payload of a responding daemon. *)

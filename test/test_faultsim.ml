@@ -27,6 +27,19 @@ let test_jobs_group_present () =
     true
     (List.length js >= 6)
 
+let test_serve_group_present () =
+  (* the daemon scenarios fork a live sertool-serve child; make sure
+     the group is in the catalogue and actually ran *)
+  let ss =
+    List.filter
+      (fun ((s : H.scenario), _) -> s.H.group = "serve")
+      (Lazy.force results)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "serve scenarios present (got %d)" (List.length ss))
+    true
+    (List.length ss >= 7)
+
 let test_zero_uncaught () =
   List.iter
     (fun ((s : H.scenario), outcome) ->
@@ -104,6 +117,8 @@ let () =
         [
           Alcotest.test_case "catalogue size" `Quick test_catalogue_size;
           Alcotest.test_case "jobs group present" `Quick test_jobs_group_present;
+          Alcotest.test_case "serve group present" `Quick
+            test_serve_group_present;
           Alcotest.test_case "zero uncaught exceptions" `Quick
             test_zero_uncaught;
           Alcotest.test_case "expectations met" `Quick test_expectations_met;
