@@ -350,6 +350,86 @@ let sertopt_bench ?(smoke = false) () =
             ]))
       cases
   in
+  (* tiered greedy-menu evaluation: serpp prefilter (top-6 of every
+     menu measured exactly) against exact menus, same seed and config
+     otherwise. The prefilter must cut exact evaluations at least 2x
+     on the big case while landing within 5% of the non-tiered final
+     cost — the documented tolerance for --eval-tier serpp. *)
+  section "SERTOPT greedy-menu tiering: exact menus vs serpp prefilter";
+  let tiered =
+    let name, vectors, max_evals, greedy_gates =
+      if smoke then ("c432", 300, 4, 4) else ("c2670", 400, 8, 24)
+    in
+    let c = Ser_circuits.Iscas.load name in
+    let lib = Ser_cell.Library.create () in
+    let baseline = Assignment.uniform lib c in
+    let aserta = { Analysis.default_config with Analysis.vectors } in
+    let masking = Analysis.compute_masking aserta c in
+    let config tier =
+      {
+        Opt.default_config with
+        Opt.aserta;
+        eval_mode = Opt.Incremental;
+        tier;
+        max_evals;
+        greedy_gates;
+        greedy_passes = 1;
+        annealing_steps = 0;
+      }
+    in
+    let saved_counter () =
+      match Ser_obs.Obs.Metrics.find_counter "sertopt.exact_evals_saved" with
+      | Some ctr -> Ser_obs.Obs.Metrics.value ctr
+      | None -> 0
+    in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "FATAL: %s tiering: %s\n" name msg;
+          exit 1)
+        fmt
+    in
+    let run tier () = Opt.optimize ~config:(config tier) ~masking lib baseline in
+    let re, exact_s = time (run Opt.Exact) in
+    let saved0 = saved_counter () in
+    let rt, tiered_s = time (run (Opt.Serpp_prefilter 6)) in
+    let exact_saved = saved_counter () - saved0 in
+    let eval_ratio = float_of_int re.Opt.evals /. float_of_int (max 1 rt.Opt.evals) in
+    let cost_of (r : Opt.result) =
+      let d = Opt.default_config in
+      Cost.eval ~weights:d.Opt.weights ~delay_slack:d.Opt.delay_slack
+        ~baseline:re.Opt.baseline_metrics r.Opt.optimized_metrics
+    in
+    let cost_exact = cost_of re and cost_tiered = cost_of rt in
+    let cost_rel_delta =
+      (cost_tiered -. cost_exact) /. Float.max 1e-9 (Float.abs cost_exact)
+    in
+    if not smoke && eval_ratio < 2. then
+      fail "exact-eval reduction %.2fx below the 2x floor" eval_ratio;
+    if Float.abs cost_rel_delta > 0.05 then
+      fail "tiered final cost drifts %.1f%% from exact (tolerance 5%%)"
+        (100. *. cost_rel_delta);
+    Printf.printf
+      "  %-8s exact %4d evals %8.3f s   tiered %4d evals %8.3f s   \
+       %.2fx fewer exact evals (saved %d, cost drift %+.2f%%)\n%!"
+      name re.Opt.evals exact_s rt.Opt.evals tiered_s eval_ratio exact_saved
+      (100. *. cost_rel_delta);
+    Ser_util.Json.(
+      Obj
+        [
+          ("name", Str name);
+          ("tier_k", int 6);
+          ("exact_evals", int re.Opt.evals);
+          ("tiered_evals", int rt.Opt.evals);
+          ("eval_ratio", Num eval_ratio);
+          ("exact_evals_saved", int exact_saved);
+          ("exact_s", Num exact_s);
+          ("tiered_s", Num tiered_s);
+          ("u_exact", Num re.Opt.optimized_metrics.Cost.unreliability);
+          ("u_tiered", Num rt.Opt.optimized_metrics.Cost.unreliability);
+          ("cost_rel_delta", Num cost_rel_delta);
+        ])
+  in
   let doc =
     Ser_util.Json.(
       Obj
@@ -357,6 +437,7 @@ let sertopt_bench ?(smoke = false) () =
           ("jobs", int jobs);
           ("recommended_domains", int (Ser_par.Par.recommended_jobs ()));
           ("cases", List rows);
+          ("tiered", tiered);
           ("pool", Ser_par.Par.stats_json ());
           ("metrics", Ser_obs.Obs.Metrics.snapshot ());
         ])

@@ -32,9 +32,10 @@ module Obs = Ser_obs.Obs
 (* --trace/--metrics: arrange the export; the files are written by the
    obs process-exit hook (and on failure degrade to a stderr
    diagnostic — observability must never take the analysis down). *)
-let apply_obs (trace, metrics) =
+let apply_obs (trace, metrics, sample) =
   (match trace with Some p -> Obs.set_trace_file (Some p) | None -> ());
-  match metrics with Some p -> Obs.set_metrics_file (Some p) | None -> ()
+  (match metrics with Some p -> Obs.set_metrics_file (Some p) | None -> ());
+  match sample with Some n -> Obs.Trace.set_sample_every n | None -> ()
 
 (* one-line pool summary on stderr after a heavy command, so timing
    investigations can see how the work was spread without the output
@@ -103,32 +104,53 @@ let generate_cmd name seed format output =
     `Ok exit_ok
   end
 
-let analyze_cmd jobs obs spec vectors charge top vdds vths json dot =
+let analyze_cmd jobs obs backend spec vectors charge top vdds vths json dot =
   wrap @@ fun () ->
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.analyze" @@ fun () ->
   let req =
-    Request.make ~vectors ~charge ~top ~vdds ~vths Request.Analyze
+    Request.make ~backend ~vectors ~charge ~top ~vdds ~vths Request.Analyze
       (Request.Spec spec)
   in
   let t0 = Unix.gettimeofday () in
-  let { Handlers.assignment = asg; analysis = r } =
+  let ({ Handlers.assignment = asg; result } as analyzed) =
     or_diag (Handlers.analyze req)
   in
   let dt = Unix.gettimeofday () -. t0 in
-  let c = r.Aserta.Analysis.circuit in
+  (* both backends expose per-gate values on the same surface; the
+     table below only needs the shared projection *)
+  let c, values, gen_width, critical_delay, total =
+    match result with
+    | Handlers.Aserta r ->
+      ( r.Aserta.Analysis.circuit,
+        r.Aserta.Analysis.unreliability,
+        r.Aserta.Analysis.gen_width,
+        r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay,
+        r.Aserta.Analysis.total )
+    | Handlers.Serpp s ->
+      ( s.Ser_serpp.Serpp.circuit,
+        s.Ser_serpp.Serpp.estimate,
+        s.Ser_serpp.Serpp.gen_width,
+        s.Ser_serpp.Serpp.timing.Ser_sta.Timing.critical_delay,
+        s.Ser_serpp.Serpp.total )
+  in
   Printf.printf "circuit %s: %d gates, critical delay %.1f ps\n"
     c.Ser_netlist.Circuit.name
     (Ser_netlist.Circuit.gate_count c)
-    r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay;
-  Printf.printf "total unreliability U = %.1f  (%d vectors, %.1f fC, %.2f s)\n\n"
-    r.Aserta.Analysis.total vectors charge dt;
-  let idx = Array.init (Array.length r.Aserta.Analysis.unreliability) Fun.id in
-  Array.sort
-    (fun a b ->
-      compare r.Aserta.Analysis.unreliability.(b) r.Aserta.Analysis.unreliability.(a))
-    idx;
+    critical_delay;
+  (match result with
+  | Handlers.Aserta _ ->
+    Printf.printf
+      "total unreliability U = %.1f  (%d vectors, %.1f fC, %.2f s)\n\n" total
+      vectors charge dt
+  | Handlers.Serpp _ ->
+    Printf.printf
+      "total unreliability U = %.1f  (serpp single-pass estimate, %.1f fC, \
+       %.2f s)\n\n"
+      total charge dt);
+  let idx = Array.init (Array.length values) Fun.id in
+  Array.sort (fun a b -> compare values.(b) values.(a)) idx;
   Printf.printf "top %d softest gates:\n" top;
   let tbl =
     Ser_util.Ascii_table.create
@@ -137,36 +159,38 @@ let analyze_cmd jobs obs spec vectors charge top vdds vths json dot =
   in
   Array.iteri
     (fun k id ->
-      if k < top && r.Aserta.Analysis.unreliability.(id) > 0. then
+      if k < top && values.(id) > 0. then
         Ser_util.Ascii_table.add_row tbl
           [
             (Ser_netlist.Circuit.node c id).Ser_netlist.Circuit.name;
             Ser_device.Cell_params.to_string (Ser_sta.Assignment.get asg id);
-            Printf.sprintf "%.1f" r.Aserta.Analysis.unreliability.(id);
-            Printf.sprintf "%.1f" r.Aserta.Analysis.gen_width.(id);
-            Printf.sprintf "%.1f%%"
-              (100. *. r.Aserta.Analysis.unreliability.(id)
-              /. r.Aserta.Analysis.total);
+            Printf.sprintf "%.1f" values.(id);
+            Printf.sprintf "%.1f" gen_width.(id);
+            Printf.sprintf "%.1f%%" (100. *. values.(id) /. total);
           ])
     idx;
   Ser_util.Ascii_table.print tbl;
   (match json with
   | Some path ->
-    Ser_repro.Report.write path (Ser_repro.Report.analysis_to_json asg r);
+    (match result with
+    | Handlers.Aserta r ->
+      Ser_repro.Report.write path (Ser_repro.Report.analysis_to_json asg r)
+    | Handlers.Serpp _ ->
+      (* the serpp report is the canonical analyze payload — the same
+         document a serve client would receive for this request *)
+      Ser_repro.Report.write path (Handlers.analyze_payload req analyzed));
     Printf.printf "wrote %s\n" path
   | None -> ());
   (match dot with
   | Some path ->
-    let u_max =
-      Array.fold_left Float.max 1e-12 r.Aserta.Analysis.unreliability
-    in
+    let u_max = Array.fold_left Float.max 1e-12 values in
     let annotation =
       {
         Ser_netlist.Dot_export.label =
           (fun id ->
             if Ser_netlist.Circuit.is_input c id then None
-            else Some (Printf.sprintf "U=%.1f" r.Aserta.Analysis.unreliability.(id)));
-        heat = (fun id -> r.Aserta.Analysis.unreliability.(id) /. u_max);
+            else Some (Printf.sprintf "U=%.1f" values.(id)));
+        heat = (fun id -> values.(id) /. u_max);
       }
     in
     Ser_netlist.Dot_export.write_dot ~annotation path c;
@@ -175,15 +199,15 @@ let analyze_cmd jobs obs spec vectors charge top vdds vths json dot =
   report_pool ();
   `Ok exit_ok
 
-let optimize_cmd jobs obs spec vectors evals greedy vdds vths budget_evals
-    timeout checkpoint output json =
+let optimize_cmd jobs obs spec vectors evals greedy eval_tier tier_k vdds vths
+    budget_evals timeout checkpoint output json =
   wrap @@ fun () ->
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.optimize" @@ fun () ->
   let req =
-    Request.make ~vectors ~evals ~greedy ~vdds ~vths ?budget_evals
-      Request.Optimize (Request.Spec spec)
+    Request.make ~vectors ~evals ~greedy ~eval_tier ~tier_k ~vdds ~vths
+      ?budget_evals Request.Optimize (Request.Spec spec)
   in
   let c = load_circuit spec in
   let lib = make_library vdds vths in
@@ -305,6 +329,21 @@ let rate_cmd jobs obs spec vectors clock q_slope top =
           r.Aserta.Ser_rate.per_gate.(id)
           (100. *. r.Aserta.Ser_rate.per_gate.(id) /. r.Aserta.Ser_rate.total))
     idx;
+  report_pool ();
+  `Ok exit_ok
+
+let xval_cmd jobs obs spec vectors charge top json =
+  wrap @@ fun () ->
+  apply_jobs jobs;
+  apply_obs obs;
+  Obs.Trace.with_span "sertool.xval" @@ fun () ->
+  let r = Ser_repro.Xval.run ~circuit:spec ~vectors ~charge ~top_n:top () in
+  print_string (Ser_repro.Xval.render r);
+  (match json with
+  | Some path ->
+    Ser_repro.Report.write path (Ser_repro.Xval.to_json r);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
   report_pool ();
   `Ok exit_ok
 
@@ -661,9 +700,9 @@ let reject_exit = function
   | Ser_serve.Wire.Shutting_down | Ser_serve.Wire.Internal ->
     exit_numerical
 
-let client_cmd socket tcp op spec inline id vectors charge top evals greedy
-    clock q_slope deadline isolate fault connect_timeout timeout retries
-    retry_rejected =
+let client_cmd socket tcp op spec inline id backend vectors charge top evals
+    greedy clock q_slope deadline isolate fault connect_timeout timeout
+    retries retry_rejected =
   wrap @@ fun () ->
   let addr =
     match tcp with Some s -> parse_tcp s | None -> Server.Unix_sock socket
@@ -711,8 +750,8 @@ let client_cmd socket tcp op spec inline id vectors charge top evals greedy
         else Request.Spec spec
       in
       Request.to_json
-        (Request.make ?id ?vectors ?charge ?top ?evals ?greedy ?clock
-           ?q_slope ?deadline_s:deadline ?isolate ?fault opv source)
+        (Request.make ?id ?backend ?vectors ?charge ?top ?evals ?greedy
+           ?clock ?q_slope ?deadline_s:deadline ?isolate ?fault opv source)
   in
   let call = if retry_rejected then Client.call_retrying else Client.call in
   match call ~opts addr request with
@@ -1008,7 +1047,14 @@ let obs_args =
            ~doc:"Write a JSON snapshot of all internal counters, gauges and \
                  histograms to FILE at exit.")
   in
-  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+  let sample =
+    Arg.(value & opt (some int) None & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Keep only every N-th trace span (1 = keep all, the \
+                 default); dropped spans are counted in the \
+                 trace.sampled_drops metric. Overrides the \
+                 SERTOOL_TRACE_SAMPLE environment variable.")
+  in
+  Term.(const (fun t m s -> (t, m, s)) $ trace $ metrics $ sample)
 
 let obs_dir_arg =
   Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
@@ -1039,6 +1085,15 @@ let generate_t =
        ~doc:"Emit a benchmark circuit (.bench, Verilog or Graphviz)")
     Term.(ret (const generate_cmd $ bench_name $ seed $ format $ output))
 
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("aserta", "aserta"); ("serpp", "serpp") ]) "aserta"
+       & info [ "backend" ] ~docv:"NAME"
+           ~doc:"SER estimator: aserta (Monte-Carlo expected widths, the \
+                 paper's method) or serpp (single-pass \
+                 propagation-probability profiles; vectorless, 15-40x \
+                 faster, upper-bound tendency under reconvergence).")
+
 let analyze_t =
   let vectors =
     Arg.(value & opt int 10_000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
@@ -1057,9 +1112,10 @@ let analyze_t =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
            ~doc:"Export the circuit as Graphviz with unreliability heat.")
   in
-  Cmd.v (Cmd.info "analyze" ~doc:"ASERTA soft-error tolerance analysis")
-    Term.(ret (const analyze_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
-               $ charge $ top $ vdds_arg $ vths_arg $ json $ dot))
+  Cmd.v (Cmd.info "analyze" ~doc:"Soft-error tolerance analysis")
+    Term.(ret (const analyze_cmd $ jobs_arg $ obs_args $ backend_arg
+               $ circuit_arg $ vectors $ charge $ top $ vdds_arg $ vths_arg
+               $ json $ dot))
 
 let optimize_t =
   let vectors =
@@ -1070,6 +1126,23 @@ let optimize_t =
   in
   let greedy =
     Arg.(value & opt int 2 & info [ "greedy" ] ~doc:"Greedy refinement passes.")
+  in
+  let eval_tier =
+    Arg.(value
+         & opt (enum [ ("exact", "exact"); ("serpp", "serpp") ]) "exact"
+         & info [ "eval-tier" ] ~docv:"TIER"
+             ~doc:"Greedy-menu evaluation economy: exact measures every \
+                   candidate; serpp ranks each menu with the cheap \
+                   propagation-probability estimate and spends exact \
+                   evaluations only on the top K (see --tier-k). The \
+                   accept decision always compares exact costs; saved \
+                   evaluations are counted in the \
+                   sertopt.exact_evals_saved metric.")
+  in
+  let tier_k =
+    Arg.(value & opt int 6 & info [ "tier-k" ] ~docv:"K"
+           ~doc:"Exact evaluations kept per greedy menu under --eval-tier \
+                 serpp.")
   in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -1096,8 +1169,8 @@ let optimize_t =
   in
   Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
     Term.(ret (const optimize_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
-               $ evals $ greedy $ vdds_arg $ vths_arg $ budget_evals $ timeout
-               $ checkpoint $ output $ json))
+               $ evals $ greedy $ eval_tier $ tier_k $ vdds_arg $ vths_arg
+               $ budget_evals $ timeout $ checkpoint $ output $ json))
 
 let export_deck_t =
   let strike =
@@ -1340,6 +1413,10 @@ let client_t =
            ~doc:"Idempotency key: a repeated id replays the stored response \
                  instead of re-executing.")
   in
+  let backend =
+    Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"NAME"
+           ~doc:"SER estimator for analyze: aserta (default) or serpp.")
+  in
   let vectors =
     Arg.(value & opt (some int) None & info [ "vectors" ]
            ~doc:"Random vectors for P_ij.")
@@ -1405,9 +1482,9 @@ let client_t =
        ~doc:"Send one request to a running sertool serve daemon and print \
              the response payload")
     Term.(ret (const client_cmd $ socket_arg $ tcp_arg $ op $ spec $ inline
-               $ id $ vectors $ charge $ top $ evals $ greedy $ clock
-               $ q_slope $ deadline $ isolate $ fault $ connect_timeout
-               $ timeout $ retries $ retry_rejected))
+               $ id $ backend $ vectors $ charge $ top $ evals $ greedy
+               $ clock $ q_slope $ deadline $ isolate $ fault
+               $ connect_timeout $ timeout $ retries $ retry_rejected))
 
 let batch_t =
   let manifest =
@@ -1473,14 +1550,42 @@ let batch_t =
                $ resume $ parallel $ job_timeout $ grace $ retries $ backoff
                $ results $ obs_args $ obs_dir_arg))
 
+let xval_t =
+  let circuit =
+    Arg.(value & pos 0 string "c432" & info [] ~docv:"CIRCUIT"
+           ~doc:"Benchmark name (the generator set: c17, c432, ...).")
+  in
+  let vectors =
+    Arg.(value & opt int 2000 & info [ "vectors" ]
+           ~doc:"Random vectors for ASERTA's P_ij (serpp is vectorless).")
+  in
+  let charge =
+    Arg.(value & opt float 16. & info [ "charge" ] ~doc:"Injected charge, fC.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ]
+           ~doc:"Rank-overlap window: softest gates compared across backends.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Export the cross-validation report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "xval"
+       ~doc:"Cross-validate the serpp backend against ASERTA: per-gate \
+             Pearson/Spearman correlation and top-N rank overlap on one \
+             benchmark")
+    Term.(ret (const xval_cmd $ jobs_arg $ obs_args $ circuit $ vectors
+               $ charge $ top $ json))
+
 let main =
   Cmd.group
     (Cmd.info "sertool" ~version:"1.0.0"
        ~doc:"Soft-error tolerance analysis (ASERTA) and optimization (SERTOPT) \
              of combinational nanometer circuits")
-    [ info_t; generate_t; analyze_t; optimize_t; rate_t; timing_t; pipeline_t;
-      harden_t; characterize_t; export_deck_t; export_lib_t; batch_t;
-      serve_t; client_t; worker_t ]
+    [ info_t; generate_t; analyze_t; optimize_t; rate_t; xval_t; timing_t;
+      pipeline_t; harden_t; characterize_t; export_deck_t; export_lib_t;
+      batch_t; serve_t; client_t; worker_t ]
 
 (* Batch workers inherit SERTOOL_TRACE/SERTOOL_METRICS from the supervisor
    so their observability lands in per-job files without extra flags. *)

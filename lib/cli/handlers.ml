@@ -48,9 +48,13 @@ let aserta_config (req : Request.t) =
     charge = req.Request.charge;
   }
 
+type backend_result =
+  | Aserta of Aserta.Analysis.t
+  | Serpp of Ser_serpp.Serpp.t
+
 type analyzed = {
   assignment : Ser_sta.Assignment.t;
-  analysis : Aserta.Analysis.t;
+  result : backend_result;
 }
 
 type rated = {
@@ -68,11 +72,21 @@ let analyze (req : Request.t) =
         make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
       in
       let assignment = Sertopt.Optimizer.size_for_speed lib c in
-      let config = aserta_config req in
-      let analysis =
-        or_diag (Aserta.Analysis.run_checked ~config lib assignment)
+      let result =
+        match req.Request.backend with
+        | "serpp" ->
+          let config =
+            {
+              Ser_serpp.Serpp.default_config with
+              Ser_serpp.Serpp.charge = req.Request.charge;
+            }
+          in
+          Serpp (or_diag (Ser_serpp.Serpp.run_checked ~config lib assignment))
+        | _ ->
+          let config = aserta_config req in
+          Aserta (or_diag (Aserta.Analysis.run_checked ~config lib assignment))
       in
-      { assignment; analysis })
+      { assignment; result })
 
 let optimize ?budget ?initial (req : Request.t) =
   Diag.guard ~subsystem (fun () ->
@@ -91,6 +105,10 @@ let optimize ?budget ?initial (req : Request.t) =
             };
           max_evals = req.Request.evals;
           greedy_passes = req.Request.greedy;
+          tier =
+            (match req.Request.eval_tier with
+            | "serpp" -> Sertopt.Optimizer.Serpp_prefilter req.Request.tier_k
+            | _ -> Sertopt.Optimizer.Exact);
         }
       in
       let budget =
@@ -146,11 +164,26 @@ let top_indices values top =
     idx;
   List.rev !picked
 
-let analyze_payload (req : Request.t) { assignment; analysis = r } =
-  let c = r.Aserta.Analysis.circuit in
-  let total = r.Aserta.Analysis.total in
+let analyze_payload (req : Request.t) { assignment; result } =
+  (* both backends expose the same observable surface: per-gate
+     unreliability, generated widths and the shared STA pass *)
+  let c, values, gen_width, critical_delay, total =
+    match result with
+    | Aserta r ->
+      ( r.Aserta.Analysis.circuit,
+        r.Aserta.Analysis.unreliability,
+        r.Aserta.Analysis.gen_width,
+        r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay,
+        r.Aserta.Analysis.total )
+    | Serpp s ->
+      ( s.Ser_serpp.Serpp.circuit,
+        s.Ser_serpp.Serpp.estimate,
+        s.Ser_serpp.Serpp.gen_width,
+        s.Ser_serpp.Serpp.timing.Ser_sta.Timing.critical_delay,
+        s.Ser_serpp.Serpp.total )
+  in
   let top =
-    top_indices r.Aserta.Analysis.unreliability req.Request.top
+    top_indices values req.Request.top
     |> List.map (fun id ->
            Json.Obj
              [
@@ -159,22 +192,19 @@ let analyze_payload (req : Request.t) { assignment; analysis = r } =
                  Json.Str
                    (Ser_device.Cell_params.to_string
                       (Ser_sta.Assignment.get assignment id)) );
-               ("u", Json.Num r.Aserta.Analysis.unreliability.(id));
-               ("w_gen_ps", Json.Num r.Aserta.Analysis.gen_width.(id));
+               ("u", Json.Num values.(id));
+               ("w_gen_ps", Json.Num gen_width.(id));
                ( "share",
-                 Json.Num
-                   (if total > 0. then
-                      r.Aserta.Analysis.unreliability.(id) /. total
-                    else 0.) );
+                 Json.Num (if total > 0. then values.(id) /. total else 0.) );
              ])
   in
   Json.Obj
     [
       ("cmd", Json.Str "analyze");
+      ("backend", Json.Str req.Request.backend);
       ("circuit", Json.Str c.Ser_netlist.Circuit.name);
       ("gates", Json.int (Ser_netlist.Circuit.gate_count c));
-      ( "critical_delay_ps",
-        Json.Num r.Aserta.Analysis.timing.Ser_sta.Timing.critical_delay );
+      ("critical_delay_ps", Json.Num critical_delay);
       ("total_unreliability", Json.Num total);
       ("vectors", Json.int req.Request.vectors);
       ("charge", Json.Num req.Request.charge);

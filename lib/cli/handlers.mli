@@ -28,9 +28,15 @@ val library_id : Ser_cell.Library.t -> string
 
 val aserta_config : Request.t -> Aserta.Analysis.config
 
+type backend_result =
+  | Aserta of Aserta.Analysis.t
+      (** Monte-Carlo expected-width analysis (the paper's method) *)
+  | Serpp of Ser_serpp.Serpp.t
+      (** single-pass propagation-probability estimate *)
+
 type analyzed = {
   assignment : Ser_sta.Assignment.t;
-  analysis : Aserta.Analysis.t;
+  result : backend_result;  (** per {!Request.t.backend} *)
 }
 
 type rated = {
@@ -40,7 +46,12 @@ type rated = {
 }
 
 val analyze : Request.t -> (analyzed, Ser_util.Diag.t) result
-(** Size-for-speed baseline assignment + checked ASERTA analysis. *)
+(** Size-for-speed baseline assignment + checked SER analysis with the
+    requested backend (ASERTA by default, serpp when
+    [req.backend = "serpp"]). The analyze payload has the same shape
+    for both backends — per-gate [u] means the serpp estimate under
+    the serpp backend — plus a ["backend"] field naming which
+    estimator produced it. *)
 
 val optimize :
   ?budget:Ser_util.Budget.t ->

@@ -21,6 +21,7 @@ type t = {
   id : string option;
   op : op;
   source : source;
+  backend : string;
   vectors : int;
   charge : float;
   top : int;
@@ -28,6 +29,8 @@ type t = {
   vths : float list;
   evals : int;
   greedy : int;
+  eval_tier : string;
+  tier_k : int;
   budget_evals : int option;
   clock : float option;
   q_slope : float;
@@ -38,8 +41,9 @@ type t = {
 
 let default_vectors = function Analyze -> 10_000 | Optimize | Rate -> 4_000
 
-let make ?id ?vectors ?(charge = 16.) ?(top = 10) ?(vdds = []) ?(vths = [])
-    ?(evals = 120) ?(greedy = 2) ?budget_evals ?clock ?(q_slope = 6.)
+let make ?id ?(backend = "aserta") ?vectors ?(charge = 16.) ?(top = 10)
+    ?(vdds = []) ?(vths = []) ?(evals = 120) ?(greedy = 2)
+    ?(eval_tier = "exact") ?(tier_k = 6) ?budget_evals ?clock ?(q_slope = 6.)
     ?deadline_s ?isolate ?fault op source =
   let vectors =
     match vectors with Some v -> v | None -> default_vectors op
@@ -48,6 +52,7 @@ let make ?id ?vectors ?(charge = 16.) ?(top = 10) ?(vdds = []) ?(vths = [])
     id;
     op;
     source;
+    backend;
     vectors;
     charge;
     top;
@@ -55,6 +60,8 @@ let make ?id ?vectors ?(charge = 16.) ?(top = 10) ?(vdds = []) ?(vths = [])
     vths;
     evals;
     greedy;
+    eval_tier;
+    tier_k;
     budget_evals;
     clock;
     q_slope;
@@ -75,6 +82,7 @@ let to_json t =
     @ [
         ("op", Json.Str (op_to_string t.op));
         ("circuit", source_json t.source);
+        ("backend", Json.Str t.backend);
         ("vectors", Json.int t.vectors);
         ("charge", Json.Num t.charge);
         ("top", Json.int t.top);
@@ -82,6 +90,8 @@ let to_json t =
         ("vths", floats t.vths);
         ("evals", Json.int t.evals);
         ("greedy", Json.int t.greedy);
+        ("eval_tier", Json.Str t.eval_tier);
+        ("tier_k", Json.int t.tier_k);
       ]
     @ Json.field_opt "budget_evals" (Option.map Json.int t.budget_evals)
     @ Json.field_opt "clock" (Option.map (fun v -> Json.Num v) t.clock)
@@ -152,6 +162,8 @@ let of_json j =
     in
     let* source = source_of_json j in
     let* id = opt_field j "id" Json.to_str_opt "a string" in
+    let* backend = opt_field j "backend" Json.to_str_opt "a string" in
+    let backend = Option.value backend ~default:"aserta" in
     let* vectors = int_field j "vectors" ~default:(default_vectors op) in
     let* charge = num_field j "charge" ~default:16. in
     let* top = int_field j "top" ~default:10 in
@@ -159,6 +171,9 @@ let of_json j =
     let* vths = float_list_field j "vths" in
     let* evals = int_field j "evals" ~default:120 in
     let* greedy = int_field j "greedy" ~default:2 in
+    let* eval_tier = opt_field j "eval_tier" Json.to_str_opt "a string" in
+    let eval_tier = Option.value eval_tier ~default:"exact" in
+    let* tier_k = int_field j "tier_k" ~default:6 in
     let* budget_evals = opt_field j "budget_evals" Json.to_int_opt "an integer" in
     let* clock = opt_field j "clock" Json.to_float_opt "a number" in
     let* q_slope = num_field j "q_slope" ~default:6. in
@@ -175,6 +190,13 @@ let of_json j =
     else if top < 0 then err "top must be >= 0"
     else if evals < 0 then err "evals must be >= 0"
     else if greedy < 0 then err "greedy must be >= 0"
+    else if backend <> "aserta" && backend <> "serpp" then
+      err "unknown backend %S (want aserta or serpp)" backend
+    else if backend = "serpp" && op = Rate then
+      err "the rate op requires the aserta backend"
+    else if eval_tier <> "exact" && eval_tier <> "serpp" then
+      err "unknown eval_tier %S (want exact or serpp)" eval_tier
+    else if tier_k < 1 then err "tier_k must be >= 1 (got %d)" tier_k
     else if
       match deadline_s with Some d -> (not (Float.is_finite d)) || d <= 0. | None -> false
     then err "deadline_s must be finite and positive"
@@ -184,6 +206,7 @@ let of_json j =
           id;
           op;
           source;
+          backend;
           vectors;
           charge;
           top;
@@ -191,6 +214,8 @@ let of_json j =
           vths;
           evals;
           greedy;
+          eval_tier;
+          tier_k;
           budget_evals;
           clock;
           q_slope;
@@ -207,14 +232,25 @@ let params_json t =
   let axes = [ ("vdds", floats t.vdds); ("vths", floats t.vths) ] in
   match t.op with
   | Analyze ->
+    (* the backend is part of the analyze cache identity: the two
+       estimators legitimately answer differently for one circuit *)
     Json.Obj
       (shared
-      @ [ ("charge", Json.Num t.charge); ("top", Json.int t.top) ]
+      @ [
+          ("backend", Json.Str t.backend);
+          ("charge", Json.Num t.charge);
+          ("top", Json.int t.top);
+        ]
       @ axes)
   | Optimize ->
     Json.Obj
       (shared
-      @ [ ("evals", Json.int t.evals); ("greedy", Json.int t.greedy) ]
+      @ [
+          ("evals", Json.int t.evals);
+          ("greedy", Json.int t.greedy);
+          ("eval_tier", Json.Str t.eval_tier);
+          ("tier_k", Json.int t.tier_k);
+        ]
       @ Json.field_opt "budget_evals" (Option.map Json.int t.budget_evals)
       @ axes)
   | Rate ->

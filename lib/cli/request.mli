@@ -32,6 +32,13 @@ type t = {
           repeated id instead of re-executing *)
   op : op;
   source : source;
+  backend : string;
+      (** SER estimator for analyze: ["aserta"] (Monte-Carlo expected
+          widths, the default) or ["serpp"] (single-pass
+          propagation-probability profiles, {!Ser_serpp.Serpp}). Part
+          of {!params_json}, so cached analyze results are keyed per
+          backend. Rejected for the rate op, which needs ASERTA's
+          per-output width tables. *)
   vectors : int;  (** random vectors for [P_ij] *)
   charge : float;  (** injected charge, fC (analyze) *)
   top : int;  (** softest gates / contributors listed in the payload *)
@@ -39,6 +46,13 @@ type t = {
   vths : float list;  (** threshold menu; [] = default axis *)
   evals : int;  (** nullspace-search cost evaluations (optimize) *)
   greedy : int;  (** greedy refinement passes (optimize) *)
+  eval_tier : string;
+      (** optimize greedy-menu economy: ["exact"] measures every menu
+          candidate (default); ["serpp"] ranks each menu with the cheap
+          propagation-probability estimate and measures only the top
+          [tier_k] exactly ({!Sertopt.Optimizer.tier}). Part of
+          {!params_json}. *)
+  tier_k : int;  (** exact evaluations kept per menu when tiered *)
   budget_evals : int option;  (** hard eval cap (optimize) *)
   clock : float option;  (** clock period, ps (rate) *)
   q_slope : float;  (** charge-collection slope, fC (rate) *)
@@ -57,6 +71,7 @@ val default_vectors : op -> int
 
 val make :
   ?id:string ->
+  ?backend:string ->
   ?vectors:int ->
   ?charge:float ->
   ?top:int ->
@@ -64,6 +79,8 @@ val make :
   ?vths:float list ->
   ?evals:int ->
   ?greedy:int ->
+  ?eval_tier:string ->
+  ?tier_k:int ->
   ?budget_evals:int ->
   ?clock:float ->
   ?q_slope:float ->
@@ -74,7 +91,8 @@ val make :
   source ->
   t
 (** Omitted fields take the per-op defaults ([default_vectors],
-    16 fC, top 10, evals 120, greedy 2, q-slope 6). *)
+    backend aserta, 16 fC, top 10, evals 120, greedy 2, eval tier
+    exact with k 6, q-slope 6). *)
 
 val to_json : t -> Ser_util.Json.t
 

@@ -193,6 +193,29 @@ module Trace = struct
   let enabled () = Atomic.get enabled_flag
   let set_enabled b = Atomic.set enabled_flag b
 
+  (* Span sampling: record 1 of every N span openings so paper-scale
+     runs (millions of spans) fit the 64 Ki ring buffers. The tick is
+     process-wide, so "1 of N" holds across domains; a sampled-out
+     span returns the [none] token, which makes the matching [finish]
+     a no-op — B/E streams stay balanced with no buffer traffic. *)
+  let sample_every_cell = Atomic.make 1
+  let sample_tick = Atomic.make 0
+  let m_sampled_drops = Metrics.counter "trace.sampled_drops"
+
+  let set_sample_every n = Atomic.set sample_every_cell (max 1 n)
+  let sample_every () = Atomic.get sample_every_cell
+
+  let sampled_out () =
+    let n = Atomic.get sample_every_cell in
+    n > 1
+    &&
+    let t = Atomic.fetch_and_add sample_tick 1 in
+    if t mod n = 0 then false
+    else begin
+      Metrics.incr m_sampled_drops;
+      true
+    end
+
   (* 64 Ki events per domain; ~2 MiB of arrays. When a buffer fills we
      drop NEW events (counting them) rather than overwrite old ones, so
      the recorded prefix stays a faithful stream; the export repairs
@@ -254,6 +277,7 @@ module Trace = struct
 
   let start name =
     if (not (Atomic.get enabled_flag)) || String.length name = 0 then none
+    else if sampled_out () then none
     else begin
       push 'B' name ~ts:(Mono.now ()) ~dur:0.;
       name
@@ -275,7 +299,7 @@ module Trace = struct
   let timestamp () = Mono.now ()
 
   let complete name ~since =
-    if Atomic.get enabled_flag then
+    if Atomic.get enabled_flag && not (sampled_out ()) then
       push 'X' name ~ts:since ~dur:(Mono.now () -. since)
 
   let with_bufs f =
@@ -435,6 +459,12 @@ let install_from_env () =
   (match Sys.getenv_opt "SERTOOL_TRACE" with
   | Some p when String.trim p <> "" -> set_trace_file (Some p)
   | Some _ | None -> ());
+  (match Sys.getenv_opt "SERTOOL_TRACE_SAMPLE" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Trace.set_sample_every n
+    | Some _ | None -> ())
+  | None -> ());
   match Sys.getenv_opt "SERTOOL_METRICS" with
   | Some p when String.trim p <> "" -> set_metrics_file (Some p)
   | Some _ | None -> ()

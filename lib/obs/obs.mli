@@ -89,6 +89,16 @@ module Trace : sig
   type span
   (** A token returned by {!start} and consumed by {!finish}. *)
 
+  val set_sample_every : int -> unit
+  (** Record only 1 of every [n] span openings (process-wide, across
+      domains), so paper-scale runs fit the fixed ring buffers.
+      Sampled-out spans cost one atomic fetch-add, return the inert
+      token (their [finish] is a no-op, keeping B/E balanced) and are
+      counted in the [trace.sampled_drops] metric. Values [<= 1]
+      disable sampling (the default). *)
+
+  val sample_every : unit -> int
+
   val start : string -> span
   (** Open a span named [name] on the calling domain. Disabled path:
       one atomic load, one branch, no allocation (the token is the name
@@ -159,8 +169,10 @@ val metrics_file : unit -> string option
 
 val install_from_env : unit -> unit
 (** Mirror the CLI flags through the environment: [SERTOOL_TRACE] and
-    [SERTOOL_METRICS] name the trace/metrics output files. This is how
-    batch workers inherit per-job observability from the supervisor. *)
+    [SERTOOL_METRICS] name the trace/metrics output files, and
+    [SERTOOL_TRACE_SAMPLE] sets {!Trace.set_sample_every} (ignored
+    unless it parses as an integer [>= 1]). This is how batch workers
+    inherit per-job observability from the supervisor. *)
 
 val flush : ?writer:writer -> unit -> Ser_util.Diag.t list
 (** Write whichever files are configured, now. Returns the

@@ -1,0 +1,144 @@
+module Circuit = Ser_netlist.Circuit
+module Library = Ser_cell.Library
+module Analysis = Aserta.Analysis
+module Serpp = Ser_serpp.Serpp
+module Json = Ser_util.Json
+
+type point = {
+  gate : int;
+  name : string;
+  u_aserta : float;
+  u_serpp : float;
+}
+
+type t = {
+  circuit : string;
+  vectors : int;
+  n_gates : int;
+  top_n : int;
+  pearson : float;
+  spearman : float;
+  top_overlap : int;
+  aserta_s : float;
+  serpp_s : float;
+  points : point list;
+}
+
+(* Canonical top-N ids: value-descending, ascending-id tie-break. *)
+let top_ids values ids top_n =
+  let ids = Array.copy ids in
+  Array.sort
+    (fun a b ->
+      let c = compare values.(b) values.(a) in
+      if c <> 0 then c else compare a b)
+    ids;
+  Array.to_list ids |> List.filteri (fun i _ -> i < top_n)
+
+let run ?(circuit = "c432") ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10) ()
+    =
+  let c = Ser_circuits.Iscas.load circuit in
+  let lib = Library.create () in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let t0 = Ser_util.Mono.now () in
+  let aserta =
+    Analysis.run
+      ~config:{ Analysis.default_config with Analysis.vectors; charge }
+      lib asg
+  in
+  let aserta_s = Ser_util.Mono.now () -. t0 in
+  let t1 = Ser_util.Mono.now () in
+  let serpp =
+    Serpp.run ~config:{ Serpp.default_config with Serpp.charge } lib asg
+  in
+  let serpp_s = Ser_util.Mono.now () -. t1 in
+  let ids =
+    Array.init (Circuit.node_count c) Fun.id
+    |> Array.to_list
+    |> List.filter (fun id -> not (Circuit.is_input c id))
+    |> Array.of_list
+  in
+  let points =
+    Array.to_list ids
+    |> List.map (fun id ->
+           {
+             gate = id;
+             name = (Circuit.node c id).Circuit.name;
+             u_aserta = aserta.Analysis.unreliability.(id);
+             u_serpp = serpp.Serpp.estimate.(id);
+           })
+  in
+  let xs = Array.map (fun id -> aserta.Analysis.unreliability.(id)) ids in
+  let ys = Array.map (fun id -> serpp.Serpp.estimate.(id)) ids in
+  let top_a = top_ids aserta.Analysis.unreliability ids top_n in
+  let top_s = top_ids serpp.Serpp.estimate ids top_n in
+  let top_overlap =
+    List.length (List.filter (fun id -> List.mem id top_s) top_a)
+  in
+  {
+    circuit;
+    vectors;
+    n_gates = Array.length ids;
+    top_n;
+    pearson = Ser_linalg.Stats.pearson xs ys;
+    spearman = Ser_linalg.Stats.spearman xs ys;
+    top_overlap;
+    aserta_s;
+    serpp_s;
+    points;
+  }
+
+let render t =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "xval: per-gate SER, ASERTA vs propagation-probability (%s, %d gates, %d \
+     vectors)\n"
+    t.circuit t.n_gates t.vectors;
+  Printf.bprintf buf
+    "agreement: pearson %.3f, spearman %.3f, top-%d overlap %d/%d\n" t.pearson
+    t.spearman t.top_n t.top_overlap t.top_n;
+  Printf.bprintf buf "runtime: aserta %.3fs, serpp %.3fs (%.0fx)\n" t.aserta_s
+    t.serpp_s
+    (t.aserta_s /. Float.max 1e-9 t.serpp_s);
+  let by_aserta =
+    List.sort (fun a b -> compare b.u_aserta a.u_aserta) t.points
+  in
+  let by_serpp = List.sort (fun a b -> compare b.u_serpp a.u_serpp) t.points in
+  let rank_in l p =
+    let rec go i = function
+      | [] -> -1
+      | q :: rest -> if q.gate = p.gate then i else go (i + 1) rest
+    in
+    go 1 l
+  in
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left ]
+      [ "gate"; "U_aserta"; "U_serpp"; "rank_aserta"; "rank_serpp" ]
+  in
+  List.iteri
+    (fun i p ->
+      if i < t.top_n then
+        Ser_util.Ascii_table.add_row tbl
+          [
+            p.name;
+            Printf.sprintf "%.1f" p.u_aserta;
+            Printf.sprintf "%.1f" p.u_serpp;
+            string_of_int (i + 1);
+            string_of_int (rank_in by_serpp p);
+          ])
+    by_aserta;
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("cmd", Json.Str "xval");
+      ("circuit", Json.Str t.circuit);
+      ("gates", Json.int t.n_gates);
+      ("vectors", Json.int t.vectors);
+      ("pearson", Json.Num t.pearson);
+      ("spearman", Json.Num t.spearman);
+      ("top_n", Json.int t.top_n);
+      ("top_overlap", Json.int t.top_overlap);
+    ]

@@ -1,0 +1,50 @@
+(** Cross-validation of the two SER backends: per-gate estimates from
+    ASERTA (exact expected-width tables, Monte-Carlo path
+    probabilities) against the single-pass propagation-probability
+    estimator ([lib/serpp]), with the same agreement statistics as the
+    Fig 3 study — Pearson and Spearman correlation over the per-gate
+    values plus top-N rank overlap (how many of the N softest gates
+    both backends agree on). This is the evidence behind spending serpp
+    as a candidate-ranking tier inside SERTOPT: ranking only needs
+    order agreement at the soft end, not absolute agreement. *)
+
+type point = {
+  gate : int;
+  name : string;
+  u_aserta : float;
+  u_serpp : float;
+}
+
+type t = {
+  circuit : string;
+  vectors : int;      (** ASERTA Monte-Carlo vectors *)
+  n_gates : int;      (** non-input gates compared *)
+  top_n : int;
+  pearson : float;
+  spearman : float;
+  top_overlap : int;  (** |top-N by ASERTA  ∩  top-N by serpp| *)
+  aserta_s : float;   (** wall-clock of the ASERTA run, seconds *)
+  serpp_s : float;    (** wall-clock of the serpp run, seconds *)
+  points : point list;
+}
+
+val run :
+  ?circuit:string ->
+  ?vectors:int ->
+  ?charge:float ->
+  ?top_n:int ->
+  unit ->
+  t
+(** Load the named benchmark (default c432), size it for speed, run
+    both backends on the identical assignment and library, and compare
+    per-gate estimates over every non-input gate. [vectors] (default
+    2000) drives only ASERTA's path-probability estimation; serpp is
+    vectorless. *)
+
+val render : t -> string
+(** Human-readable report: the agreement statistics and a table of the
+    top-N gates by ASERTA with both backends' estimates and ranks. *)
+
+val to_json : t -> Ser_util.Json.t
+(** Deterministic JSON document (no timings) plus the agreement
+    statistics — stable across identical runs of an identical build. *)

@@ -1,0 +1,221 @@
+module Circuit = Ser_netlist.Circuit
+module Probs = Ser_logicsim.Probs
+module Library = Ser_cell.Library
+module Assignment = Ser_sta.Assignment
+module Timing = Ser_sta.Timing
+module Lut = Ser_table.Lut
+module Glitch = Aserta.Glitch
+module Obs = Ser_obs.Obs
+
+let m_analyses = Obs.Metrics.counter "serpp.analyses"
+let m_gate_evals = Obs.Metrics.counter "serpp.gate_evals"
+
+type config = {
+  charge : float;
+  n_samples : int;
+  max_sample_width : float;
+  latch_window : float option;
+  pi_probs : float array option;
+  env : Timing.env;
+}
+
+let default_config =
+  {
+    charge = 16.;
+    n_samples = 10;
+    max_sample_width = 800.;
+    latch_window = None;
+    pi_probs = None;
+    env = Timing.default_env;
+  }
+
+type t = {
+  config : config;
+  circuit : Circuit.t;
+  probs : float array;
+  timing : Timing.t;
+  samples : float array;
+  profile_cap : float;
+  profiles : float array array;
+  areas : float array;
+  gen_width : float array;
+  propagated : float array;
+  estimate : float array;
+  total : float;
+}
+
+let sample_widths config =
+  if config.n_samples < 2 then invalid_arg "Serpp.sample_widths: need >= 2";
+  Ser_util.Floatx.logspace 2. config.max_sample_width config.n_samples
+
+(* Unique successor ids, in successor-name order. Fanout lists one
+   entry per pin and its order follows gate declaration; names are
+   stable under re-declaration, so summing contributions name-sorted
+   keeps the profile independent of the input file's gate order. *)
+let successors_by_name (c : Circuit.t) id =
+  let nd = Circuit.node c id in
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      if not (Hashtbl.mem seen r) then begin
+        Hashtbl.replace seen r ();
+        out := r :: !out
+      end)
+    nd.fanout;
+  List.sort
+    (fun a b ->
+      String.compare (Circuit.node c a).Circuit.name
+        (Circuit.node c b).Circuit.name)
+    !out
+
+let latch_cap config =
+  match config.latch_window with
+  | None -> config.max_sample_width
+  | Some w -> Float.min w config.max_sample_width
+
+let run ?(config = default_config) lib asg =
+  let c = Assignment.circuit asg in
+  let n = Circuit.node_count c in
+  let n_pos = Array.length c.outputs in
+  Obs.Metrics.incr m_analyses;
+  let timing =
+    Obs.Trace.with_span "serpp.sta" (fun () ->
+        Timing.analyze ~env:config.env lib asg)
+  in
+  let probs = Probs.signal_probabilities ?pi_probs:config.pi_probs c in
+  let ws = sample_widths config in
+  let n_samples = Array.length ws in
+  let profile_cap = float_of_int n_pos *. latch_cap config in
+  let profiles = Array.make n [||] in
+  let delays = timing.Timing.delays in
+  (* one reverse-topological pass: descending ids visit every gate
+     after all of its successors (the builder assigns ids in creation
+     order, so a reader always has a larger id than its drivers) *)
+  let prof_sp = Obs.Trace.start "serpp.profiles" in
+  for id = n - 1 downto 0 do
+    if not (Circuit.is_input c id) then
+      if Circuit.is_output c id then begin
+        (* the flip-flop boundary: a PO gate's glitch goes straight to
+           its own latch (and, as in ASERTA, to no other output),
+           derated by the latching window when one is configured *)
+        let cap = latch_cap config in
+        profiles.(id) <- Array.map (fun w -> Float.min w cap) ws
+      end
+      else begin
+        let row = Array.make n_samples 0. in
+        List.iter
+          (fun s ->
+            let sens =
+              Probs.sensitization_to_driver c ~probs ~gate:s ~driver:id
+            in
+            if sens > 0. then begin
+              let s_prof = profiles.(s) in
+              let ds = delays.(s) in
+              for k = 0 to n_samples - 1 do
+                let wo = Glitch.propagate ~delay:ds ~width:ws.(k) in
+                if wo > 0. then
+                  row.(k) <-
+                    row.(k)
+                    +. (sens *. Lut.interpolate_1d ~xs:ws ~ys:s_prof wo)
+              done
+            end)
+          (successors_by_name c id);
+        (* saturate: reconvergent fan-out counts a path family more
+           than once, and without the cap the over-count could compound
+           level by level *)
+        for k = 0 to n_samples - 1 do
+          if row.(k) > profile_cap then row.(k) <- profile_cap
+        done;
+        profiles.(id) <- row
+      end
+  done;
+  Obs.Trace.finish prof_sp;
+  let areas = Array.make n 0. in
+  let gen_width = Array.make n 0. in
+  let propagated = Array.make n 0. in
+  let estimate = Array.make n 0. in
+  let est_sp = Obs.Trace.start "serpp.estimate" in
+  let gate_evals = ref 0 in
+  for id = 0 to n - 1 do
+    if not (Circuit.is_input c id) then begin
+      incr gate_evals;
+      let cell = Assignment.get asg id in
+      let node_cap = timing.Timing.loads.(id) +. Library.output_cap lib cell in
+      let w_low =
+        Library.generated_glitch_width lib cell ~node_cap ~charge:config.charge
+          ~output_low:true
+      in
+      let w_high =
+        Library.generated_glitch_width lib cell ~node_cap ~charge:config.charge
+          ~output_low:false
+      in
+      let p1 = probs.(id) in
+      let wi = ((1. -. p1) *. w_low) +. (p1 *. w_high) in
+      let prop = Lut.interpolate_1d ~xs:ws ~ys:profiles.(id) wi in
+      gen_width.(id) <- wi;
+      propagated.(id) <- prop;
+      areas.(id) <- Library.area lib cell;
+      estimate.(id) <- areas.(id) *. prop
+    end
+  done;
+  Obs.Metrics.add m_gate_evals !gate_evals;
+  Obs.Trace.finish est_sp;
+  let total = ref 0. in
+  Array.iter (fun u -> total := !total +. u) estimate;
+  {
+    config;
+    circuit = c;
+    probs;
+    timing;
+    samples = ws;
+    profile_cap;
+    profiles;
+    areas;
+    gen_width;
+    propagated;
+    estimate;
+    total = !total;
+  }
+
+let gate_bound t id =
+  if Circuit.is_input t.circuit id then 0.
+  else t.areas.(id) *. t.profile_cap
+
+let fail fmt = Ser_util.Diag.fail ~subsystem:"serpp" fmt
+
+let run_checked ?(config = default_config) lib asg =
+  Ser_util.Diag.guard ~subsystem:"serpp" (fun () ->
+      if (not (Float.is_finite config.charge)) || config.charge <= 0. then
+        fail "config.charge must be finite and positive (got %g)" config.charge;
+      if config.n_samples < 2 then
+        fail "config.n_samples must be >= 2 (got %d)" config.n_samples;
+      if
+        (not (Float.is_finite config.max_sample_width))
+        || config.max_sample_width <= 0.
+      then
+        fail "config.max_sample_width must be finite and positive (got %g)"
+          config.max_sample_width;
+      (match config.latch_window with
+      | Some w when (not (Float.is_finite w)) || w <= 0. ->
+        fail "config.latch_window must be finite and positive (got %g)" w
+      | _ -> ());
+      let t = run ~config lib asg in
+      let c = Assignment.circuit asg in
+      let estimate =
+        Array.mapi
+          (fun id u ->
+            if not (Float.is_finite u) then
+              Ser_util.Diag.fail ~subsystem:"serpp"
+                ~context:[ Ser_util.Diag.gate (Circuit.node c id).Circuit.name ]
+                "non-finite per-gate estimate"
+            else if u < -1e-9 then
+              Ser_util.Diag.fail ~subsystem:"serpp"
+                ~context:[ Ser_util.Diag.gate (Circuit.node c id).Circuit.name ]
+                "negative per-gate estimate %g" u
+            else Float.max 0. u)
+          t.estimate
+      in
+      let total = Array.fold_left ( +. ) 0. estimate in
+      if not (Float.is_finite total) then fail "non-finite total estimate";
+      { t with estimate; total })

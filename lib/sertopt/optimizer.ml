@@ -14,13 +14,28 @@ let m_improvements = Obs.Metrics.counter "sertopt.improvements"
 let m_menus = Obs.Metrics.counter "sertopt.menus"
 let m_menu_evals = Obs.Metrics.counter "sertopt.menu_evals"
 let m_accepts = Obs.Metrics.counter "sertopt.greedy_accepts"
+let m_tier_ranks = Obs.Metrics.counter "sertopt.tier_rank_evals"
+let m_exact_saved = Obs.Metrics.counter "sertopt.exact_evals_saved"
 
 type eval_mode = Full_recompute | Incremental
+
+(* How the greedy menus spend the exact evaluator. [Exact] measures
+   every candidate with the engine ([Incr] cone re-analysis or a full
+   recompute). [Serpp_prefilter k] first ranks the whole menu with the
+   cheap propagation-probability estimate (lib/serpp: one STA pass +
+   one profile pass, no vectors) and hands only the top [k] candidates
+   to the exact evaluator — the saved exact evaluations are counted in
+   [sertopt.exact_evals_saved]. The ranking is a heuristic: the final
+   accept decision still compares exact costs only, so tiering can
+   miss an improvement the estimate misranks but can never accept a
+   candidate on estimated cost. *)
+type tier = Exact | Serpp_prefilter of int
 
 type config = {
   aserta : Analysis.config;
   objective : Cost.objective;
   eval_mode : eval_mode;
+  tier : tier;
   weights : Cost.weights;
   delay_slack : float;
   k_paths : int;
@@ -41,6 +56,7 @@ let default_config =
     aserta = Analysis.default_config;
     objective = Cost.Fixed_charge;
     eval_mode = Incremental;
+    tier = Exact;
     weights = Cost.default_weights;
     delay_slack = 0.05;
     k_paths = 48;
@@ -273,6 +289,33 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
       metrics_of_incr (Ser_incr.Incr.metrics e)
     | None -> fst (measure asg)
   in
+  (* Tiered menu evaluation: the cheap ranking compares candidate
+     serpp costs against a serpp-measured baseline (the delay, energy
+     and area components are computed by the same Timing formulas in
+     both backends, so only the unreliability anchor changes). Built
+     once, up front, only when tiering is on. *)
+  let tier_ctx =
+    match config.tier with
+    | Exact -> None
+    | Serpp_prefilter k ->
+      let scfg =
+        {
+          Ser_serpp.Serpp.default_config with
+          Ser_serpp.Serpp.charge = config.aserta.Analysis.charge;
+          env = config.aserta.Analysis.env;
+          pi_probs = config.aserta.Analysis.pi_probs;
+        }
+      in
+      let base = Ser_serpp.Serpp.run ~config:scfg lib baseline in
+      Some
+        ( max 1 k,
+          scfg,
+          {
+            baseline_metrics with
+            Cost.unreliability =
+              Float.max 1e-12 base.Ser_serpp.Serpp.total;
+          } )
+  in
   let timing0 = baseline_analysis.Analysis.timing in
   let paths = Paths.k_worst_paths baseline timing0 ~k:config.k_paths in
   let t_matrix, cols = Paths.topology_matrix baseline paths in
@@ -496,6 +539,52 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
                entries once it expires and the incumbent so far is kept
                (graceful degradation). *)
             let cands = Array.of_list cands in
+            (* tier prefilter: rank the whole menu with the cheap serpp
+               estimate, keep only the top-k (score-ascending, original
+               menu order restored for the accept tie-break) for the
+               exact engine. Ranking runs do not charge the budget —
+               they are the economy the budget is spent through. *)
+            let cands =
+              match tier_ctx with
+              | Some (k, scfg, sbase) when Array.length cands > k ->
+                let rank_sp = Obs.Trace.start "sertopt.tier_rank" in
+                let scores =
+                  Ser_par.Par.parallel_map ~chunk:1
+                    (fun cand ->
+                      let trial = Assignment.copy asg in
+                      Assignment.set trial g cand;
+                      let sp = Ser_serpp.Serpp.run ~config:scfg lib trial in
+                      let m =
+                        {
+                          Cost.unreliability = sp.Ser_serpp.Serpp.total;
+                          delay =
+                            sp.Ser_serpp.Serpp.timing
+                              .Timing.critical_delay;
+                          energy =
+                            Timing.total_energy
+                              ~env:scfg.Ser_serpp.Serpp.env
+                              ~timing:sp.Ser_serpp.Serpp.timing lib trial;
+                          area = Assignment.total_area lib trial;
+                        }
+                      in
+                      Cost.eval ~weights:config.weights
+                        ~delay_slack:config.delay_slack ~baseline:sbase m)
+                    cands
+                in
+                Obs.Trace.finish rank_sp;
+                Obs.Metrics.add m_tier_ranks (Array.length cands);
+                Obs.Metrics.add m_exact_saved (Array.length cands - k);
+                let idx = Array.init (Array.length cands) Fun.id in
+                Array.sort
+                  (fun a b ->
+                    let cc = compare scores.(a) scores.(b) in
+                    if cc <> 0 then cc else compare a b)
+                  idx;
+                let keep = Array.sub idx 0 k in
+                Array.sort compare keep;
+                Array.map (fun i -> cands.(i)) keep
+              | _ -> cands
+            in
             Obs.Metrics.incr m_menus;
             Obs.Metrics.add m_menu_evals (Array.length cands);
             let menu_sp = Obs.Trace.start "sertopt.menu" in

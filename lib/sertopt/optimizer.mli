@@ -26,6 +26,20 @@ type eval_mode =
           and eval count. Falls back to full recompute under the
           charge-spectrum objective, which is not incrementalised. *)
 
+type tier =
+  | Exact
+      (** every greedy-menu candidate is measured exactly (default) *)
+  | Serpp_prefilter of int
+      (** rank each greedy menu with the single-pass
+          propagation-probability estimate ({!Ser_serpp.Serpp}: one STA
+          + one profile pass, no vectors, no budget charge) and give
+          only the top-k candidates to the exact engine. The accept
+          decision still compares exact costs only, so tiering can skip
+          an improvement the estimate misranks but never accepts one on
+          estimated cost; the exact evaluations avoided are counted in
+          the [sertopt.exact_evals_saved] metric and the rankings in
+          [sertopt.tier_rank_evals]. Values below 1 behave as 1. *)
+
 type config = {
   aserta : Aserta.Analysis.config;
   objective : Cost.objective;
@@ -34,6 +48,7 @@ type config = {
           spectrum objective the latching clock is frozen at 1.2x the
           baseline critical delay for all candidates. *)
   eval_mode : eval_mode;  (** default {!Incremental} *)
+  tier : tier;  (** greedy-menu evaluation economy, default {!Exact} *)
   weights : Cost.weights;
   delay_slack : float;   (** tolerated fractional delay increase *)
   k_paths : int;         (** rows of the topology matrix *)

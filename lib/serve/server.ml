@@ -277,6 +277,27 @@ let build_pool_entry (req : Request.t) c lib () =
 let run_inline st (req : Request.t) c lib ~pool_key ~deadline_left =
   Diag.guard ~subsystem (fun () ->
       match req.Request.op with
+      | Request.Analyze when req.Request.backend = "serpp" ->
+        (* the warm pool caches ASERTA masking + an incremental engine;
+           a serpp analysis is one cheap pass, so it runs direct and
+           leaves the pool to the requests that need it *)
+        let asg = Sertopt.Optimizer.size_for_speed lib c in
+        let config =
+          {
+            Ser_serpp.Serpp.default_config with
+            Ser_serpp.Serpp.charge = req.Request.charge;
+          }
+        in
+        let s =
+          match Ser_serpp.Serpp.run_checked ~config lib asg with
+          | Ok s -> s
+          | Error d -> raise (Diag.Diag_error d)
+        in
+        let payload =
+          Handlers.analyze_payload req
+            { Handlers.assignment = asg; result = Handlers.Serpp s }
+        in
+        (payload, false)
       | Request.Analyze | Request.Rate ->
         let entry, warm =
           Pool.warm st.pool ~key:pool_key ~build:(build_pool_entry req c lib)
@@ -288,7 +309,7 @@ let run_inline st (req : Request.t) c lib ~pool_key ~deadline_left =
             Handlers.analyze_payload req
               {
                 Handlers.assignment = entry.Pool.e_assignment;
-                analysis;
+                result = Handlers.Aserta analysis;
               }
           | _ ->
             let spectrum =

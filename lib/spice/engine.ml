@@ -213,6 +213,11 @@ let m_rejects = Obs.Metrics.counter "spice.rejects"
 let m_retries = Obs.Metrics.counter "spice.retries"
 let m_fallbacks = Obs.Metrics.counter "spice.fallbacks"
 
+(* Step sizes actually attempted, in femtoseconds (dt is in ps): each
+   retry quarters dt, so the histogram's log2 buckets show directly how
+   often the integrator had to tighten its step. *)
+let h_step_fs = Obs.Metrics.histogram "spice.step_size_fs"
+
 let merge_health a b =
   {
     steps = a.steps + b.steps;
@@ -357,7 +362,11 @@ let simulate_h net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
       !final_step,
       !rejects )
   in
+  (* step sizes attempted this transient, observed in one batch at the
+     flush below so the retry loop carries no histogram traffic *)
+  let dts_attempted = ref [] in
   let rec run dt k =
+    dts_attempted := dt :: !dts_attempted;
     let last = k >= max_retries in
     match attempt ~dt ~last with
     | result -> result
@@ -375,6 +384,9 @@ let simulate_h net ~inputs ~init ?(injections = []) ?(dt = 0.5) ?min_time
   if step_rejects > 0 then Obs.Metrics.add m_rejects step_rejects;
   if !retries > 0 then Obs.Metrics.add m_retries !retries;
   if !fallbacks > 0 then Obs.Metrics.add m_fallbacks !fallbacks;
+  List.iter
+    (fun d -> Obs.Metrics.observe h_step_fs (int_of_float (d *. 1000.)))
+    !dts_attempted;
   ( trace,
     {
       steps;

@@ -250,6 +250,42 @@ let test_disabled_probes_record_nothing () =
   in
   Alcotest.(check int) "no events while disabled" 0 (List.length named)
 
+let test_trace_sampling () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_sample_every 1;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+    (fun () ->
+      Obs.Trace.set_sample_every 0;
+      Alcotest.(check int) "0 clamps to 1" 1 (Obs.Trace.sample_every ());
+      Obs.Trace.set_sample_every 4;
+      Alcotest.(check int) "getter" 4 (Obs.Trace.sample_every ());
+      let drops0 =
+        match Obs.Metrics.find_counter "trace.sampled_drops" with
+        | Some c -> Obs.Metrics.value c
+        | None -> 0
+      in
+      (* 8 consecutive ticks at 1-of-4 keep exactly 2 spans whatever
+         the phase of the process-wide tick *)
+      for _ = 1 to 8 do
+        let sp = Obs.Trace.start "sampled" in
+        Obs.Trace.finish sp
+      done;
+      let evs = events_of_doc (Obs.Trace.to_json ()) in
+      let bs = List.filter (fun ev -> str_field "ph" ev = Some "B") evs in
+      Alcotest.(check int) "kept 2 of 8" 2 (List.length bs);
+      Alcotest.(check bool) "sampled stream still balanced" true
+        (check_balanced evs);
+      let drops1 =
+        match Obs.Metrics.find_counter "trace.sampled_drops" with
+        | Some c -> Obs.Metrics.value c
+        | None -> 0
+      in
+      Alcotest.(check int) "drops counted" 6 (drops1 - drops0))
+
 let test_overflow_drops_and_counts () =
   Obs.Trace.clear ();
   Obs.Trace.set_enabled true;
@@ -333,16 +369,21 @@ let test_install_from_env () =
       Obs.set_trace_file saved_t;
       Obs.set_metrics_file saved_m;
       Obs.Trace.set_enabled false;
+      Obs.Trace.set_sample_every 1;
       Unix.putenv "SERTOOL_TRACE" "";
       Unix.putenv "SERTOOL_METRICS" "";
+      Unix.putenv "SERTOOL_TRACE_SAMPLE" "";
       try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
       Unix.putenv "SERTOOL_TRACE" tmp;
       Unix.putenv "SERTOOL_METRICS" "";
+      Unix.putenv "SERTOOL_TRACE_SAMPLE" "3";
       Obs.install_from_env ();
       Alcotest.(check bool) "trace file adopted from env" true
         (Obs.trace_file () = Some tmp);
       Alcotest.(check bool) "tracing enabled by env" true (Obs.Trace.enabled ());
+      Alcotest.(check int) "sampling adopted from env" 3
+        (Obs.Trace.sample_every ());
       Alcotest.(check bool) "blank env var ignored" true
         (Obs.metrics_file () = saved_m))
 
@@ -369,6 +410,7 @@ let () =
             test_complete_and_instant;
           Alcotest.test_case "disabled probes" `Quick
             test_disabled_probes_record_nothing;
+          Alcotest.test_case "span sampling" `Quick test_trace_sampling;
           Alcotest.test_case "overflow counted" `Quick
             test_overflow_drops_and_counts;
         ] );

@@ -188,6 +188,27 @@ let test_health_clean_run () =
   Alcotest.(check int) "no fallbacks" 0 h.Engine.fallbacks;
   Alcotest.(check bool) "took steps" true (h.Engine.steps > 0)
 
+let test_step_size_histogram () =
+  (* every step size the integrator attempts (one per retry level, in
+     femtoseconds) lands in the spice.step_size_fs histogram, so
+     --metrics snapshots expose the step-size distribution *)
+  let module Obs = Ser_obs.Obs in
+  let h = Obs.Metrics.histogram "spice.step_size_fs" in
+  let before_n = Obs.Metrics.histogram_count h in
+  let before_sum = Obs.Metrics.histogram_sum h in
+  let net, n = one_inverter () in
+  let init = Engine.dc_levels net ~ext_values:[| true |] in
+  let _, health =
+    Engine.simulate_h net ~inputs:[| W.dc 1. |] ~init ~dt:0.25
+      ~probes:[| n |] ~t_end:100. ()
+  in
+  Alcotest.(check bool) "clean run: one dt attempted" true
+    ((not health.Engine.flagged)
+    && Obs.Metrics.histogram_count h - before_n = 1);
+  (* dt = 0.25 ps is recorded as 250 fs *)
+  Alcotest.(check int) "recorded in femtoseconds" 250
+    (Obs.Metrics.histogram_sum h - before_sum)
+
 let test_health_poisoned_init () =
   (* NaN in the initial condition must be sanitised, reported, and must
      not leak into the trace *)
@@ -424,6 +445,7 @@ let () =
           Alcotest.test_case "settle early exit" `Quick test_settle_early_exit;
           Alcotest.test_case "strike and recovery" `Quick test_strike_polarity;
           Alcotest.test_case "health: clean run" `Quick test_health_clean_run;
+          Alcotest.test_case "step-size histogram" `Quick test_step_size_histogram;
           Alcotest.test_case "health: poisoned init" `Quick test_health_poisoned_init;
           Alcotest.test_case "health: extreme charge" `Quick test_health_extreme_charge;
           Alcotest.test_case "health: char variant" `Quick test_char_h_clean;
