@@ -546,6 +546,145 @@ let jobs_bench () =
   Printf.printf "  wrote BENCH_jobs.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded sweeps (lib/jobs): merge cost and single-host equivalence   *)
+(* ------------------------------------------------------------------ *)
+
+let shard_bench () =
+  section "Sharded sweeps (lib/jobs): split/merge vs single-host";
+  let module Supervisor = Ser_jobs.Supervisor in
+  let module Journal = Ser_jobs.Journal in
+  let module Shard = Ser_jobs.Shard in
+  let module Merge = Ser_jobs.Merge in
+  let n = 48 in
+  let jobs =
+    List.init n (fun i ->
+        Supervisor.job
+          ~id:(Printf.sprintf "j%03d" i)
+          [|
+            "/bin/sh"; "-c"; Printf.sprintf {|printf '{"ok":true,"result":%d}'|} i;
+          |])
+  in
+  let ids = List.map (fun (j : Supervisor.job) -> j.Supervisor.id) jobs in
+  let cfg =
+    {
+      Supervisor.default_config with
+      Supervisor.parallel = max 2 (Ser_par.Par.jobs ());
+      timeout_s = 30.;
+      retries = 0;
+    }
+  in
+  let tmp suffix =
+    let p = Filename.temp_file "bench_shard" suffix in
+    at_exit (fun () -> try Sys.remove p with Sys_error _ -> ());
+    p
+  in
+  let run ?shard path job_list =
+    match Journal.create path with
+    | Error d ->
+      Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+      exit 1
+    | Ok j ->
+      Fun.protect
+        ~finally:(fun () -> Journal.close j)
+        (fun () ->
+          match Supervisor.run ?shard cfg ~journal:j job_list with
+          | Error d ->
+            Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+            exit 1
+          | Ok _ -> ())
+  in
+  let doc_of_journal path =
+    match Journal.replay path with
+    | Error d ->
+      Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+      exit 1
+    | Ok st ->
+      Ser_util.Json.to_string ~indent:false (Journal.final_results_json st)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let single = tmp ".journal" in
+  let (), single_s = time (fun () -> run single jobs) in
+  let expected = doc_of_journal single in
+  let rows =
+    List.map
+      (fun shards ->
+        let paths = List.init shards (fun _ -> tmp ".journal") in
+        let (), sweep_s =
+          time (fun () ->
+              List.iteri
+                (fun i path ->
+                  let mine =
+                    Shard.select { Shard.index = i; count = shards }
+                      ~id:(fun (j : Supervisor.job) -> j.Supervisor.id)
+                      jobs
+                  in
+                  run ~shard:(i, shards) path mine)
+                paths)
+        in
+        let merged, merge_s =
+          time (fun () ->
+              match Merge.load paths with
+              | Error d ->
+                Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+                exit 1
+              | Ok sources ->
+                let r =
+                  Merge.merge
+                    ~expect:{ Merge.e_jobs = ids; e_shards = shards }
+                    sources
+                in
+                (match Merge.integrity_error r with
+                | Some d ->
+                  Printf.eprintf "FATAL: %s\n" (Ser_util.Diag.to_string d);
+                  exit 1
+                | None -> ());
+                if r.Merge.degraded then begin
+                  Printf.eprintf "FATAL: merge degraded at %d shards\n" shards;
+                  exit 1
+                end;
+                Ser_util.Json.to_string ~indent:false (Merge.results_json r))
+        in
+        if not (String.equal expected merged) then begin
+          Printf.eprintf
+            "FATAL: merged document differs from single-host at %d shards\n"
+            shards;
+          exit 1
+        end;
+        Printf.printf
+          "  shards=%-2d  sweep %6.3f s   merge %8.5f s   (single-host %6.3f \
+           s, bit-identical)\n%!"
+          shards sweep_s merge_s single_s;
+        Ser_util.Json.(
+          Obj
+            [
+              ("shards", int shards);
+              ("sweep_s", Num sweep_s);
+              ("merge_s", Num merge_s);
+              ("bit_identical", Bool true);
+            ]))
+      [ 2; 4; 8 ]
+  in
+  let doc =
+    Ser_util.Json.(
+      Obj
+        [
+          ("jobs_per_batch", int n);
+          ("single_host_s", Num single_s);
+          ("sweeps", List rows);
+          ("metrics", Ser_obs.Obs.Metrics.snapshot ());
+        ])
+  in
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc (Ser_util.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_shard.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Serve daemon (lib/serve): cold path vs content-addressed cache hit  *)
 (* ------------------------------------------------------------------ *)
 
@@ -696,6 +835,7 @@ let () =
   | [ "sertopt" ] -> sertopt_bench ()
   | [ "sertopt-smoke" ] -> sertopt_bench ~smoke:true ()
   | [ "jobs" ] -> jobs_bench ()
+  | [ "shard" ] -> shard_bench ()
   | [ "serve" ] -> serve_bench ()
   | other ->
     Printf.eprintf
@@ -705,6 +845,6 @@ let () =
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
        alternatives variation ser-rate pipeline micro par sertopt \
-       sertopt-smoke jobs serve\n"
+       sertopt-smoke jobs shard serve\n"
       (String.concat " " other);
     exit 2

@@ -13,6 +13,11 @@ let exit_input = 2
 let exit_numerical = 3
 let exit_budget = 4
 
+(* merge found the same job id with different payloads, or a record
+   whose digest does not match its payload: somebody's journal lies,
+   and no merged document can be trusted *)
+let exit_integrity = 5
+
 let exit_code_of_diag (d : Ser_util.Diag.t) =
   match d.Ser_util.Diag.subsystem with
   | "spice" | "cell" | "aserta" | "sertopt" -> exit_numerical
@@ -517,6 +522,8 @@ let characterize_cmd kind fanin size length vdd vth =
 
 module Journal = Ser_jobs.Journal
 module Supervisor = Ser_jobs.Supervisor
+module Shard = Ser_jobs.Shard
+module Merge = Ser_jobs.Merge
 
 (* The worker half of the supervisor protocol: run one analysis in
    this (child) process and emit exactly one JSON document on stdout —
@@ -702,8 +709,9 @@ let reject_exit = function
 
 let client_cmd socket tcp op spec inline id backend vectors charge top evals
     greedy clock q_slope deadline isolate fault connect_timeout timeout
-    retries retry_rejected =
+    retries retry_rejected repeat =
   wrap @@ fun () ->
+  if repeat < 1 then failwith "--repeat must be >= 1";
   let addr =
     match tcp with Some s -> parse_tcp s | None -> Server.Unix_sock socket
   in
@@ -753,8 +761,39 @@ let client_cmd socket tcp op spec inline id backend vectors charge top evals
         (Request.make ?id ?backend ?vectors ?charge ?top ?evals ?greedy
            ?clock ?q_slope ?deadline_s:deadline ?isolate ?fault opv source)
   in
-  let call = if retry_rejected then Client.call_retrying else Client.call in
-  match call ~opts addr request with
+  (* --repeat > 1 keeps one framed connection alive across the whole
+     loop (the daemon already serves many requests per connection);
+     conn_call transparently re-dials and retries if it drops *)
+  let conn =
+    if repeat > 1 then Some (Client.conn ~opts addr) else None
+  in
+  let call request =
+    match conn with
+    | Some c -> Client.conn_call c request
+    | None ->
+      if retry_rejected then Client.call_retrying ~opts addr request
+      else Client.call ~opts addr request
+  in
+  let rec iterate i last =
+    if i >= repeat then last
+    else
+      match call request with
+      | Error _ as e -> e
+      | Ok r ->
+        if repeat > 1 then
+          Printf.eprintf "sertool client: [%d/%d] %s in %.3fs%s\n" (i + 1)
+            repeat
+            (match r.Ser_serve.Wire.r_status with
+            | Ser_serve.Wire.Ok_payload _ -> "ok"
+            | Ser_serve.Wire.Rejected (reject, _, _) ->
+              Ser_serve.Wire.reject_to_string reject)
+            r.Ser_serve.Wire.r_elapsed_s
+            (if r.Ser_serve.Wire.r_cache_hit then " (cache hit)" else "");
+        iterate (i + 1) (Ok r)
+  in
+  let result = iterate 0 (Error (Ser_util.Diag.make ~subsystem:"serve" "no attempt")) in
+  (match conn with Some c -> Client.conn_close c | None -> ());
+  match result with
   | Error d ->
     render_diag d;
     `Ok exit_numerical
@@ -926,16 +965,36 @@ let obs_results_field obs_dir entries =
           ] );
     ]
 
-let batch_cmd manifest cmd vectors evals journal_path resume parallel
+let batch_cmd manifest cmd vectors evals journal_path resume shard parallel
     job_timeout grace retries backoff results obs obs_dir =
   wrap @@ fun () ->
   apply_obs obs;
   (match obs_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | Some _ | None -> ());
+  let shard =
+    match shard with
+    | None -> None
+    | Some s -> (
+      match Shard.of_string s with
+      | Ok t -> Some t
+      | Error msg -> failwith msg)
+  in
   let entries = parse_manifest manifest in
+  (* the shard's job set is a pure function of (job id, shard count):
+     every worker recomputes it from the same manifest, no coordinator *)
+  let entries =
+    match shard with
+    | None -> entries
+    | Some t -> Shard.select t ~id:(fun (id, _, _) -> id) entries
+  in
   let journal_path =
-    match journal_path with Some p -> p | None -> manifest ^ ".journal"
+    match (journal_path, shard) with
+    | Some p, _ -> p
+    | None, None -> manifest ^ ".journal"
+    | None, Some t ->
+      Printf.sprintf "%s.shard-%d-of-%d.journal" manifest t.Shard.index
+        t.Shard.count
   in
   let resume_state =
     if resume then
@@ -984,8 +1043,12 @@ let batch_cmd manifest cmd vectors evals journal_path resume parallel
       (fun () ->
         Supervisor.with_signal_drain (fun stop ->
             or_diag
-              (Supervisor.run ~stop ~on_event:print_batch_event cfg ~journal
-                 ?resume:resume_state jobs)))
+              (Supervisor.run ~stop ~on_event:print_batch_event
+                 ?shard:
+                   (Option.map
+                      (fun t -> (t.Shard.index, t.Shard.count))
+                      shard)
+                 cfg ~journal ?resume:resume_state jobs)))
   in
   Printf.printf
     "batch summary: ok=%d failed=%d degraded=%d skipped=%d interrupted=%d%s\n"
@@ -1010,6 +1073,171 @@ let batch_cmd manifest cmd vectors evals journal_path resume parallel
     output_string oc "\n";
     close_out oc;
     Printf.printf "wrote %s\n" path);
+  `Ok exit_ok
+
+(* Fold N shard journals back into the single-host results document.
+   Robustness contract: torn tails are tolerated, gaps become a retry
+   manifest plus a degraded document, digest conflicts are a typed
+   integrity error (exit 5) — never silent corruption. *)
+let batch_merge_cmd journals manifest shards results retry_path trace_ins
+    merged_trace obs =
+  wrap @@ fun () ->
+  apply_obs obs;
+  if journals = [] then failwith "batch merge needs at least one JOURNAL";
+  let sources = or_diag (Merge.load journals) in
+  (* shard count: explicit flag, else what the journals themselves
+     declare, else one journal = one shard *)
+  let shards =
+    match shards with
+    | Some n when n >= 1 -> Some n
+    | Some n -> failwith (Printf.sprintf "--shards must be >= 1 (got %d)" n)
+    | None -> (
+      match
+        List.filter_map
+          (fun s -> Option.map snd s.Merge.src_state.Journal.shard)
+          sources
+      with
+      | n :: _ -> Some n
+      | [] -> None)
+  in
+  let manifest_entries = Option.map parse_manifest manifest in
+  let expect =
+    match manifest_entries with
+    | None -> None
+    | Some entries ->
+      Some
+        {
+          Merge.e_jobs = List.map (fun (id, _, _) -> id) entries;
+          e_shards =
+            (match shards with Some n -> n | None -> List.length journals);
+        }
+  in
+  let report = Merge.merge ?expect sources in
+  match Merge.integrity_error report with
+  | Some d ->
+    render_diag d;
+    `Ok exit_integrity
+  | None ->
+    List.iter
+      (fun (job, path) ->
+        Printf.eprintf
+          "merge: note: %s delivered job %S it does not own under the \
+           shard assignment\n"
+          path job)
+      report.Merge.foreign;
+    let doc = Merge.results_json report in
+    (match results with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Ser_util.Json.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> print_endline (Ser_util.Json.to_string ~indent:true doc));
+    (* a degraded merge emits the exact manifest lines to re-run *)
+    (match (retry_path, manifest_entries) with
+    | Some path, Some entries ->
+      let missing = Merge.retry_manifest_ids report in
+      if missing <> [] then begin
+        let oc = open_out path in
+        List.iter
+          (fun (id, spec, fault) ->
+            if List.mem id missing then
+              output_string oc
+                (match fault with
+                | Some f -> Printf.sprintf "%s fault=%s\n" spec f
+                | None -> spec ^ "\n"))
+          entries;
+        close_out oc;
+        Printf.printf "wrote retry manifest %s (%d jobs)\n" path
+          (List.length missing)
+      end
+    | Some _, None ->
+      failwith "--retry-manifest needs --manifest to resolve job specs"
+    | None, _ -> ());
+    (* merged multi-worker timeline: shard i's domains land in tid band
+       i*1000 so N workers render side by side in Perfetto *)
+    (match merged_trace with
+    | None -> ()
+    | Some path ->
+      let docs =
+        List.mapi
+          (fun i p ->
+            let ic = open_in_bin p in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            match Ser_util.Json.of_string s with
+            | Ok j -> (i, j)
+            | Error msg ->
+              failwith (Printf.sprintf "unreadable trace %s: %s" p msg))
+          trace_ins
+      in
+      if docs = [] then
+        failwith "--merged-trace needs at least one --trace-in FILE";
+      (match
+         Ser_util.Json.to_file path (Obs.Trace.merge_documents docs)
+       with
+      | Ok () -> Printf.printf "wrote merged trace %s\n" path
+      | Error msg -> failwith msg));
+    Printf.printf
+      "merge summary: shards=%d jobs=%d torn_tails=%d overlaps=%d \
+       missing_jobs=%d missing_shards=%d%s\n"
+      report.Merge.sources
+      (List.length report.Merge.finals)
+      report.Merge.torn_tails
+      (List.length report.Merge.overlaps)
+      (List.length report.Merge.missing_jobs)
+      (List.length report.Merge.missing_shards)
+      (if report.Merge.degraded then " (degraded: rerun the retry manifest \
+                                       or the missing shards and re-merge)"
+       else "");
+    `Ok exit_ok
+
+(* Self/total-time table from a Chrome trace, so profiling a sweep
+   does not require loading Perfetto. *)
+let report_cmd trace_path top =
+  wrap @@ fun () ->
+  let doc =
+    let ic =
+      try open_in_bin trace_path
+      with Sys_error msg -> failwith msg
+    in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Ser_util.Json.of_string s with
+    | Ok j -> j
+    | Error msg ->
+      failwith (Printf.sprintf "unreadable trace %s: %s" trace_path msg)
+  in
+  let rows = Obs.Trace.tabulate doc in
+  if rows = [] then print_endline "trace holds no spans"
+  else begin
+    let shown = if top <= 0 then rows else List.filteri (fun i _ -> i < top) rows in
+    let name_w =
+      List.fold_left
+        (fun w (r : Obs.Trace.row) -> max w (String.length r.Obs.Trace.row_name))
+        4 shown
+    in
+    let grand_self =
+      List.fold_left
+        (fun acc (r : Obs.Trace.row) -> acc +. r.Obs.Trace.row_self_us)
+        0. rows
+    in
+    Printf.printf "%-*s %10s %12s %12s %7s\n" name_w "span" "count"
+      "total_ms" "self_ms" "self%";
+    List.iter
+      (fun (r : Obs.Trace.row) ->
+        Printf.printf "%-*s %10d %12.3f %12.3f %6.1f%%\n" name_w
+          r.Obs.Trace.row_name r.Obs.Trace.row_count
+          (r.Obs.Trace.row_total_us /. 1000.)
+          (r.Obs.Trace.row_self_us /. 1000.)
+          (if grand_self > 0. then 100. *. r.Obs.Trace.row_self_us /. grand_self
+           else 0.))
+      shown;
+    if top > 0 && List.length rows > top then
+      Printf.printf "... %d more spans (raise --top)\n"
+        (List.length rows - top)
+  end;
   `Ok exit_ok
 
 (* ------------------------------------------------------------------ *)
@@ -1475,16 +1703,26 @@ let client_t =
     Arg.(value & flag & info [ "retry-rejected" ]
            ~doc:"Also retry retryable protocol rejections (overloaded, \
                  shutting_down, worker_failed); pair with --id so \
-                 re-execution stays idempotent.")
+                 re-execution stays idempotent. Ignored with --repeat \
+                 (the kept-alive path retries transport failures only).")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Send the request N times over one kept-alive framed \
+                 connection (with transparent reconnect-and-retry if the \
+                 daemon drops it); per-iteration status goes to stderr, \
+                 the last payload to stdout.")
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Send one request to a running sertool serve daemon and print \
-             the response payload")
+       ~doc:"Send one request (or N repeats over one kept-alive \
+             connection) to a running sertool serve daemon and print the \
+             response payload")
     Term.(ret (const client_cmd $ socket_arg $ tcp_arg $ op $ spec $ inline
                $ id $ backend $ vectors $ charge $ top $ evals $ greedy
                $ clock $ q_slope $ deadline $ isolate $ fault
-               $ connect_timeout $ timeout $ retries $ retry_rejected))
+               $ connect_timeout $ timeout $ retries $ retry_rejected
+               $ repeat))
 
 let batch_t =
   let manifest =
@@ -1541,14 +1779,100 @@ let batch_t =
            ~doc:"Write the final per-job results (derived from the journal) \
                  as JSON.")
   in
-  Cmd.v
+  let shard =
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N"
+           ~doc:"Run only shard I of an N-way split of the manifest \
+                 (FNV-keyed on the job id, so any worker recomputes any \
+                 shard's job set without coordination). The default journal \
+                 becomes MANIFEST.shard-I-of-N.journal; fold the shard \
+                 journals back together with 'sertool batch merge'.")
+  in
+  let run_term =
+    Term.(ret (const batch_cmd $ manifest $ cmd $ vectors $ evals $ journal
+               $ resume $ shard $ parallel $ job_timeout $ grace $ retries
+               $ backoff $ results $ obs_args $ obs_dir_arg))
+  in
+  let run_t =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Run a manifest (or one shard of it) with crash-contained \
+               worker processes and a resumable write-ahead journal")
+      run_term
+  in
+  let merge_t =
+    let journals =
+      Arg.(value & pos_all string [] & info [] ~docv:"JOURNAL"
+             ~doc:"Shard journal files to merge.")
+    in
+    let manifest =
+      Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+             ~doc:"The manifest the shards were split from; enables gap \
+                   detection (missing jobs, missing shards) and the retry \
+                   manifest.")
+    in
+    let shards =
+      Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+             ~doc:"Expected shard count (default: what the journals \
+                   themselves declare).")
+    in
+    let results =
+      Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE"
+             ~doc:"Write the merged results document (default: stdout). \
+                   A complete merge is byte-identical to a single-host \
+                   run's document; a partial merge carries an explicit \
+                   degraded \"merge\" field.")
+    in
+    let retry =
+      Arg.(value & opt (some string) None & info [ "retry-manifest" ]
+             ~docv:"FILE"
+             ~doc:"On gaps, write the manifest lines of the missing jobs \
+                   here; re-run them and merge again (idempotent).")
+    in
+    let trace_ins =
+      Arg.(value & opt_all string [] & info [ "trace-in" ] ~docv:"FILE"
+             ~doc:"Per-shard Chrome trace file (repeatable, in shard \
+                   order) to fold into --merged-trace.")
+    in
+    let merged_trace =
+      Arg.(value & opt (some string) None & info [ "merged-trace" ]
+             ~docv:"FILE"
+             ~doc:"Write one merged multi-worker timeline: each shard's \
+                   threads land in their own tid band with shard-prefixed \
+                   names.")
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:"Fold N shard journals into the bit-identical results \
+               document a single-host run produces; torn tails are \
+               tolerated, gaps become a retry manifest and a degraded \
+               document, digest conflicts are a typed integrity error \
+               (exit 5)")
+      Term.(ret (const batch_merge_cmd $ journals $ manifest $ shards
+                 $ results $ retry $ trace_ins $ merged_trace $ obs_args))
+  in
+  Cmd.group ~default:run_term
     (Cmd.info "batch"
        ~doc:"Run ASERTA/SERTOPT over a manifest of circuits with \
-             crash-contained worker processes, a watchdog, retry/backoff and \
-             a resumable write-ahead journal")
-    Term.(ret (const batch_cmd $ manifest $ cmd $ vectors $ evals $ journal
-               $ resume $ parallel $ job_timeout $ grace $ retries $ backoff
-               $ results $ obs_args $ obs_dir_arg))
+             crash-contained worker processes, a watchdog, retry/backoff, \
+             a resumable write-ahead journal, deterministic sharding \
+             across hosts and a bit-identical journal merge")
+    [ run_t; merge_t ]
+
+let report_t =
+  let trace =
+    Arg.(required & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Chrome trace file written by --trace (or batch merge \
+                 --merged-trace).")
+  in
+  let top =
+    Arg.(value & opt int 30 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows to print (0 = all), sorted by self time.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Fold a Chrome trace into a per-span self/total-time table on \
+             stdout, so profiling a sweep does not require Perfetto")
+    Term.(ret (const report_cmd $ trace $ top))
 
 let xval_t =
   let circuit =
@@ -1585,9 +1909,23 @@ let main =
              of combinational nanometer circuits")
     [ info_t; generate_t; analyze_t; optimize_t; rate_t; xval_t; timing_t;
       pipeline_t; harden_t; characterize_t; export_deck_t; export_lib_t;
-      batch_t; serve_t; client_t; worker_t ]
+      batch_t; serve_t; client_t; worker_t; report_t ]
 
 (* Batch workers inherit SERTOOL_TRACE/SERTOOL_METRICS from the supervisor
    so their observability lands in per-job files without extra flags. *)
 let () = Obs.install_from_env ()
-let () = exit (Cmd.eval' main)
+
+(* "sertool batch MANIFEST" predates the run/merge split; keep it
+   working as shorthand for "sertool batch run MANIFEST". *)
+let argv =
+  let a = Sys.argv in
+  if
+    Array.length a >= 3
+    && a.(1) = "batch"
+    && (match a.(2) with
+       | "run" | "merge" -> false
+       | s -> s = "" || s.[0] <> '-')
+  then Array.concat [ [| a.(0); "batch"; "run" |]; Array.sub a 2 (Array.length a - 2) ]
+  else a
+
+let () = exit (Cmd.eval' ~argv main)

@@ -581,6 +581,236 @@ let jobs_scenarios () =
     };
   ]
 
+(* -------------------- sharded sweep corruption --------------------- *)
+
+module Shard = Ser_jobs.Shard
+module Merge = Ser_jobs.Merge
+
+(* a worker whose payload is a deterministic function of its id, so
+   bit-identity across runs is meaningful *)
+let id_worker id = sh ~id (Printf.sprintf {|printf '{"ok":true,"result":{"id":"%s"}}'|} id)
+
+let run_into ?(cfg = jobs_config) ?shard path jobs =
+  match Journal.create path with
+  | Error d -> Error d
+  | Ok j ->
+    Fun.protect
+      ~finally:(fun () -> Journal.close j)
+      (fun () ->
+        match Supervisor.run ?shard cfg ~journal:j jobs with
+        | Error d -> Error d
+        | Ok _ -> Ok ())
+
+let with_tmp_journals n f =
+  let paths =
+    List.init n (fun _ -> Filename.temp_file "faultsim-shard" ".journal")
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () -> f paths)
+
+let shard_ids = [ "alpha"; "beta"; "gamma"; "delta" ]
+
+let doc_string r = Ser_util.Json.to_string (Merge.results_json r)
+
+(* single-host reference document for [shard_ids] *)
+let single_host_doc path =
+  match run_into path (List.map id_worker shard_ids) with
+  | Error d -> Error d
+  | Ok () -> (
+    match Journal.replay path with
+    | Error d -> Error d
+    | Ok st -> Ok (Ser_util.Json.to_string (Journal.final_results_json st)))
+
+let run_shard ~index ~count path =
+  let jobs =
+    Shard.select { Shard.index; count } ~id:(fun j -> j.Supervisor.id)
+      (List.map id_worker shard_ids)
+  in
+  run_into ~shard:(index, count) path jobs
+
+let expect_2 = { Merge.e_jobs = shard_ids; e_shards = 2 }
+
+let shard_scenarios () =
+  [
+    {
+      name = "sharded sweep merges bit-identically";
+      group = "shard";
+      expect = Must_survive;
+      run =
+        (fun () ->
+          with_tmp_journals 3 (fun paths ->
+              match paths with
+              | [ single; s0; s1 ] -> (
+                match single_host_doc single with
+                | Error d -> Graceful d
+                | Ok reference -> (
+                  match (run_shard ~index:0 ~count:2 s0,
+                         run_shard ~index:1 ~count:2 s1) with
+                  | Error d, _ | _, Error d -> Graceful d
+                  | Ok (), Ok () -> (
+                    match Merge.load [ s0; s1 ] with
+                    | Error d -> Graceful d
+                    | Ok sources ->
+                      let r = Merge.merge ~expect:expect_2 sources in
+                      if r.Merge.degraded || r.Merge.conflicts <> [] then
+                        Uncaught (Failure "complete merge reported problems")
+                      else if doc_string r = reference then Passed
+                      else
+                        Uncaught
+                          (Failure "merged document differs from single-host run"))))
+              | _ -> Uncaught (Failure "fixture")));
+    };
+    {
+      name = "corrupt complete record in a shard journal";
+      group = "shard";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          with_tmp_journals 1 (fun paths ->
+              let p = List.hd paths in
+              let oc = open_out p in
+              output_string oc "this is not a journal record\n";
+              close_out oc;
+              match Merge.load [ p ] with
+              | Error d -> Graceful d
+              | Ok _ ->
+                Uncaught (Failure "corrupt journal accepted by merge load")));
+    };
+    {
+      name = "duplicated shard journal deduplicates (idempotent re-merge)";
+      group = "shard";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          with_tmp_journals 3 (fun paths ->
+              match paths with
+              | [ single; s0; s1 ] -> (
+                match single_host_doc single with
+                | Error d -> Graceful d
+                | Ok reference -> (
+                  match (run_shard ~index:0 ~count:2 s0,
+                         run_shard ~index:1 ~count:2 s1) with
+                  | Error d, _ | _, Error d -> Graceful d
+                  | Ok (), Ok () -> (
+                    (* the same shard listed twice: every record arrives
+                       twice with identical digests *)
+                    match Merge.load [ s0; s0; s1 ] with
+                    | Error d -> Graceful d
+                    | Ok sources ->
+                      let r = Merge.merge ~expect:expect_2 sources in
+                      if r.Merge.conflicts <> [] then
+                        Uncaught (Failure "equal duplicates reported as conflict")
+                      else if doc_string r <> reference then
+                        Uncaught (Failure "duplicate shard changed the document")
+                      else if r.Merge.overlaps <> [] then Degraded
+                      else Uncaught (Failure "duplicate shard not flagged"))))
+              | _ -> Uncaught (Failure "fixture")));
+    };
+    {
+      name = "same job with different payloads across shards";
+      group = "shard";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          with_tmp_journals 2 (fun paths ->
+              match paths with
+              | [ a; b ] -> (
+                let run_variant path v =
+                  run_into path
+                    [
+                      sh ~id:"dup"
+                        (Printf.sprintf
+                           {|printf '{"ok":true,"result":{"v":%d}}'|} v);
+                    ]
+                in
+                match (run_variant a 1, run_variant b 2) with
+                | Error d, _ | _, Error d -> Graceful d
+                | Ok (), Ok () -> (
+                  match Merge.load [ a; b ] with
+                  | Error d -> Graceful d
+                  | Ok sources -> (
+                    let r = Merge.merge sources in
+                    match Merge.integrity_error r with
+                    | Some d -> Graceful d
+                    | None ->
+                      Uncaught
+                        (Failure
+                           "conflicting payloads merged without an \
+                            integrity error"))))
+              | _ -> Uncaught (Failure "fixture")));
+    };
+    {
+      name = "kill mid-shard: torn tail and gap degrade with a retry set";
+      group = "shard";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          with_tmp_journals 2 (fun paths ->
+              match paths with
+              | [ s0; s1 ] -> (
+                match run_shard ~index:0 ~count:2 s0 with
+                | Error d -> Graceful d
+                | Ok () -> (
+                  (* shard 1 died mid-write: a Batch_start and then a
+                     torn record fragment with no newline *)
+                  let oc = open_out s1 in
+                  output_string oc
+                    (Ser_util.Json.to_string ~indent:false
+                       (Journal.event_to_json
+                          (Journal.Batch_start
+                             {
+                               manifest = "";
+                               jobs =
+                                 List.filter
+                                   (fun id -> Shard.owner ~count:2 id = 1)
+                                   shard_ids;
+                               shard = Some (1, 2);
+                             }))
+                    ^ "\n");
+                  output_string oc {|{"ev":"done","job":"be|};
+                  close_out oc;
+                  match Merge.load [ s0; s1 ] with
+                  | Error d -> Graceful d
+                  | Ok sources ->
+                    let r = Merge.merge ~expect:expect_2 sources in
+                    if not (List.exists (fun s -> s.Merge.src_state.Journal.torn_tail) sources)
+                    then Uncaught (Failure "torn tail not detected")
+                    else if
+                      r.Merge.degraded
+                      && Merge.retry_manifest_ids r <> []
+                      && r.Merge.conflicts = []
+                    then Degraded
+                    else
+                      Uncaught
+                        (Failure "killed shard did not degrade with a retry set")))
+              | _ -> Uncaught (Failure "fixture")));
+    };
+    {
+      name = "overlapping assignment: a shard delivers jobs it does not own";
+      group = "shard";
+      expect = Must_flag;
+      run =
+        (fun () ->
+          with_tmp_journals 1 (fun paths ->
+              let p = List.hd paths in
+              (* journal claims shard 0/2 but ran the whole manifest *)
+              match
+                run_into ~shard:(0, 2) p (List.map id_worker shard_ids)
+              with
+              | Error d -> Graceful d
+              | Ok () -> (
+                match Merge.load [ p ] with
+                | Error d -> Graceful d
+                | Ok sources ->
+                  let r = Merge.merge ~expect:expect_2 sources in
+                  if r.Merge.foreign <> [] && r.Merge.conflicts = [] then
+                    Degraded
+                  else Uncaught (Failure "foreign jobs not flagged"))));
+    };
+  ]
+
 (* -------------------- serve daemon corruption ---------------------- *)
 
 module Server = Ser_serve.Server
@@ -934,7 +1164,7 @@ let serve_scenarios () =
 let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
   @ optimizer_scenarios () @ util_scenarios () @ obs_scenarios ()
-  @ jobs_scenarios () @ serve_scenarios ()
+  @ jobs_scenarios () @ shard_scenarios () @ serve_scenarios ()
 
 let run_all () =
   (* force the shared fixtures before fanning out: Lazy.force is not
@@ -943,7 +1173,7 @@ let run_all () =
   ignore (Lazy.force base_asg);
   let par, seq =
     List.partition
-      (fun s -> s.group <> "jobs" && s.group <> "serve")
+      (fun s -> s.group <> "jobs" && s.group <> "shard" && s.group <> "serve")
       (scenarios ())
   in
   let ps = Array.of_list par in

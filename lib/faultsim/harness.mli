@@ -26,7 +26,8 @@ type scenario = {
   name : string;
   group : string;
       (** ["parser"], ["verilog"], ["engine"], ["analysis"],
-          ["optimizer"], ["util"], ["obs"], ["jobs"], ["serve"] *)
+          ["optimizer"], ["util"], ["obs"], ["jobs"], ["shard"],
+          ["serve"] *)
   expect : expect;
   run : unit -> outcome;
 }
@@ -42,11 +43,11 @@ val run_scenario : scenario -> outcome
 val run_all : unit -> (scenario * outcome) list
 (** Run every scenario. Scenarios are independent and fan out over the
     {!Ser_par.Par} pool (one scenario per chunk); the result list keeps
-    the declaration order regardless of worker count. The ["jobs"] and
-    ["serve"] groups are the exception: those scenarios fork real child
-    processes (supervised workers, a live [sertool serve] daemon), and
-    forking from a pool worker domain is unsafe, so they run
-    sequentially on the calling domain. *)
+    the declaration order regardless of worker count. The ["jobs"],
+    ["shard"] and ["serve"] groups are the exception: those scenarios
+    fork real child processes (supervised workers, sharded batches, a
+    live [sertool serve] daemon), and forking from a pool worker domain
+    is unsafe, so they run sequentially on the calling domain. *)
 
 val satisfies : expect -> outcome -> bool
 (** Whether an outcome is acceptable for the scenario's expectation.

@@ -10,7 +10,11 @@ let subsystem = "jobs"
 let m_fsync_us = Ser_obs.Obs.Metrics.histogram "jobs.journal_fsync_us"
 
 type event =
-  | Batch_start of { manifest : string; jobs : string list }
+  | Batch_start of {
+      manifest : string;
+      jobs : string list;
+      shard : (int * int) option;
+    }
   | Enqueued of { job : string }
   | Started of { job : string; attempt : int }
   | Attempt_failed of {
@@ -25,13 +29,17 @@ type event =
   | Batch_end of { ok : int; failed : int; degraded : int; interrupted : int }
 
 let event_to_json = function
-  | Batch_start { manifest; jobs } ->
+  | Batch_start { manifest; jobs; shard } ->
     Json.Obj
-      [
-        ("ev", Json.Str "batch_start");
-        ("manifest", Json.Str manifest);
-        ("jobs", Json.List (List.map (fun j -> Json.Str j) jobs));
-      ]
+      ([
+         ("ev", Json.Str "batch_start");
+         ("manifest", Json.Str manifest);
+         ("jobs", Json.List (List.map (fun j -> Json.Str j) jobs));
+       ]
+      @
+      match shard with
+      | None -> []
+      | Some (i, n) -> [ ("shard", Json.int i); ("shards", Json.int n) ])
   | Enqueued { job } ->
     Json.Obj [ ("ev", Json.Str "enqueued"); ("job", Json.Str job) ]
   | Started { job; attempt } ->
@@ -104,7 +112,16 @@ let event_of_json j =
       let jobs = List.filter_map Json.to_str_opt items in
       if List.length jobs <> List.length items then
         Error "non-string entry in \"jobs\""
-      else Ok (Batch_start { manifest; jobs }))
+      else
+        (* the shard pair is optional so pre-shard journals replay
+           unchanged; a half-present pair is corruption, not legacy *)
+        let shard_i = Option.bind (Json.member "shard" j) Json.to_int_opt in
+        let shard_n = Option.bind (Json.member "shards" j) Json.to_int_opt in
+        (match (shard_i, shard_n) with
+        | Some i, Some n when n >= 1 && i >= 0 && i < n ->
+          Ok (Batch_start { manifest; jobs; shard = Some (i, n) })
+        | None, None -> Ok (Batch_start { manifest; jobs; shard = None })
+        | _ -> Error "invalid shard fields in batch_start"))
   | "enqueued" ->
     let* job = str "job" in
     Ok (Enqueued { job })
@@ -147,6 +164,7 @@ type final = { status : string; digest : string; payload : Json.t }
 type state = {
   manifest : string option;
   jobs : string list;
+  shard : (int * int) option;
   finals : (string * final) list;
   records : int;
   torn_tail : bool;
@@ -207,6 +225,7 @@ let empty_state =
   {
     manifest = None;
     jobs = [];
+    shard = None;
     finals = [];
     records = 0;
     torn_tail = false;
@@ -214,8 +233,8 @@ let empty_state =
   }
 
 let apply st = function
-  | Batch_start { manifest; jobs } ->
-    { st with manifest = Some manifest; jobs }
+  | Batch_start { manifest; jobs; shard } ->
+    { st with manifest = Some manifest; jobs; shard }
   | Done { job; status; digest; payload } ->
     (* last record wins, but keep first-completion order for the rest *)
     let final = { status; digest; payload } in
@@ -285,10 +304,8 @@ let replay path =
           | Some frag -> { !st with valid_bytes = n - String.length frag }
           | None -> { !st with valid_bytes = n }))
 
-let final_results_json st =
-  let sorted =
-    List.sort (fun (a, _) (b, _) -> compare a b) st.finals
-  in
+let results_json_of_finals finals =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) finals in
   Json.Obj
     [
       ( "results",
@@ -304,3 +321,5 @@ let final_results_json st =
                  ])
              sorted) );
     ]
+
+let final_results_json st = results_json_of_finals st.finals

@@ -12,7 +12,14 @@ module Json = Ser_util.Json
 module Diag = Ser_util.Diag
 
 type event =
-  | Batch_start of { manifest : string; jobs : string list }
+  | Batch_start of {
+      manifest : string;
+      jobs : string list;
+      shard : (int * int) option;
+          (** [(index, count)] when this journal covers one shard of a
+              sharded sweep; the merge step uses it to detect missing
+              shards and overlapping assignments. *)
+    }
       (** Written once, before any dispatch: pins the job universe so a
           resume against the wrong journal is rejected. *)
   | Enqueued of { job : string }
@@ -44,6 +51,7 @@ type final = { status : string; digest : string; payload : Json.t }
 type state = {
   manifest : string option;  (** from [Batch_start], if present *)
   jobs : string list;  (** job universe from [Batch_start] *)
+  shard : (int * int) option;  (** shard identity from [Batch_start] *)
   finals : (string * final) list;  (** [Done] jobs, journal order *)
   records : int;  (** complete records replayed *)
   torn_tail : bool;  (** a truncated trailing line was dropped *)
@@ -72,6 +80,12 @@ val replay : string -> (state, Diag.t) result
     (the journal is corrupt, not merely torn); a single unparseable
     record at end-of-file without a trailing newline is dropped and
     flagged [torn_tail]. *)
+
+val results_json_of_finals : (string * final) list -> Json.t
+(** Canonical results document for an explicit finals set, sorted by
+    job id — the single rendering shared by single-host runs and the
+    sharded {!Merge}, which is what makes a complete merge bit-identical
+    to a single-host run. *)
 
 val final_results_json : state -> Json.t
 (** Canonical results document derived from the journal alone:

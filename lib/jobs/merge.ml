@@ -1,0 +1,228 @@
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+module Obs = Ser_obs.Obs
+
+let subsystem = "jobs"
+
+let m_sources = Obs.Metrics.counter "merge.shards"
+let m_jobs = Obs.Metrics.counter "merge.jobs"
+let m_torn = Obs.Metrics.counter "merge.torn_tails"
+let m_overlaps = Obs.Metrics.counter "merge.overlaps"
+let m_conflicts = Obs.Metrics.counter "merge.conflicts"
+let m_gaps = Obs.Metrics.counter "merge.gaps"
+let m_bad_digest = Obs.Metrics.counter "merge.bad_digests"
+let m_foreign = Obs.Metrics.counter "merge.foreign"
+
+type source = { src_path : string; src_state : Journal.state }
+
+let load paths =
+  Diag.guard ~subsystem (fun () ->
+      List.map
+        (fun p ->
+          match Journal.replay p with
+          | Ok st -> { src_path = p; src_state = st }
+          | Error d -> raise (Diag.Diag_error d))
+        paths)
+
+type conflict = { cf_job : string; cf_digests : (string * string) list }
+
+type expect = { e_jobs : string list; e_shards : int }
+
+type report = {
+  finals : (string * Journal.final) list;
+  sources : int;
+  torn_tails : int;
+  overlaps : string list;
+  conflicts : conflict list;
+  bad_digests : (string * string) list;
+  foreign : (string * string) list;
+  shard_mismatches : string list;
+  missing_jobs : string list;
+  missing_shards : int list;
+  degraded : bool;
+}
+
+let digest_of_payload payload =
+  Digest.to_hex (Digest.string (Json.to_string ~indent:false payload))
+
+let merge ?expect sources =
+  (* order-independence: the report must not depend on the order the
+     operator listed the journals in *)
+  let sources =
+    List.sort (fun a b -> compare a.src_path b.src_path) sources
+  in
+  Obs.Metrics.add m_sources (List.length sources);
+  let torn_tails =
+    List.fold_left
+      (fun acc s -> if s.src_state.Journal.torn_tail then acc + 1 else acc)
+      0 sources
+  in
+  Obs.Metrics.add m_torn torn_tails;
+  (* job id -> (source path, final) claims, in sorted-source order *)
+  let claims : (string, (string * Journal.final) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  let bad_digests = ref [] in
+  let foreign = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (id, (f : Journal.final)) ->
+          if digest_of_payload f.Journal.payload <> f.Journal.digest then
+            bad_digests := (id, s.src_path) :: !bad_digests;
+          (match s.src_state.Journal.shard with
+          | Some (i, n) when Shard.owner ~count:n id <> i ->
+            foreign := (id, s.src_path) :: !foreign
+          | Some _ | None -> ());
+          match Hashtbl.find_opt claims id with
+          | None ->
+            order := id :: !order;
+            Hashtbl.replace claims id [ (s.src_path, f) ]
+          | Some prev -> Hashtbl.replace claims id (prev @ [ (s.src_path, f) ]))
+        s.src_state.Journal.finals)
+    sources;
+  let ids = List.rev !order in
+  let finals = ref [] in
+  let overlaps = ref [] in
+  let conflicts = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find claims id with
+      | [] -> ()
+      | ((_, first) :: rest) as all ->
+        let distinct =
+          List.sort_uniq compare
+            (List.map (fun (_, f) -> f.Journal.digest) all)
+        in
+        if List.length distinct > 1 then
+          conflicts :=
+            {
+              cf_job = id;
+              cf_digests = List.map (fun (p, f) -> (p, f.Journal.digest)) all;
+            }
+            :: !conflicts
+        else begin
+          (* duplicated shard or re-merged journal: same payload from
+             more than one source collapses to one record *)
+          if rest <> [] then overlaps := id :: !overlaps;
+          finals := (id, first) :: !finals
+        end)
+    ids;
+  let finals = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !finals) in
+  Obs.Metrics.add m_jobs (List.length finals);
+  let overlaps = List.sort compare !overlaps in
+  let conflicts = List.rev !conflicts in
+  let bad_digests = List.sort compare !bad_digests in
+  let foreign = List.sort compare !foreign in
+  Obs.Metrics.add m_overlaps (List.length overlaps);
+  Obs.Metrics.add m_conflicts (List.length conflicts);
+  Obs.Metrics.add m_bad_digest (List.length bad_digests);
+  Obs.Metrics.add m_foreign (List.length foreign);
+  let shard_mismatches, missing_jobs, missing_shards =
+    match expect with
+    | None -> ([], [], [])
+    | Some { e_jobs; e_shards } ->
+      let mismatches =
+        List.filter_map
+          (fun s ->
+            match s.src_state.Journal.shard with
+            | Some (_, n) when n <> e_shards -> Some s.src_path
+            | Some _ | None -> None)
+          sources
+      in
+      let missing_jobs =
+        List.sort compare
+          (List.filter (fun id -> not (Hashtbl.mem claims id)) e_jobs)
+      in
+      let covered = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          match s.src_state.Journal.shard with
+          | Some (i, n) when n = e_shards -> Hashtbl.replace covered i ()
+          | Some _ | None -> ())
+        sources;
+      let missing_shards =
+        List.filter
+          (fun i -> not (Hashtbl.mem covered i))
+          (List.init e_shards Fun.id)
+      in
+      (mismatches, missing_jobs, missing_shards)
+  in
+  Obs.Metrics.add m_gaps (List.length missing_jobs + List.length missing_shards);
+  {
+    finals;
+    sources = List.length sources;
+    torn_tails;
+    overlaps;
+    conflicts;
+    bad_digests;
+    foreign;
+    shard_mismatches;
+    missing_jobs;
+    missing_shards;
+    degraded = missing_jobs <> [] || missing_shards <> [];
+  }
+
+let integrity_error r =
+  if r.conflicts = [] && r.bad_digests = [] && r.shard_mismatches = [] then None
+  else
+    let parts =
+      List.map
+        (fun c ->
+          Printf.sprintf "job %S has %d conflicting digests (%s)" c.cf_job
+            (List.length (List.sort_uniq compare (List.map snd c.cf_digests)))
+            (String.concat ", "
+               (List.map
+                  (fun (p, d) ->
+                    Printf.sprintf "%s: %s" p
+                      (String.sub d 0 (min 12 (String.length d))))
+                  c.cf_digests)))
+        r.conflicts
+      @ List.map
+          (fun (job, path) ->
+            Printf.sprintf "job %S in %s: stored digest does not match its \
+                            payload"
+              job path)
+          r.bad_digests
+      @ List.map
+          (fun path ->
+            Printf.sprintf "%s journals a different shard count than this \
+                            merge expects"
+              path)
+          r.shard_mismatches
+    in
+    Some
+      (Diag.make ~subsystem
+         ~context:
+           [
+             ("conflicts", string_of_int (List.length r.conflicts));
+             ("bad_digests", string_of_int (List.length r.bad_digests));
+           ]
+         (Printf.sprintf "merge integrity violation: %s"
+            (String.concat "; " parts)))
+
+let results_json r =
+  let base = Journal.results_json_of_finals r.finals in
+  if not r.degraded then base
+  else
+    (* partial results must say so in the document itself, not only in
+       the process exit path *)
+    match base with
+    | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ( "merge",
+              Json.Obj
+                [
+                  ("degraded", Json.Bool true);
+                  ( "missing_jobs",
+                    Json.List (List.map (fun j -> Json.Str j) r.missing_jobs) );
+                  ( "missing_shards",
+                    Json.List (List.map Json.int r.missing_shards) );
+                ] );
+          ])
+    | other -> other
+
+let retry_manifest_ids r = r.missing_jobs

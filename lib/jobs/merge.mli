@@ -1,0 +1,87 @@
+(** Fold N shard journals into one results document, bit-identical to
+    a single-host run.
+
+    Each shard of a sweep appends to its own write-ahead {!Journal};
+    this module replays them all and reconstructs the exact results
+    document a single-host [sertool batch] over the same manifest
+    would have produced. The merge is defensive by construction:
+
+    - torn tails are tolerated per shard (the journal replay already
+      drops them) and counted;
+    - gaps — job ids the expectation demands but no journal delivers,
+      or whole shards with no journal — are reported as an explicit
+      missing-set and mark the merge [degraded] instead of failing;
+    - overlaps — the same job id delivered more than once with the
+      {e same} payload digest (duplicated shard, re-merged journal) —
+      are deduplicated, which is what makes re-merge idempotent;
+    - conflicts — the same job id with {e different} digests — and
+      records whose stored digest does not match their payload are
+      integrity violations, surfaced as a typed diagnostic
+      ({!integrity_error}), never silently resolved;
+    - a journal claiming shard [i/n] that holds jobs it does not own
+      under the {!Shard} assignment is flagged as a foreign/overlapping
+      assignment.
+
+    All detections feed [merge.*] metrics counters. *)
+
+module Json = Ser_util.Json
+module Diag = Ser_util.Diag
+
+type source = { src_path : string; src_state : Journal.state }
+
+val load : string list -> (source list, Diag.t) result
+(** Replay each journal path. Fails on unreadable files or corrupt
+    complete records (per {!Journal.replay}); torn tails are fine. *)
+
+type conflict = {
+  cf_job : string;
+  cf_digests : (string * string) list;
+      (** the distinct [(source path, digest)] claims, source order *)
+}
+
+type expect = {
+  e_jobs : string list;  (** the full manifest job universe *)
+  e_shards : int;  (** how many shards the sweep was split into *)
+}
+
+type report = {
+  finals : (string * Journal.final) list;  (** merged, job-id sorted *)
+  sources : int;
+  torn_tails : int;  (** shards whose journal ended mid-record *)
+  overlaps : string list;  (** deduplicated same-digest duplicates *)
+  conflicts : conflict list;  (** same job, different digests *)
+  bad_digests : (string * string) list;
+      (** [(job, source path)]: stored digest <> MD5 of the payload *)
+  foreign : (string * string) list;
+      (** [(job, source path)]: delivered by a shard that does not own
+          the id under the FNV assignment *)
+  shard_mismatches : string list;
+      (** source paths whose journalled shard count disagrees with
+          [expect.e_shards] *)
+  missing_jobs : string list;  (** expected but not delivered; sorted *)
+  missing_shards : int list;
+      (** expected shard indices no source journal covers; sorted *)
+  degraded : bool;  (** [missing_jobs <> [] || missing_shards <> []] *)
+}
+
+val merge : ?expect:expect -> source list -> report
+(** Pure fold over replayed states. Without [expect] only conflicts,
+    overlaps, digest checks and per-source foreign-job checks run; with
+    it, gap detection against the declared job universe and shard count
+    too. Deterministic in the source {e set}: the same journals in any
+    order produce the same report (sources are sorted internally). *)
+
+val integrity_error : report -> Diag.t option
+(** [Some diag] when the report holds conflicts, digest mismatches or
+    shard-count mismatches — states where no merged document can be
+    trusted. Gaps and foreign jobs do not trip this; they degrade. *)
+
+val results_json : report -> Json.t
+(** The merged results document. For a complete, conflict-free merge
+    this is byte-identical to {!Journal.final_results_json} of a
+    single-host run. A degraded merge appends one extra ["merge"]
+    field carrying [degraded], [missing_jobs] and [missing_shards] —
+    partial results are explicit, never silent. *)
+
+val retry_manifest_ids : report -> string list
+(** The job ids a retry manifest must cover: [missing_jobs], sorted. *)

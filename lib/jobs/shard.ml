@@ -1,0 +1,38 @@
+type t = { index : int; count : int }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Error (Printf.sprintf "bad shard %S (want I/N, e.g. 0/3)" s)
+  | Some slash -> (
+    let i_s = String.sub s 0 slash in
+    let n_s = String.sub s (slash + 1) (String.length s - slash - 1) in
+    match (int_of_string_opt i_s, int_of_string_opt n_s) with
+    | Some index, Some count when count >= 1 && index >= 0 && index < count ->
+      Ok { index; count }
+    | Some _, Some count when count < 1 ->
+      Error (Printf.sprintf "bad shard %S: count must be >= 1" s)
+    | Some _, Some _ ->
+      Error (Printf.sprintf "bad shard %S: index must be in [0, count)" s)
+    | _ -> Error (Printf.sprintf "bad shard %S (want I/N, e.g. 0/3)" s))
+
+let to_string t = Printf.sprintf "%d/%d" t.index t.count
+
+(* Same FNV-1a as Supervisor.jitter: well mixed for short strings, and
+   trivially reimplementable by any external tool that wants to
+   precompute its own shard's job set. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let owner ~count id =
+  if count < 1 then
+    invalid_arg (Printf.sprintf "Shard.owner: count must be >= 1 (got %d)" count);
+  Int64.to_int (Int64.unsigned_rem (fnv1a id) (Int64.of_int count))
+
+let mine t id = owner ~count:t.count id = t.index
+
+let select t ~id items = List.filter (fun x -> mine t (id x)) items

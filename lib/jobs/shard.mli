@@ -1,0 +1,31 @@
+(** Deterministic shard assignment over a batch manifest.
+
+    A sweep split across [n] workers gives worker [i] the jobs whose
+    FNV-1a hash lands in residue class [i] mod [n]. The assignment is
+    a pure function of the job id and the shard count — no
+    coordinator, no shared state — so any worker (or the merge step)
+    can recompute any shard's job set and detect gaps or overlapping
+    assignments after the fact. *)
+
+type t = { index : int; count : int }
+(** Shard [index] of [count] total; [0 <= index < count]. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["I/N"] (e.g. ["0/3"]). Rejects [N < 1], [I < 0],
+    [I >= N] and anything non-numeric. *)
+
+val to_string : t -> string
+(** Renders back to ["I/N"]. *)
+
+val owner : count:int -> string -> int
+(** The shard index that owns [job_id] in a [count]-way split:
+    FNV-1a(id) mod count. Raises [Invalid_argument] when
+    [count < 1]. [owner ~count:1 id = 0] for every id. *)
+
+val mine : t -> string -> bool
+(** [mine t id] — does shard [t] own [id]? *)
+
+val select : t -> id:('a -> string) -> 'a list -> 'a list
+(** Filter a manifest down to this shard's jobs, preserving order.
+    The union of [select {index = i; count = n}] over all [i] is a
+    partition of the input. *)

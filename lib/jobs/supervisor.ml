@@ -339,7 +339,7 @@ let classify r status =
 
 type pend = { p_job : job; p_attempt : int; ready_at : float }
 
-let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
+let run ?(stop = fun () -> false) ?(on_event = fun _ -> ()) ?shard
     (cfg : config) ~(journal : Journal.t) ?resume jobs =
   Diag.guard ~subsystem @@ fun () ->
   if cfg.parallel < 1 then
@@ -354,7 +354,9 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
         Diag.fail ~subsystem ~context:[ Diag.job id ] "duplicate job id %S" id;
       Hashtbl.replace seen id ())
     ids;
-  (* resume validation: the journal must describe this exact batch *)
+  (* resume validation: the journal must describe this exact batch,
+     including its shard identity — resuming shard 1/3 onto shard 0/3's
+     journal would silently fuse two different job universes *)
   let finals_from_journal =
     match resume with
     | None -> []
@@ -365,14 +367,31 @@ let run ?(stop = fun () -> false) ?(on_event = fun _ -> ())
            first %s)"
           (List.length st.Journal.jobs)
           (match st.Journal.jobs with j :: _ -> Printf.sprintf "%S" j | [] -> "-");
+      if st.Journal.jobs <> [] && st.Journal.shard <> shard then
+        Diag.fail ~subsystem
+          "cannot resume: journal belongs to shard %s but this run is %s"
+          (match st.Journal.shard with
+          | Some (i, n) -> Printf.sprintf "%d/%d" i n
+          | None -> "(unsharded)")
+          (match shard with
+          | Some (i, n) -> Printf.sprintf "%d/%d" i n
+          | None -> "(unsharded)");
       List.filter (fun (id, _) -> List.mem id ids) st.Journal.finals
   in
   let record ev =
     Journal.append journal ev;
     on_event ev
   in
-  if resume = None then
-    record (Journal.Batch_start { manifest = ""; jobs = ids });
+  (* a journal whose tear swallowed the batch_start record replays to an
+     empty state; resuming it is a fresh start and must re-establish the
+     batch identity or the merged journal has no owner *)
+  let journal_has_header =
+    match resume with
+    | Some (st : Journal.state) -> st.Journal.jobs <> []
+    | None -> false
+  in
+  if not journal_has_header then
+    record (Journal.Batch_start { manifest = ""; jobs = ids; shard });
   (* outcome table; pre-seeded from the journal on resume *)
   let outcomes : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
   List.iter

@@ -99,6 +99,7 @@ type summary = {
 val run :
   ?stop:(unit -> bool) ->
   ?on_event:(Journal.event -> unit) ->
+  ?shard:int * int ->
   config ->
   journal:Journal.t ->
   ?resume:Journal.state ->
@@ -110,8 +111,12 @@ val run :
     as [Interrupted], and the partial summary is returned with
     [drained = true]. With [resume], jobs holding a [Done] record are
     skipped and their journalled outcome is returned verbatim; the
-    resume state must describe the same job universe. [on_event] sees
-    every journal record as it is appended (progress reporting). *)
+    resume state must describe the same job universe and the same
+    [shard] identity. [shard] is stamped into the [Batch_start] record
+    so {!Merge} can later detect missing shards and overlapping
+    assignments; the caller is expected to have already filtered the
+    job list with {!Shard.select}. [on_event] sees every journal
+    record as it is appended (progress reporting). *)
 
 val with_signal_drain : ((unit -> bool) -> 'a) -> 'a
 (** [with_signal_drain f] installs SIGINT/SIGTERM handlers that latch

@@ -201,7 +201,42 @@ let path_probabilities ?(domains = 0) ?pi_probs ~rng ~vectors (c : Circuit.t) =
     Array.of_list
       (List.filter (fun i -> not (Circuit.is_input c i)) (List.init n Fun.id))
   in
+  (* Per-gate cost is the fanout-cone size, and cones are heavily
+     skewed: gates near the primary inputs drag cones of thousands of
+     gates while sinks touch a handful (the incr.cone_gates histogram
+     shows the same spread on the incremental path). Topological id
+     order clusters the heavy gates into the same leading chunks, so
+     the default ~32-chunk split leaves one chunk ~4x the mean and a
+     straggler tail no amount of stealing can break up (c7552:
+     par.chunk max/mean > 4 inside every aserta.masking batch). Dealing
+     the gates round-robin across the chunks in descending cone order
+     gives every chunk the same heavy-to-light profile, so chunk sums
+     even out and stealing only has to absorb the residue. Gate order
+     is free to change: each gate owns its [detect] row and its
+     patterns come from the index-keyed stream, so results stay
+     bit-identical for any order, chunking and worker count. *)
   let n_gates = Array.length gates in
+  let chunk = max 1 ((n_gates + 63) / 64) in
+  if n_gates > 1 then begin
+    Array.sort
+      (fun a b ->
+        match compare (Array.length cones.(b)) (Array.length cones.(a)) with
+        | 0 -> compare a b
+        | r -> r)
+      gates;
+    let nchunks = (n_gates + chunk - 1) / chunk in
+    let dealt = Array.make n_gates gates.(0) in
+    let pos = ref 0 in
+    for c = 0 to nchunks - 1 do
+      let s = ref c in
+      while !s < n_gates do
+        dealt.(!pos) <- gates.(!s);
+        Stdlib.incr pos;
+        s := !s + nchunks
+      done
+    done;
+    Array.blit dealt 0 gates 0 n_gates
+  end;
   (* [domains = 1] forces inline execution; anything else defers to the
      shared lib/par pool. Results are bit-identical either way: every
      gate's detect row is owned by exactly one chunk, and the random
@@ -229,7 +264,7 @@ let path_probabilities ?(domains = 0) ?pi_probs ~rng ~vectors (c : Circuit.t) =
       done
     in
     if sequential then body ~slot:0 ~lo:0 ~hi:n_gates
-    else Ser_par.Par.parallel_chunks ~n:n_gates body
+    else Ser_par.Par.parallel_chunks ~chunk ~n:n_gates body
   done;
   let p =
     Array.map

@@ -383,6 +383,166 @@ module Trace = struct
             [ ("tool", Json.Str "sertool"); ("dropped", Json.int (dropped ())) ]
         );
       ]
+
+  (* ---------------- exported-document surgery ---------------- *)
+
+  let doc_events doc =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+    | Some evs -> evs
+    | None -> []
+
+  let doc_dropped doc =
+    match
+      Option.bind
+        (Option.bind (Json.member "otherData" doc) (Json.member "dropped"))
+        Json.to_int_opt
+    with
+    | Some n -> n
+    | None -> 0
+
+  (* One worker's trace timeline uses small thread ids (domain
+     numbers); give each shard its own tid band so N workers' domains
+     land side by side on one merged timeline instead of on top of
+     each other. *)
+  let shard_tid_stride = 1000
+
+  let merge_documents docs =
+    let remap shard ev =
+      match ev with
+      | Json.Obj fields ->
+        let fields =
+          List.map
+            (fun (k, v) ->
+              match (k, v) with
+              | "tid", _ ->
+                let tid =
+                  match Json.to_int_opt v with Some t -> t | None -> 0
+                in
+                ("tid", Json.int ((shard * shard_tid_stride) + tid))
+              | "args", Json.Obj args
+                when Json.member "ph" ev = Some (Json.Str "M") ->
+                ( "args",
+                  Json.Obj
+                    (List.map
+                       (fun (ak, av) ->
+                         match (ak, av) with
+                         | "name", Json.Str n ->
+                           ("name", Json.Str (Printf.sprintf "shard%d/%s" shard n))
+                         | _ -> (ak, av))
+                       args) )
+              | _ -> (k, v))
+            fields
+        in
+        Json.Obj fields
+      | other -> other
+    in
+    let events =
+      List.concat_map
+        (fun (shard, doc) -> List.map (remap shard) (doc_events doc))
+        docs
+    in
+    let dropped = List.fold_left (fun acc (_, d) -> acc + doc_dropped d) 0 docs in
+    Json.Obj
+      [
+        ("traceEvents", Json.List events);
+        ("displayTimeUnit", Json.Str "ms");
+        ( "otherData",
+          Json.Obj
+            [
+              ("tool", Json.Str "sertool");
+              ("merged_from", Json.int (List.length docs));
+              ("dropped", Json.int dropped);
+            ] );
+      ]
+
+  type row = {
+    row_name : string;
+    row_count : int;
+    row_total_us : float;
+    row_self_us : float;
+  }
+
+  let tabulate doc =
+    (* fold B/E/X events into per-name total and self time. Events are
+       processed per (pid, tid) in document order — the order the
+       exporter (and merge_documents) emits them, which is already
+       chronological within one thread. "X" events carry their own
+       duration and are charged entirely to themselves. *)
+    let rows : (string, int ref * float ref * float ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let charge name ~total ~self =
+      let c, t, s =
+        match Hashtbl.find_opt rows name with
+        | Some r -> r
+        | None ->
+          let r = (ref 0, ref 0., ref 0.) in
+          Hashtbl.replace rows name r;
+          r
+      in
+      incr c;
+      t := !t +. total;
+      s := !s +. self
+    in
+    let stacks : (int * int, (string * float * float ref) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let stack_of ev =
+      let geti k =
+        match Option.bind (Json.member k ev) Json.to_int_opt with
+        | Some n -> n
+        | None -> 0
+      in
+      let key = (geti "pid", geti "tid") in
+      match Hashtbl.find_opt stacks key with
+      | Some st -> st
+      | None ->
+        let st = ref [] in
+        Hashtbl.replace stacks key st;
+        st
+    in
+    List.iter
+      (fun ev ->
+        let str k = Option.bind (Json.member k ev) Json.to_str_opt in
+        let num k = Option.bind (Json.member k ev) Json.to_float_opt in
+        match (str "ph", str "name", num "ts") with
+        | Some "B", Some name, Some ts ->
+          let st = stack_of ev in
+          st := (name, ts, ref 0.) :: !st
+        | Some "E", _, Some ts -> (
+          let st = stack_of ev in
+          match !st with
+          | [] -> () (* orphan close: exporter repair already dropped ours *)
+          | (name, t0, child) :: rest ->
+            st := rest;
+            let dur = Float.max 0. (ts -. t0) in
+            charge name ~total:dur ~self:(Float.max 0. (dur -. !child));
+            (match rest with
+            | (_, _, parent_child) :: _ -> parent_child := !parent_child +. dur
+            | [] -> ()))
+        | Some "X", Some name, Some _ ->
+          let dur = match num "dur" with Some d -> d | None -> 0. in
+          charge name ~total:dur ~self:dur
+        | _ -> ())
+      (doc_events doc);
+    let listed =
+      Hashtbl.fold
+        (fun name (c, t, s) acc ->
+          {
+            row_name = name;
+            row_count = !c;
+            row_total_us = !t;
+            row_self_us = !s;
+          }
+          :: acc)
+        rows []
+    in
+    List.sort
+      (fun a b ->
+        match compare b.row_self_us a.row_self_us with
+        | 0 -> compare a.row_name b.row_name
+        | c -> c)
+      listed
 end
 
 (* ------------------------------------------------------------------ *)

@@ -138,6 +138,28 @@ module Trace : sig
       properly nested per thread id: orphan "E" events are dropped and
       unclosed "B" spans get a synthetic close at the buffer's last
       timestamp. *)
+
+  val merge_documents : (int * Ser_util.Json.t) list -> Ser_util.Json.t
+  (** Fold per-worker trace documents into one multi-worker timeline:
+      each [(shard, doc)] gets its thread ids moved into a per-shard
+      band ([shard * 1000 + tid]) and its thread names prefixed
+      ["shard<i>/"], so N shards' domains render side by side in
+      Perfetto. Dropped-event counts are summed into [otherData]. *)
+
+  type row = {
+    row_name : string;
+    row_count : int;
+    row_total_us : float;  (** wall time inside spans of this name *)
+    row_self_us : float;  (** total minus time in nested child spans *)
+  }
+
+  val tabulate : Ser_util.Json.t -> row list
+  (** Fold an exported (or merged) trace document into a per-span-name
+      self/total-time table, sorted by self time descending. "B"/"E"
+      pairs are matched per (pid, tid) with a stack, so child time is
+      subtracted from the parent's self time; "X" complete events are
+      charged entirely to themselves. Unbalanced tails (orphan closes)
+      are skipped, mirroring the exporter's repair rules. *)
 end
 
 val memory_probe : unit -> unit

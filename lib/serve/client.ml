@@ -109,6 +109,85 @@ let call_gen ~retry_rejections ?(opts = default_opts) addr request =
   in
   go 0 "never attempted"
 
+(* -------------------- persistent connections -------------------- *)
+
+type conn = {
+  c_addr : Server.addr;
+  c_opts : opts;
+  mutable c_fd : Unix.file_descr option;
+}
+
+let conn ?(opts = default_opts) addr = { c_addr = addr; c_opts = opts; c_fd = None }
+
+let conn_drop c =
+  match c.c_fd with
+  | None -> ()
+  | Some fd ->
+    c.c_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let conn_close = conn_drop
+
+let conn_fd c =
+  match c.c_fd with
+  | Some fd -> Ok fd
+  | None -> (
+    match connect c.c_opts c.c_addr with
+    | Ok fd ->
+      c.c_fd <- Some fd;
+      Ok fd
+    | Error msg -> Error msg)
+
+(* One exchange over the persistent fd. Any transport failure — EPIPE
+   on write into a dead server, EOF or garbage on read — poisons the
+   fd: responses could otherwise desynchronise from requests, so the
+   only safe reaction is to drop the connection and dial fresh. *)
+let conn_once c request =
+  match conn_fd c with
+  | Error msg -> Error (`Transport msg)
+  | Ok fd -> (
+    let fail r =
+      conn_drop c;
+      r
+    in
+    match Frame.write_frame fd request with
+    | Error e -> fail (Error (`Transport (Frame.error_to_string e)))
+    | Ok () -> (
+      let deadline = Mono.now () +. c.c_opts.request_timeout_s in
+      match Frame.read_frame ~max:c.c_opts.max_frame ~deadline fd with
+      | Error Frame.Timeout -> fail (Error (`Timeout c.c_opts.request_timeout_s))
+      | Error e -> fail (Error (`Transport (Frame.error_to_string e)))
+      | Ok json -> (
+        match Wire.response_of_json json with
+        | Ok r -> Ok r (* the connection stays open for the next call *)
+        | Error msg -> fail (Error (`Transport ("bad envelope: " ^ msg))))))
+
+let conn_call c request =
+  (* Transparent reconnect-and-retry: a first failure on a kept-alive
+     fd is most often a stale connection (the daemon restarted since
+     the last exchange), which conn_once already turned into a fresh
+     dial — so the retry loop is the same transport policy as {!call}.
+     Timeouts are not retried: the request may still be executing. *)
+  let opts = c.c_opts in
+  let rec go attempt last =
+    if attempt > opts.retries then
+      Error
+        (Diag.make ~subsystem
+           ~context:[ ("attempts", string_of_int attempt) ]
+           (Printf.sprintf "request failed after %d attempt(s): %s" attempt
+              last))
+    else begin
+      if attempt > 0 then Unix.sleepf (backoff opts (attempt - 1));
+      match conn_once c request with
+      | Ok r -> Ok r
+      | Error (`Timeout s) ->
+        Error
+          (Diag.make ~subsystem (Printf.sprintf "no response within %.1fs" s))
+      | Error (`Transport msg) -> go (attempt + 1) msg
+    end
+  in
+  go 0 "never attempted"
+
 let call ?opts addr request =
   call_gen ~retry_rejections:false ?opts addr request
 

@@ -27,7 +27,35 @@ val call :
   Server.addr ->
   Ser_util.Json.t ->
   (Wire.response, Ser_util.Diag.t) result
-(** One request/response exchange with transport-level retry. *)
+(** One request/response exchange with transport-level retry. Opens
+    and closes a fresh socket — for repeated requests prefer a
+    {!conn}. *)
+
+(** {1 Persistent connections}
+
+    The framing protocol already permits many request/response
+    exchanges per connection (the daemon keeps a connection open after
+    responding); a [conn] keeps the socket alive across calls so a
+    sweep of requests pays one dial, not N. *)
+
+type conn
+(** A kept-alive client connection. Not thread-safe: one domain per
+    conn. The socket is dialed lazily on the first call. *)
+
+val conn : ?opts:opts -> Server.addr -> conn
+
+val conn_call :
+  conn -> Ser_util.Json.t -> (Wire.response, Ser_util.Diag.t) result
+(** One exchange over the kept-alive connection, with transparent
+    reconnect-and-retry: any transport failure (stale fd after a
+    daemon restart, EPIPE, EOF mid-response) drops the socket and
+    retries on a fresh dial under the same backoff budget as {!call}.
+    Timeouts are surfaced, not retried — the request may still be
+    executing server-side. *)
+
+val conn_close : conn -> unit
+(** Close the socket (if open). The conn may be reused afterwards; the
+    next call dials again. *)
 
 val call_retrying :
   ?opts:opts ->

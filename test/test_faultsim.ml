@@ -27,6 +27,19 @@ let test_jobs_group_present () =
     true
     (List.length js >= 6)
 
+let test_shard_group_present () =
+  (* the sharded-sweep scenarios fork supervised workers and merge
+     their journals; make sure the group is in the catalogue and ran *)
+  let ss =
+    List.filter
+      (fun ((s : H.scenario), _) -> s.H.group = "shard")
+      (Lazy.force results)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "shard scenarios present (got %d)" (List.length ss))
+    true
+    (List.length ss >= 6)
+
 let test_serve_group_present () =
   (* the daemon scenarios fork a live sertool-serve child; make sure
      the group is in the catalogue and actually ran *)
@@ -117,6 +130,8 @@ let () =
         [
           Alcotest.test_case "catalogue size" `Quick test_catalogue_size;
           Alcotest.test_case "jobs group present" `Quick test_jobs_group_present;
+          Alcotest.test_case "shard group present" `Quick
+            test_shard_group_present;
           Alcotest.test_case "serve group present" `Quick
             test_serve_group_present;
           Alcotest.test_case "zero uncaught exceptions" `Quick

@@ -8,6 +8,8 @@ module Json = Ser_util.Json
 module Diag = Ser_util.Diag
 module Journal = Ser_jobs.Journal
 module Supervisor = Ser_jobs.Supervisor
+module Shard = Ser_jobs.Shard
+module Merge = Ser_jobs.Merge
 
 let tmp_path suffix =
   let p = Filename.temp_file "test_jobs" suffix in
@@ -35,14 +37,16 @@ let fast_config =
     backoff_max_s = 0.05;
   }
 
-let run_batch ?stop ?on_event ?resume cfg ~journal_path jobs =
+let run_batch ?stop ?on_event ?resume ?shard cfg ~journal_path jobs =
   match Journal.create ?resume journal_path with
   | Error d -> Alcotest.fail (Diag.to_string d)
   | Ok j ->
     Fun.protect
       ~finally:(fun () -> Journal.close j)
       (fun () ->
-        match Supervisor.run ?stop ?on_event cfg ~journal:j ?resume jobs with
+        match
+          Supervisor.run ?stop ?on_event ?shard cfg ~journal:j ?resume jobs
+        with
         | Error d -> Alcotest.fail (Diag.to_string d)
         | Ok s -> s)
 
@@ -315,6 +319,172 @@ let truncation_resume_prop =
       ignore (run_batch ~resume:st fast_config ~journal_path:path (jobs ()));
       String.equal expected (results_of_journal path))
 
+(* ------------------- sharded sweeps and merge -------------------- *)
+
+let test_shard_assignment () =
+  (match Shard.of_string "0/3" with
+  | Ok t -> Alcotest.(check string) "roundtrip" "0/3" (Shard.to_string t)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Shard.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "3/3"; "-1/3"; "0/0"; "x/y"; "1"; "1/"; "/3"; "1/2/3"; "" ];
+  let ids = List.init 40 (fun i -> Printf.sprintf "job%d" i) in
+  List.iter
+    (fun id -> Alcotest.(check int) "1-way" 0 (Shard.owner ~count:1 id))
+    ids;
+  (* a 3-way split partitions the manifest: every id in exactly one
+     shard, manifest order preserved within each *)
+  let n = 3 in
+  let parts =
+    List.init n (fun index -> Shard.select { Shard.index; count = n } ~id:Fun.id ids)
+  in
+  Alcotest.(check int) "partition covers" (List.length ids)
+    (List.length (List.concat parts));
+  List.iteri
+    (fun i part ->
+      List.iter
+        (fun id ->
+          Alcotest.(check int) "owner agrees" i (Shard.owner ~count:n id);
+          Alcotest.(check bool) "mine agrees" true
+            (Shard.mine { Shard.index = i; count = n } id))
+        part;
+      Alcotest.(check (list string))
+        "manifest order"
+        (List.filter (fun id -> List.mem id part) ids)
+        part)
+    parts
+
+let load_or_fail paths =
+  match Merge.load paths with
+  | Ok s -> s
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+let merged_doc r = Json.to_string ~indent:false (Merge.results_json r)
+
+let test_merge_conflict_and_dedup () =
+  let j1 = tmp_path ".journal" and j2 = tmp_path ".journal" in
+  ignore (run_batch fast_config ~journal_path:j1 [ ok_job ~id:"a" 1 ]);
+  ignore (run_batch fast_config ~journal_path:j2 [ ok_job ~id:"a" 2 ]);
+  (* same job id, different payloads: a typed integrity violation *)
+  let r = Merge.merge (load_or_fail [ j1; j2 ]) in
+  Alcotest.(check int) "one conflict" 1 (List.length r.Merge.conflicts);
+  (match Merge.integrity_error r with
+  | None -> Alcotest.fail "conflict did not trip the integrity check"
+  | Some d ->
+    Alcotest.(check bool) "names the job" true
+      (let msg = Diag.to_string d in
+       String.length msg > 0));
+  (* the same journal twice is an overlap, not a conflict, and the
+     merged document is unchanged: re-merge is idempotent *)
+  let r1 = Merge.merge (load_or_fail [ j1 ]) in
+  let r2 = Merge.merge (load_or_fail [ j1; j1 ]) in
+  Alcotest.(check (list string)) "overlap flagged" [ "a" ] r2.Merge.overlaps;
+  Alcotest.(check int) "no conflicts" 0 (List.length r2.Merge.conflicts);
+  Alcotest.(check bool) "no integrity error" true
+    (Merge.integrity_error r2 = None);
+  Alcotest.(check string) "idempotent" (merged_doc r1) (merged_doc r2)
+
+let test_merge_gap_retry () =
+  let ids = [ "a"; "b"; "c"; "d" ] in
+  let mine = Shard.select { Shard.index = 0; count = 2 } ~id:Fun.id ids in
+  let theirs = List.filter (fun id -> not (List.mem id mine)) ids in
+  let path = tmp_path ".journal" in
+  ignore
+    (run_batch ~shard:(0, 2) fast_config ~journal_path:path
+       (List.map (fun id -> ok_job ~id 1) mine));
+  (* merging only shard 0 of 2: a gap, not a failure *)
+  let r =
+    Merge.merge
+      ~expect:{ Merge.e_jobs = ids; e_shards = 2 }
+      (load_or_fail [ path ])
+  in
+  Alcotest.(check bool) "degraded" true r.Merge.degraded;
+  Alcotest.(check (list string))
+    "missing jobs" (List.sort compare theirs) r.Merge.missing_jobs;
+  Alcotest.(check (list int)) "missing shard" [ 1 ] r.Merge.missing_shards;
+  Alcotest.(check (list string))
+    "retry set" r.Merge.missing_jobs (Merge.retry_manifest_ids r);
+  Alcotest.(check bool) "gaps are not integrity errors" true
+    (Merge.integrity_error r = None);
+  match Merge.results_json r with
+  | Json.Obj fields ->
+    Alcotest.(check bool) "document says degraded" true
+      (List.mem_assoc "merge" fields)
+  | _ -> Alcotest.fail "results not an object"
+
+(* The sharding contract, as a property: split the manifest across a
+   random shard count, SIGKILL every shard at a random byte of its
+   journal (truncation), resume each, then merge — the merged results
+   document is bit-identical to the single-host run's. *)
+let merge_determinism_prop =
+  let all_jobs () =
+    [
+      ok_job ~id:"alpha" 1;
+      ok_job ~id:"beta" 2;
+      ok_job ~id:"gamma" 3;
+      diag_job ~id:"delta";
+      ok_job ~id:"epsilon" 5;
+      ok_job ~id:"zeta" 6;
+    ]
+  in
+  let ids = List.map (fun (j : Supervisor.job) -> j.Supervisor.id) (all_jobs ()) in
+  let reference =
+    lazy
+      (let path = tmp_path ".journal" in
+       ignore (run_batch fast_config ~journal_path:path (all_jobs ()));
+       results_of_journal path)
+  in
+  QCheck.Test.make ~count:10
+    ~name:"shard + truncate + resume + merge = bit-identical to single-host"
+    QCheck.(
+      pair (int_range 1 4)
+        (array_of_size (Gen.return 4) (float_bound_inclusive 1.)))
+    (fun (n, fracs) ->
+      (* shrinking may step outside the generator's range; clamp *)
+      let n = max 1 (min 4 n) in
+      let frac i =
+        if Array.length fracs = 0 then 1. else fracs.(i mod Array.length fracs)
+      in
+      let expected = Lazy.force reference in
+      let paths = List.init n (fun _ -> tmp_path ".journal") in
+      List.iteri
+        (fun i path ->
+          let mine =
+            Shard.select { Shard.index = i; count = n }
+              ~id:(fun (j : Supervisor.job) -> j.Supervisor.id)
+              (all_jobs ())
+          in
+          ignore (run_batch ~shard:(i, n) fast_config ~journal_path:path mine);
+          (* cut the shard's journal at an arbitrary byte and resume *)
+          let full = In_channel.with_open_bin path In_channel.input_all in
+          let cut =
+            min (String.length full)
+              (int_of_float (frac i *. float_of_int (String.length full)))
+          in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (String.sub full 0 cut));
+          let st =
+            match Journal.replay path with
+            | Ok st -> st
+            | Error d -> QCheck.Test.fail_report (Diag.to_string d)
+          in
+          ignore
+            (run_batch ~resume:st ~shard:(i, n) fast_config ~journal_path:path
+               mine))
+        paths;
+      let r =
+        Merge.merge
+          ~expect:{ Merge.e_jobs = ids; e_shards = n }
+          (load_or_fail paths)
+      in
+      (match Merge.integrity_error r with
+      | Some d -> QCheck.Test.fail_report (Diag.to_string d)
+      | None -> ());
+      (not r.Merge.degraded) && String.equal expected (merged_doc r))
+
 let () =
   Alcotest.run "ser_jobs"
     [
@@ -337,5 +507,15 @@ let () =
           Alcotest.test_case "resume skips finals" `Quick test_resume_skips;
           Alcotest.test_case "resume wrong batch" `Quick test_resume_wrong_batch;
           QCheck_alcotest.to_alcotest truncation_resume_prop;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "assignment partitions the manifest" `Quick
+            test_shard_assignment;
+          Alcotest.test_case "merge: conflict rejected, overlap deduped" `Quick
+            test_merge_conflict_and_dedup;
+          Alcotest.test_case "merge: gaps degrade with a retry set" `Quick
+            test_merge_gap_retry;
+          QCheck_alcotest.to_alcotest merge_determinism_prop;
         ] );
     ]
