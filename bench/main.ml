@@ -793,6 +793,125 @@ let serve_bench () =
           close_out oc;
           Printf.printf "  wrote BENCH_serve.json\n"))
 
+let odc_bench () =
+  section "ODC (lib/odc): discovery, prune speedup, optimizer seeding";
+  let module Odc = Ser_odc.Odc in
+  let module Analysis = Aserta.Analysis in
+  let module Circuit = Ser_netlist.Circuit in
+  let fail d = failwith (Ser_util.Diag.to_string d) in
+  (* TMR gives provable don't-cares with small supports: each replica
+     gate is masked by its voter, exhaustively, over <= 5 inputs *)
+  let c = Ser_harden.Transforms.tmr (Ser_circuits.Iscas.load "c17") in
+  let report = Odc.analyze ~config:{ Odc.default with Odc.vectors = 2000 } c in
+  let proven = Odc.n_proven report in
+  Printf.printf "  %s: %d sites -> %d proven masked, %d observed, %d sampled\n"
+    c.Circuit.name
+    (Array.length report.Odc.sites)
+    proven (Odc.n_observed report) (Odc.n_sampled report);
+  if proven = 0 then begin
+    Printf.eprintf "FATAL: TMR circuit has no provably-masked gates\n";
+    exit 1
+  end;
+  let lib = Ser_cell.Library.create () in
+  let asg = Sertopt.Optimizer.size_for_speed lib c in
+  let config = { Analysis.default_config with Analysis.vectors = 60_000 } in
+  let time f =
+    let t0 = Ser_util.Mono.now () in
+    let r = f () in
+    (r, Ser_util.Mono.now () -. t0)
+  in
+  let a_plain, t_plain = time (fun () -> Analysis.run ~config lib asg) in
+  let prune =
+    match Odc.prune_set c report with Ok p -> p | Error d -> fail d
+  in
+  let a_pruned, t_pruned = time (fun () -> Analysis.run ~config ~prune lib asg) in
+  (* the whole point of the prune: bit-identical, only faster *)
+  let identical =
+    Int64.bits_of_float a_plain.Analysis.total
+      = Int64.bits_of_float a_pruned.Analysis.total
+    && Array.for_all2
+         (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+         a_plain.Analysis.unreliability a_pruned.Analysis.unreliability
+  in
+  if not identical then begin
+    Printf.eprintf "FATAL: pruned analysis is not bit-identical\n";
+    exit 1
+  end;
+  let speedup = t_plain /. Float.max 1e-9 t_pruned in
+  Printf.printf
+    "  analysis (%d vectors): unpruned %.3f s, pruned %.3f s (%.2fx, \
+     bit-identical)\n"
+    config.Analysis.vectors t_plain t_pruned speedup;
+  (* optimizer seeding: start from a mid-size baseline so low-obs gates
+     actually have smaller variants to fall to *)
+  let obs = match Odc.obs_array c report with Ok o -> o | Error d -> fail d in
+  let mid = Ser_sta.Assignment.uniform lib c in
+  for id = 0 to Circuit.node_count c - 1 do
+    if not (Circuit.is_input c id) then begin
+      let nd = Circuit.node c id in
+      let menu =
+        Ser_cell.Library.variants lib nd.Circuit.kind
+          (Array.length nd.Circuit.fanin)
+        |> List.sort (fun a b ->
+               compare a.Ser_device.Cell_params.size b.Ser_device.Cell_params.size)
+      in
+      match List.nth_opt menu (List.length menu / 2) with
+      | Some p -> Ser_sta.Assignment.set mid id p
+      | None -> ()
+    end
+  done;
+  let v name =
+    match Ser_obs.Obs.Metrics.find_counter name with
+    | Some ctr -> Ser_obs.Obs.Metrics.value ctr
+    | None -> 0
+  in
+  let moves0 = v "sertopt.odc_moves" and acc0 = v "sertopt.odc_accepts" in
+  let cfg =
+    {
+      Sertopt.Optimizer.default_config with
+      Sertopt.Optimizer.aserta =
+        { Analysis.default_config with Analysis.vectors = 1000 };
+      max_evals = 10;
+      greedy_passes = 0;
+      annealing_steps = 0;
+      replay_guard = 0;
+      odc_obs = Some obs;
+      odc_threshold = 0.05;
+    }
+  in
+  let r = Sertopt.Optimizer.optimize ~config:cfg lib mid in
+  let moves = v "sertopt.odc_moves" - moves0 in
+  let accepts = v "sertopt.odc_accepts" - acc0 in
+  Printf.printf
+    "  odc-seeded downsizing: %d candidates proposed, %d accepted (U %.1f -> \
+     %.1f)\n"
+    moves accepts
+    r.Sertopt.Optimizer.baseline_metrics.Sertopt.Cost.unreliability
+    r.Sertopt.Optimizer.optimized_metrics.Sertopt.Cost.unreliability;
+  let doc =
+    Ser_util.Json.(
+      Obj
+        [
+          ("circuit", Str c.Circuit.name);
+          ("sites", int (Array.length report.Odc.sites));
+          ("proven_masked", int proven);
+          ("observed", int (Odc.n_observed report));
+          ("sampled_unobserved", int (Odc.n_sampled report));
+          ("vectors", int config.Analysis.vectors);
+          ("unpruned_s", Num t_plain);
+          ("pruned_s", Num t_pruned);
+          ("speedup", Num speedup);
+          ("bit_identical", Bool identical);
+          ("odc_moves", int moves);
+          ("odc_accepts", int accepts);
+        ])
+  in
+  let oc = open_out "BENCH_odc.json" in
+  output_string oc (Ser_util.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_odc.json\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* a leading "-j N" pins the pool width for every target *)
@@ -837,6 +956,7 @@ let () =
   | [ "jobs" ] -> jobs_bench ()
   | [ "shard" ] -> shard_bench ()
   | [ "serve" ] -> serve_bench ()
+  | [ "odc" ] -> odc_bench ()
   | other ->
     Printf.eprintf
       "unknown bench target %s\n\
@@ -845,6 +965,6 @@ let () =
        table1-full runtime ablations \
        ablation-{pi,samples,opt,vectors,charge,masking,model} \
        alternatives variation ser-rate pipeline micro par sertopt \
-       sertopt-smoke jobs shard serve\n"
+       sertopt-smoke jobs shard serve odc\n"
       (String.concat " " other);
     exit 2

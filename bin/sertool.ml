@@ -109,7 +109,28 @@ let generate_cmd name seed format output =
     `Ok exit_ok
   end
 
-let analyze_cmd jobs obs backend spec vectors charge top vdds vths json dot =
+(* An ODC report on disk is the JSON document "sertool odc -o" wrote
+   (or the "report" member of the odc payload); its digest binds it to
+   one netlist, so feeding it to the wrong circuit is a typed error,
+   not a silent wrong answer. *)
+let load_odc_report path =
+  let ic =
+    try open_in_bin path with Sys_error msg -> failwith msg
+  in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ser_util.Json.of_string s with
+  | Error msg ->
+    failwith (Printf.sprintf "unreadable ODC report %s: %s" path msg)
+  | Ok j ->
+    let j =
+      (* accept the whole odc payload too, not just the bare report *)
+      match Ser_util.Json.member "report" j with Some r -> r | None -> j
+    in
+    or_diag (Ser_odc.Odc.of_json j)
+
+let analyze_cmd jobs obs backend spec vectors charge top vdds vths odc json
+    dot =
   wrap @@ fun () ->
   apply_jobs jobs;
   apply_obs obs;
@@ -118,9 +139,10 @@ let analyze_cmd jobs obs backend spec vectors charge top vdds vths json dot =
     Request.make ~backend ~vectors ~charge ~top ~vdds ~vths Request.Analyze
       (Request.Spec spec)
   in
+  let odc_report = Option.map load_odc_report odc in
   let t0 = Unix.gettimeofday () in
   let ({ Handlers.assignment = asg; result } as analyzed) =
-    or_diag (Handlers.analyze req)
+    or_diag (Handlers.analyze ?odc_report req)
   in
   let dt = Unix.gettimeofday () -. t0 in
   (* both backends expose per-gate values on the same surface; the
@@ -154,6 +176,16 @@ let analyze_cmd jobs obs backend spec vectors charge top vdds vths json dot =
       "total unreliability U = %.1f  (serpp single-pass estimate, %.1f fC, \
        %.2f s)\n\n"
       total charge dt);
+  (match odc with
+  | Some path ->
+    let pruned =
+      match Obs.Metrics.find_counter "aserta.odc_pruned" with
+      | Some ctr -> Obs.Metrics.value ctr
+      | None -> 0
+    in
+    Printf.printf "odc: pruned %d provably-masked fault sites (report %s)\n"
+      pruned path
+  | None -> ());
   let idx = Array.init (Array.length values) Fun.id in
   Array.sort (fun a b -> compare values.(b) values.(a)) idx;
   Printf.printf "top %d softest gates:\n" top;
@@ -204,8 +236,36 @@ let analyze_cmd jobs obs backend spec vectors charge top vdds vths json dot =
   report_pool ();
   `Ok exit_ok
 
+let odc_cmd jobs obs spec mode vectors seed threshold output =
+  wrap @@ fun () ->
+  apply_jobs jobs;
+  apply_obs obs;
+  Obs.Trace.with_span "sertool.odc" @@ fun () ->
+  let req =
+    Request.make ~vectors ~odc_mode:mode ~odc_seed:seed
+      ~odc_threshold:threshold Request.Odc (Request.Spec spec)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = or_diag (Handlers.odc req) in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string (Ser_odc.Odc.render r);
+  Printf.printf
+    "%d sites: %d proven masked, %d observed, %d sampled-unobserved (%.2f s)\n"
+    (Array.length r.Ser_odc.Odc.sites)
+    (Ser_odc.Odc.n_proven r) (Ser_odc.Odc.n_observed r)
+    (Ser_odc.Odc.n_sampled r) dt;
+  (match output with
+  | Some path ->
+    (* the bare report document, not the payload wrapper: this is the
+       file analyze/optimize --odc consume *)
+    Ser_repro.Report.write path (Ser_odc.Odc.to_json r);
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  report_pool ();
+  `Ok exit_ok
+
 let optimize_cmd jobs obs spec vectors evals greedy eval_tier tier_k vdds vths
-    budget_evals timeout checkpoint output json =
+    budget_evals timeout checkpoint odc output json =
   wrap @@ fun () ->
   apply_jobs jobs;
   apply_obs obs;
@@ -214,6 +274,7 @@ let optimize_cmd jobs obs spec vectors evals greedy eval_tier tier_k vdds vths
     Request.make ~vectors ~evals ~greedy ~eval_tier ~tier_k ~vdds ~vths
       ?budget_evals Request.Optimize (Request.Spec spec)
   in
+  let odc_report = Option.map load_odc_report odc in
   let c = load_circuit spec in
   let lib = make_library vdds vths in
   let baseline = Sertopt.Optimizer.size_for_speed lib c in
@@ -249,7 +310,7 @@ let optimize_cmd jobs obs spec vectors evals greedy eval_tier tier_k vdds vths
   let t0 = Unix.gettimeofday () in
   let r =
     Fun.protect ~finally:restore_signals (fun () ->
-        or_diag (Handlers.optimize ~budget ?initial req))
+        or_diag (Handlers.optimize ~budget ?initial ?odc_report req))
   in
   let dt = Unix.gettimeofday () -. t0 in
   let interrupted = Ser_util.Budget.was_cancelled budget in
@@ -269,6 +330,16 @@ let optimize_cmd jobs obs spec vectors evals greedy eval_tier tier_k vdds vths
   if r.Sertopt.Optimizer.degraded then
     print_endline
       "budget exhausted: result is the best incumbent found so far (degraded)";
+  (match odc with
+  | Some _ ->
+    let v name =
+      match Obs.Metrics.find_counter name with
+      | Some c -> Obs.Metrics.value c
+      | None -> 0
+    in
+    Printf.printf "odc stage: %d downsizing candidates proposed, %d accepted\n"
+      (v "sertopt.odc_moves") (v "sertopt.odc_accepts")
+  | None -> ());
   (match checkpoint with
   | None -> ()
   | Some path ->
@@ -337,18 +408,47 @@ let rate_cmd jobs obs spec vectors clock q_slope top =
   report_pool ();
   `Ok exit_ok
 
-let xval_cmd jobs obs spec vectors charge top json =
+let xval_cmd jobs obs spec corpus vectors charge top json =
   wrap @@ fun () ->
   apply_jobs jobs;
   apply_obs obs;
   Obs.Trace.with_span "sertool.xval" @@ fun () ->
-  let r = Ser_repro.Xval.run ~circuit:spec ~vectors ~charge ~top_n:top () in
-  print_string (Ser_repro.Xval.render r);
-  (match json with
-  | Some path ->
-    Ser_repro.Report.write path (Ser_repro.Xval.to_json r);
-    Printf.printf "wrote %s\n" path
-  | None -> ());
+  (match corpus with
+  | None ->
+    let r = Ser_repro.Xval.run ~circuit:spec ~vectors ~charge ~top_n:top () in
+    print_string (Ser_repro.Xval.render r);
+    (match json with
+    | Some path ->
+      Ser_repro.Report.write path (Ser_repro.Xval.to_json r);
+      Printf.printf "wrote %s\n" path
+    | None -> ())
+  | Some dir ->
+    (* every .bench in the directory, name order — deterministic both
+       in which circuits run and in the row order of the table *)
+    let entries =
+      try Sys.readdir dir
+      with Sys_error msg -> failwith msg
+    in
+    let benches =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".bench")
+      |> List.sort compare
+    in
+    if benches = [] then
+      failwith (Printf.sprintf "no .bench files in %s" dir);
+    let results =
+      List.map
+        (fun f ->
+          let c = load_circuit (Filename.concat dir f) in
+          Ser_repro.Xval.run_circuit ~vectors ~charge ~top_n:top c)
+        benches
+    in
+    print_string (Ser_repro.Xval.render_corpus results);
+    (match json with
+    | Some path ->
+      Ser_repro.Report.write path (Ser_repro.Xval.corpus_to_json results);
+      Printf.printf "wrote %s\n" path
+    | None -> ()));
   report_pool ();
   `Ok exit_ok
 
@@ -733,7 +833,7 @@ let client_cmd socket tcp op spec inline id backend vectors charge top evals
         | None ->
           failwith
             (Printf.sprintf
-               "unknown op %S (want analyze, optimize, rate, health)" op)
+               "unknown op %S (want analyze, optimize, rate, odc, health)" op)
       in
       let spec =
         match spec with
@@ -1195,6 +1295,59 @@ let batch_merge_cmd journals manifest shards results retry_path trace_ins
 
 (* Self/total-time table from a Chrome trace, so profiling a sweep
    does not require loading Perfetto. *)
+(* Fleet progress without merging: replay each shard journal read-only
+   and tabulate done/failed/degraded/pending. Safe to run while the
+   shards are still being written — replay tolerates a torn tail. *)
+let batch_status_cmd journals =
+  wrap @@ fun () ->
+  if journals = [] then
+    failwith "batch status needs at least one journal file";
+  let module J = Ser_jobs.Journal in
+  let states = List.map (fun p -> (p, or_diag (J.replay p))) journals in
+  let count (st : J.state) status =
+    List.length
+      (List.filter (fun (_, f) -> f.J.status = status) st.J.finals)
+  in
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left; Ser_util.Ascii_table.Left ]
+      [ "journal"; "shard"; "jobs"; "ok"; "failed"; "degraded"; "pending";
+        "note" ]
+  in
+  let t_jobs = ref 0 and t_ok = ref 0 and t_failed = ref 0 in
+  let t_degraded = ref 0 and t_pending = ref 0 in
+  List.iter
+    (fun (path, (st : J.state)) ->
+      let jobs = List.length st.J.jobs in
+      let ok = count st "ok" in
+      let failed = count st "failed" in
+      let degraded = count st "degraded" in
+      let pending = jobs - List.length st.J.finals in
+      t_jobs := !t_jobs + jobs;
+      t_ok := !t_ok + ok;
+      t_failed := !t_failed + failed;
+      t_degraded := !t_degraded + degraded;
+      t_pending := !t_pending + pending;
+      Ser_util.Ascii_table.add_row tbl
+        [
+          Filename.basename path;
+          (match st.J.shard with
+          | Some (i, n) -> Printf.sprintf "%d/%d" i n
+          | None -> "-");
+          string_of_int jobs;
+          string_of_int ok;
+          string_of_int failed;
+          string_of_int degraded;
+          string_of_int pending;
+          (if st.J.torn_tail then "torn tail" else "");
+        ])
+    states;
+  Ser_util.Ascii_table.print tbl;
+  Printf.printf "fleet: %d/%d jobs done (%d ok, %d failed, %d degraded), %d pending\n"
+    (!t_ok + !t_failed + !t_degraded)
+    !t_jobs !t_ok !t_failed !t_degraded !t_pending;
+  `Ok exit_ok
+
 let report_cmd trace_path top =
   wrap @@ fun () ->
   let doc =
@@ -1340,10 +1493,56 @@ let analyze_t =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
            ~doc:"Export the circuit as Graphviz with unreliability heat.")
   in
+  let odc =
+    Arg.(value & opt (some string) None & info [ "odc" ] ~docv:"FILE"
+           ~doc:"ODC report (written by 'sertool odc -o') whose \
+                 provably-masked fault sites are skipped during the \
+                 Monte-Carlo P_ij pass. Totals and per-gate values stay \
+                 bit-identical; the skipped sites are counted in the \
+                 aserta.odc_pruned metric. ASERTA backend only, and the \
+                 report's digest must match this netlist.")
+  in
   Cmd.v (Cmd.info "analyze" ~doc:"Soft-error tolerance analysis")
     Term.(ret (const analyze_cmd $ jobs_arg $ obs_args $ backend_arg
                $ circuit_arg $ vectors $ charge $ top $ vdds_arg $ vths_arg
-               $ json $ dot))
+               $ odc $ json $ dot))
+
+let odc_t =
+  let mode =
+    Arg.(value
+         & opt (enum [ ("exhaustive", "exhaustive"); ("sampled", "sampled") ])
+             "exhaustive"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"exhaustive (sampled screen plus support-limited \
+                   exhaustive proofs for zero-detection sites, the \
+                   default) or sampled (screen only, no proofs).")
+  in
+  let vectors =
+    Arg.(value & opt int 4000 & info [ "vectors" ]
+           ~doc:"Random vectors for the sampled screen.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Screen RNG seed.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.05 & info [ "threshold" ] ~docv:"T"
+           ~doc:"Observability cutoff in [0, 1] for the low-observability \
+                 site count of the summary (and of downstream \
+                 ODC-seeded optimization).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the deterministic JSON report — the file that \
+                 'analyze --odc' and 'optimize --odc' consume.")
+  in
+  Cmd.v
+    (Cmd.info "odc"
+       ~doc:"Discover observability don't-cares by bit-parallel error \
+             injection: classify every gate as provably masked \
+             (exhaustive, no primary-output difference), observed, or \
+             sampled-unobserved with a per-gate observability bound")
+    Term.(ret (const odc_cmd $ jobs_arg $ obs_args $ circuit_arg $ mode
+               $ vectors $ seed $ threshold $ output))
 
 let optimize_t =
   let vectors =
@@ -1395,10 +1594,20 @@ let optimize_t =
            ~doc:"Resume from FILE if it exists, and write the final \
                  assignment back to it (JSON incumbent).")
   in
+  let odc =
+    Arg.(value & opt (some string) None & info [ "odc" ] ~docv:"FILE"
+           ~doc:"ODC report (written by 'sertool odc -o') seeding an \
+                 extra downsizing stage: gates with observability at most \
+                 0.05 are offered their smaller variants, measured with \
+                 the exact engine (acceptance never trusts the report; a \
+                 wrong bound can only waste evaluations). Proposed and \
+                 accepted moves land in the sertopt.odc_moves / \
+                 sertopt.odc_accepts metrics.")
+  in
   Cmd.v (Cmd.info "optimize" ~doc:"SERTOPT soft-error tolerance optimization")
     Term.(ret (const optimize_cmd $ jobs_arg $ obs_args $ circuit_arg $ vectors
                $ evals $ greedy $ eval_tier $ tier_k $ vdds_arg $ vths_arg
-               $ budget_evals $ timeout $ checkpoint $ output $ json))
+               $ budget_evals $ timeout $ checkpoint $ odc $ output $ json))
 
 let export_deck_t =
   let strike =
@@ -1520,7 +1729,7 @@ let worker_t =
   in
   let cmd =
     Arg.(value & opt string "analyze" & info [ "cmd" ] ~docv:"CMD"
-           ~doc:"Worker command: analyze, optimize or rate.")
+           ~doc:"Worker command: analyze, optimize, rate or odc.")
   in
   let vectors =
     Arg.(value & opt int 2000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
@@ -1624,7 +1833,7 @@ let serve_t =
 let client_t =
   let op =
     Arg.(value & pos 0 string "health" & info [] ~docv:"OP"
-           ~doc:"Operation: analyze, optimize, rate, health or stats.")
+           ~doc:"Operation: analyze, optimize, rate, odc, health or stats.")
   in
   let spec =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT"
@@ -1731,7 +1940,7 @@ let batch_t =
   in
   let cmd =
     Arg.(value & opt string "analyze" & info [ "cmd" ] ~docv:"CMD"
-           ~doc:"Per-job command: analyze or optimize.")
+           ~doc:"Per-job command: analyze, optimize, rate or odc.")
   in
   let vectors =
     Arg.(value & opt int 2000 & info [ "vectors" ] ~doc:"Random vectors for P_ij.")
@@ -1850,13 +2059,26 @@ let batch_t =
       Term.(ret (const batch_merge_cmd $ journals $ manifest $ shards
                  $ results $ retry $ trace_ins $ merged_trace $ obs_args))
   in
+  let status_t =
+    let journals =
+      Arg.(value & pos_all string [] & info [] ~docv:"JOURNAL"
+             ~doc:"Shard journal files to inspect.")
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Tabulate fleet progress from shard journals without \
+               merging: done/failed/degraded/pending per shard plus a \
+               fleet total; read-only and safe while the shards are \
+               still running (torn tails are tolerated and flagged)")
+      Term.(ret (const batch_status_cmd $ journals))
+  in
   Cmd.group ~default:run_term
     (Cmd.info "batch"
        ~doc:"Run ASERTA/SERTOPT over a manifest of circuits with \
              crash-contained worker processes, a watchdog, retry/backoff, \
              a resumable write-ahead journal, deterministic sharding \
              across hosts and a bit-identical journal merge")
-    [ run_t; merge_t ]
+    [ run_t; merge_t; status_t ]
 
 let report_t =
   let trace =
@@ -1879,6 +2101,13 @@ let xval_t =
     Arg.(value & pos 0 string "c432" & info [] ~docv:"CIRCUIT"
            ~doc:"Benchmark name (the generator set: c17, c432, ...).")
   in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Run the study over every .bench file in DIR (name order) \
+                 and print one aggregate agreement table instead of a \
+                 single-circuit report; the positional CIRCUIT is \
+                 ignored.")
+  in
   let vectors =
     Arg.(value & opt int 2000 & info [ "vectors" ]
            ~doc:"Random vectors for ASERTA's P_ij (serpp is vectorless).")
@@ -1899,17 +2128,17 @@ let xval_t =
        ~doc:"Cross-validate the serpp backend against ASERTA: per-gate \
              Pearson/Spearman correlation and top-N rank overlap on one \
              benchmark")
-    Term.(ret (const xval_cmd $ jobs_arg $ obs_args $ circuit $ vectors
-               $ charge $ top $ json))
+    Term.(ret (const xval_cmd $ jobs_arg $ obs_args $ circuit $ corpus
+               $ vectors $ charge $ top $ json))
 
 let main =
   Cmd.group
     (Cmd.info "sertool" ~version:"1.0.0"
        ~doc:"Soft-error tolerance analysis (ASERTA) and optimization (SERTOPT) \
              of combinational nanometer circuits")
-    [ info_t; generate_t; analyze_t; optimize_t; rate_t; xval_t; timing_t;
-      pipeline_t; harden_t; characterize_t; export_deck_t; export_lib_t;
-      batch_t; serve_t; client_t; worker_t; report_t ]
+    [ info_t; generate_t; analyze_t; optimize_t; rate_t; odc_t; xval_t;
+      timing_t; pipeline_t; harden_t; characterize_t; export_deck_t;
+      export_lib_t; batch_t; serve_t; client_t; worker_t; report_t ]
 
 (* Batch workers inherit SERTOOL_TRACE/SERTOOL_METRICS from the supervisor
    so their observability lands in per-job files without extra flags. *)
@@ -1923,7 +2152,7 @@ let argv =
     Array.length a >= 3
     && a.(1) = "batch"
     && (match a.(2) with
-       | "run" | "merge" -> false
+       | "run" | "merge" | "status" -> false
        | s -> s = "" || s.[0] <> '-')
   then Array.concat [ [| a.(0); "batch"; "run" |]; Array.sub a 2 (Array.length a - 2) ]
   else a

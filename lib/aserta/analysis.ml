@@ -10,6 +10,7 @@ module Obs = Ser_obs.Obs
 let m_analyses = Obs.Metrics.counter "aserta.analyses"
 let m_masking_runs = Obs.Metrics.counter "aserta.masking_runs"
 let m_gate_evals = Obs.Metrics.counter "aserta.gate_evals"
+let m_odc_pruned = Obs.Metrics.counter "aserta.odc_pruned"
 
 type pi_split = Normalized | Naive
 
@@ -63,17 +64,27 @@ let sample_widths config =
   (* geometric grid from a few ps up to the "very wide" sample *)
   Ser_util.Floatx.logspace 2. config.max_sample_width config.n_samples
 
-let compute_masking ?domains config (c : Circuit.t) =
+let compute_masking ?domains ?prune config (c : Circuit.t) =
   Obs.Metrics.incr m_masking_runs;
   Obs.Trace.with_span "aserta.masking" (fun () ->
       let probs = Probs.signal_probabilities ?pi_probs:config.pi_probs c in
       let path_probs =
         match config.masking_backend with
         | Monte_carlo ->
+          (match prune with
+          | Some p ->
+            Obs.Metrics.add m_odc_pruned
+              (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p)
+          | None -> ());
           let rng = Ser_rng.Rng.create config.seed in
-          Probs.path_probabilities ?domains ?pi_probs:config.pi_probs ~rng
-            ~vectors:config.vectors c
-        | Analytic_masking -> Probs.path_probabilities_analytic ~probs c
+          Probs.path_probabilities ?domains ?pi_probs:config.pi_probs ?prune
+            ~rng ~vectors:config.vectors c
+        | Analytic_masking ->
+          (* The analytic backend ignores [prune]: its independence
+             assumption can put nonzero P_ij on a genuinely masked
+             site, so a skip would change the estimate rather than
+             merely accelerate it. *)
+          Probs.path_probabilities_analytic ~probs c
       in
       { probs; path_probs })
 
@@ -451,13 +462,13 @@ let run_electrical config lib asg masking =
     tables = table;
   }
 
-let run ?(config = default_config) lib asg =
-  let masking = compute_masking config (Assignment.circuit asg) in
+let run ?(config = default_config) ?prune lib asg =
+  let masking = compute_masking ?prune config (Assignment.circuit asg) in
   run_electrical config lib asg masking
 
 let fail fmt = Ser_util.Diag.fail ~subsystem:"aserta" fmt
 
-let run_checked ?(config = default_config) lib asg =
+let run_checked ?(config = default_config) ?prune lib asg =
   Ser_util.Diag.guard ~subsystem:"aserta" (fun () ->
       if config.vectors < 1 then
         fail "config.vectors must be >= 1 (got %d)" config.vectors;
@@ -471,7 +482,7 @@ let run_checked ?(config = default_config) lib asg =
       then
         fail "config.max_sample_width must be finite and positive (got %g)"
           config.max_sample_width;
-      let t = run ~config lib asg in
+      let t = run ~config ?prune lib asg in
       (* unreliability is a sum of probability-weighted widths: it must
          come out finite and non-negative. Sub-epsilon negatives are
          floating-point noise from the interpolation and are clamped;

@@ -91,11 +91,23 @@ type t = {
 }
 
 val compute_masking :
-  ?domains:int -> config -> Ser_netlist.Circuit.t -> masking
+  ?domains:int -> ?prune:bool array -> config -> Ser_netlist.Circuit.t -> masking
 (** Signal probabilities (analytic, 0.5 at PIs, as the paper obtains
     from Synopsys DC) and fault-simulated [P_ij]. [domains] > 1 runs
     the fault simulation on that many cores with bit-identical
-    results. *)
+    results.
+
+    [prune] (node-id-indexed, from {e lib/odc}'s
+    [Odc.prune_set]) skips fault injection for ODC-proven-masked
+    sites: their exhaustive no-PO-difference witness guarantees the
+    simulation would count zero detections, so their [P_ij] rows are
+    zero either way and every downstream number is bit-identical to
+    the unpruned run — the skip only saves the cone propagation. The
+    pruned-site count is recorded in the [aserta.odc_pruned] counter.
+    Only the [Monte_carlo] backend consumes it: the analytic
+    backend's independence assumption can assign nonzero [P_ij] to a
+    genuinely masked site, so pruning there would change (not merely
+    accelerate) the estimate, and the mask is deliberately ignored. *)
 
 val run_electrical :
   config -> Ser_cell.Library.t -> Ser_sta.Assignment.t -> masking -> t
@@ -103,11 +115,14 @@ val run_electrical :
     precomputed masking. O((V + E) * samples * outputs). *)
 
 val run :
-  ?config:config -> Ser_cell.Library.t -> Ser_sta.Assignment.t -> t
-(** [compute_masking] followed by [run_electrical]. *)
+  ?config:config -> ?prune:bool array ->
+  Ser_cell.Library.t -> Ser_sta.Assignment.t -> t
+(** [compute_masking] followed by [run_electrical]. [prune] is passed
+    through to {!compute_masking}. *)
 
 val run_checked :
   ?config:config ->
+  ?prune:bool array ->
   Ser_cell.Library.t ->
   Ser_sta.Assignment.t ->
   (t, Ser_util.Diag.t) result

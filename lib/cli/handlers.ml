@@ -65,13 +65,25 @@ type rated = {
 
 let subsystem = "cli"
 
-let analyze (req : Request.t) =
+let analyze ?odc_report (req : Request.t) =
   Diag.guard ~subsystem (fun () ->
       let c = load_circuit req.Request.source in
       let lib =
         make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
       in
       let assignment = Sertopt.Optimizer.size_for_speed lib c in
+      let prune =
+        match odc_report with
+        | None -> None
+        | Some rep ->
+          if req.Request.backend = "serpp" then
+            raise
+              (Diag.Diag_error
+                 (Diag.make ~subsystem
+                    "the serpp backend does not consume ODC reports (its \
+                     analytic estimate cannot skip sites soundly)"));
+          Some (or_diag (Ser_odc.Odc.prune_set c rep))
+      in
       let result =
         match req.Request.backend with
         | "serpp" ->
@@ -84,17 +96,23 @@ let analyze (req : Request.t) =
           Serpp (or_diag (Ser_serpp.Serpp.run_checked ~config lib assignment))
         | _ ->
           let config = aserta_config req in
-          Aserta (or_diag (Aserta.Analysis.run_checked ~config lib assignment))
+          Aserta
+            (or_diag (Aserta.Analysis.run_checked ~config ?prune lib assignment))
       in
       { assignment; result })
 
-let optimize ?budget ?initial (req : Request.t) =
+let optimize ?budget ?initial ?odc_report (req : Request.t) =
   Diag.guard ~subsystem (fun () ->
       let c = load_circuit req.Request.source in
       let lib =
         make_library ~vdds:req.Request.vdds ~vths:req.Request.vths
       in
       let baseline = Sertopt.Optimizer.size_for_speed lib c in
+      let odc_obs =
+        match odc_report with
+        | None -> None
+        | Some rep -> Some (or_diag (Ser_odc.Odc.obs_array c rep))
+      in
       let cfg =
         {
           Sertopt.Optimizer.default_config with
@@ -109,6 +127,8 @@ let optimize ?budget ?initial (req : Request.t) =
             (match req.Request.eval_tier with
             | "serpp" -> Sertopt.Optimizer.Serpp_prefilter req.Request.tier_k
             | _ -> Sertopt.Optimizer.Exact);
+          odc_obs;
+          odc_threshold = req.Request.odc_threshold;
         }
       in
       let budget =
@@ -118,6 +138,28 @@ let optimize ?budget ?initial (req : Request.t) =
         | None, None -> None
       in
       Sertopt.Optimizer.optimize ~config:cfg ?budget ?initial lib baseline)
+
+let odc (req : Request.t) =
+  Diag.guard ~subsystem (fun () ->
+      let c = load_circuit req.Request.source in
+      let mode =
+        match Ser_odc.Odc.mode_of_string req.Request.odc_mode with
+        | Some m -> m
+        | None ->
+          raise
+            (Diag.Diag_error
+               (Diag.make ~subsystem
+                  (Printf.sprintf "unknown odc mode %S" req.Request.odc_mode)))
+      in
+      let config =
+        {
+          Ser_odc.Odc.default with
+          Ser_odc.Odc.mode;
+          vectors = req.Request.vectors;
+          seed = req.Request.odc_seed;
+        }
+      in
+      or_diag (Ser_odc.Odc.analyze_checked ~config c))
 
 let rate (req : Request.t) =
   Diag.guard ~subsystem (fun () ->
@@ -261,6 +303,29 @@ let rate_payload (req : Request.t) { r_analysis; r_rate = r; _ } =
       ("top", Json.List top);
     ]
 
+let odc_payload (req : Request.t) (r : Ser_odc.Odc.t) =
+  let low_obs =
+    Array.fold_left
+      (fun acc (s : Ser_odc.Odc.site) ->
+        if s.Ser_odc.Odc.obs_ub <= req.Request.odc_threshold then acc + 1
+        else acc)
+      0 r.Ser_odc.Odc.sites
+  in
+  Json.Obj
+    [
+      ("cmd", Json.Str "odc");
+      ("circuit", Json.Str r.Ser_odc.Odc.circuit);
+      ("gates", Json.int (Array.length r.Ser_odc.Odc.sites));
+      ("mode", Json.Str (Ser_odc.Odc.mode_to_string r.Ser_odc.Odc.config.Ser_odc.Odc.mode));
+      ("vectors", Json.int r.Ser_odc.Odc.config.Ser_odc.Odc.vectors);
+      ("proven_masked", Json.int (Ser_odc.Odc.n_proven r));
+      ("observed", Json.int (Ser_odc.Odc.n_observed r));
+      ("sampled_unobserved", Json.int (Ser_odc.Odc.n_sampled r));
+      ("threshold", Json.Num req.Request.odc_threshold);
+      ("low_obs_sites", Json.int low_obs);
+      ("report", Ser_odc.Odc.to_json r);
+    ]
+
 let run ?budget (req : Request.t) =
   match req.Request.op with
   | Request.Analyze ->
@@ -268,3 +333,4 @@ let run ?budget (req : Request.t) =
   | Request.Optimize ->
     Result.map (fun r -> optimize_payload req r) (optimize ?budget req)
   | Request.Rate -> Result.map (fun r -> rate_payload req r) (rate req)
+  | Request.Odc -> Result.map (fun r -> odc_payload req r) (odc req)

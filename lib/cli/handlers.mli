@@ -45,25 +45,45 @@ type rated = {
   r_rate : Aserta.Ser_rate.t;
 }
 
-val analyze : Request.t -> (analyzed, Ser_util.Diag.t) result
+val analyze :
+  ?odc_report:Ser_odc.Odc.t -> Request.t -> (analyzed, Ser_util.Diag.t) result
 (** Size-for-speed baseline assignment + checked SER analysis with the
     requested backend (ASERTA by default, serpp when
     [req.backend = "serpp"]). The analyze payload has the same shape
     for both backends — per-gate [u] means the serpp estimate under
     the serpp backend — plus a ["backend"] field naming which
-    estimator produced it. *)
+    estimator produced it.
+
+    [odc_report] (ASERTA backend only; rejected for serpp) skips the
+    provably-masked fault sites of the report during the Monte-Carlo
+    [P_ij] pass — bit-identical totals, [aserta.odc_pruned] counts the
+    skipped sites. The report's digest must match the loaded netlist. *)
 
 val optimize :
   ?budget:Ser_util.Budget.t ->
   ?initial:Ser_sta.Assignment.t ->
+  ?odc_report:Ser_odc.Odc.t ->
   Request.t ->
   (Sertopt.Optimizer.result, Ser_util.Diag.t) result
+(** [odc_report] additionally seeds the optimizer's ODC downsizing
+    stage ({!Sertopt.Optimizer.config.odc_obs}) with the report's
+    observability bounds, cut at [req.odc_threshold]. *)
 
 val rate : Request.t -> (rated, Ser_util.Diag.t) result
+
+val odc : Request.t -> (Ser_odc.Odc.t, Ser_util.Diag.t) result
+(** Observability-don't-care discovery ({!Ser_odc.Odc.analyze}) driven
+    by the request's [odc_mode]/[vectors]/[odc_seed]. Backend-free: no
+    library is built and the VDD/Vth axes are ignored. *)
 
 val analyze_payload : Request.t -> analyzed -> Ser_util.Json.t
 val optimize_payload : Request.t -> Sertopt.Optimizer.result -> Ser_util.Json.t
 val rate_payload : Request.t -> rated -> Ser_util.Json.t
+
+val odc_payload : Request.t -> Ser_odc.Odc.t -> Ser_util.Json.t
+(** Summary counts plus the full report document under ["report"] — a
+    client can extract that member, save it, and feed it back to
+    [analyze --odc] / [optimize --odc] unchanged. *)
 
 val run :
   ?budget:Ser_util.Budget.t ->

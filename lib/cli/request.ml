@@ -4,17 +4,19 @@ module Diag = Ser_util.Diag
 let subsystem = "cli"
 
 type source = Spec of string | Inline_bench of string
-type op = Analyze | Optimize | Rate
+type op = Analyze | Optimize | Rate | Odc
 
 let op_to_string = function
   | Analyze -> "analyze"
   | Optimize -> "optimize"
   | Rate -> "rate"
+  | Odc -> "odc"
 
 let op_of_string = function
   | "analyze" -> Some Analyze
   | "optimize" -> Some Optimize
   | "rate" -> Some Rate
+  | "odc" -> Some Odc
   | _ -> None
 
 type t = {
@@ -37,14 +39,20 @@ type t = {
   deadline_s : float option;
   isolate : bool option;
   fault : string option;
+  odc_mode : string;
+  odc_seed : int;
+  odc_threshold : float;
 }
 
-let default_vectors = function Analyze -> 10_000 | Optimize | Rate -> 4_000
+let default_vectors = function
+  | Analyze -> 10_000
+  | Optimize | Rate | Odc -> 4_000
 
 let make ?id ?(backend = "aserta") ?vectors ?(charge = 16.) ?(top = 10)
     ?(vdds = []) ?(vths = []) ?(evals = 120) ?(greedy = 2)
     ?(eval_tier = "exact") ?(tier_k = 6) ?budget_evals ?clock ?(q_slope = 6.)
-    ?deadline_s ?isolate ?fault op source =
+    ?deadline_s ?isolate ?fault ?(odc_mode = "exhaustive") ?(odc_seed = 1)
+    ?(odc_threshold = 0.05) op source =
   let vectors =
     match vectors with Some v -> v | None -> default_vectors op
   in
@@ -68,6 +76,9 @@ let make ?id ?(backend = "aserta") ?vectors ?(charge = 16.) ?(top = 10)
     deadline_s;
     isolate;
     fault;
+    odc_mode;
+    odc_seed;
+    odc_threshold;
   }
 
 let floats vs = Json.List (List.map (fun v -> Json.Num v) vs)
@@ -99,7 +110,12 @@ let to_json t =
     @ Json.field_opt "deadline_s"
         (Option.map (fun v -> Json.Num v) t.deadline_s)
     @ Json.field_opt "isolate" (Option.map (fun b -> Json.Bool b) t.isolate)
-    @ Json.field_opt "fault" (Option.map (fun s -> Json.Str s) t.fault))
+    @ Json.field_opt "fault" (Option.map (fun s -> Json.Str s) t.fault)
+    @ [
+        ("odc_mode", Json.Str t.odc_mode);
+        ("odc_seed", Json.int t.odc_seed);
+        ("odc_threshold", Json.Num t.odc_threshold);
+      ])
 
 (* -------------------------- decoding ------------------------------ *)
 
@@ -156,7 +172,7 @@ let of_json j =
       | Some (Json.Str s) -> (
         match op_of_string s with
         | Some op -> Ok op
-        | None -> err "unknown op %S (want analyze, optimize or rate)" s)
+        | None -> err "unknown op %S (want analyze, optimize, rate or odc)" s)
       | Some _ -> err "request field \"op\" must be a string"
       | None -> err "request is missing the \"op\" field"
     in
@@ -184,6 +200,10 @@ let of_json j =
         "a boolean"
     in
     let* fault = opt_field j "fault" Json.to_str_opt "a string" in
+    let* odc_mode = opt_field j "odc_mode" Json.to_str_opt "a string" in
+    let odc_mode = Option.value odc_mode ~default:"exhaustive" in
+    let* odc_seed = int_field j "odc_seed" ~default:1 in
+    let* odc_threshold = num_field j "odc_threshold" ~default:0.05 in
     if vectors < 1 then err "vectors must be >= 1 (got %d)" vectors
     else if (not (Float.is_finite charge)) || charge <= 0. then
       err "charge must be finite and positive"
@@ -194,6 +214,14 @@ let of_json j =
       err "unknown backend %S (want aserta or serpp)" backend
     else if backend = "serpp" && op = Rate then
       err "the rate op requires the aserta backend"
+    else if backend = "serpp" && op = Odc then
+      err "the odc op is backend-free and rejects backend=serpp"
+    else if odc_mode <> "exhaustive" && odc_mode <> "sampled" then
+      err "unknown odc_mode %S (want exhaustive or sampled)" odc_mode
+    else if
+      (not (Float.is_finite odc_threshold))
+      || odc_threshold < 0. || odc_threshold > 1.
+    then err "odc_threshold must be in [0, 1]"
     else if eval_tier <> "exact" && eval_tier <> "serpp" then
       err "unknown eval_tier %S (want exact or serpp)" eval_tier
     else if tier_k < 1 then err "tier_k must be >= 1 (got %d)" tier_k
@@ -222,6 +250,9 @@ let of_json j =
           deadline_s;
           isolate;
           fault;
+          odc_mode;
+          odc_seed;
+          odc_threshold;
         }
   | _ -> err "request must be a JSON object"
 
@@ -259,3 +290,13 @@ let params_json t =
       @ Json.field_opt "clock" (Option.map (fun v -> Json.Num v) t.clock)
       @ [ ("q_slope", Json.Num t.q_slope); ("top", Json.int t.top) ]
       @ axes)
+  | Odc ->
+    (* no library involved: the vdd/vth axes and the charge cannot
+       change the answer and stay out of the cache identity *)
+    Json.Obj
+      (shared
+      @ [
+          ("odc_mode", Json.Str t.odc_mode);
+          ("odc_seed", Json.int t.odc_seed);
+          ("odc_threshold", Json.Num t.odc_threshold);
+        ])

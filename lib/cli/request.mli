@@ -21,7 +21,7 @@ type source =
           clients ship circuits the daemon cannot see on its own
           filesystem *)
 
-type op = Analyze | Optimize | Rate
+type op = Analyze | Optimize | Rate | Odc
 
 val op_to_string : op -> string
 val op_of_string : string -> op option
@@ -63,11 +63,20 @@ type t = {
   fault : string option;
       (** test-only fault injection, forwarded to the worker exactly
           like a batch manifest's [fault=] field *)
+  odc_mode : string;
+      (** odc: ["exhaustive"] (sampled screen + per-site
+          support-limited exhaustive proofs, the default) or
+          ["sampled"] (screen only) — {!Ser_odc.Odc.mode} *)
+  odc_seed : int;  (** odc: RNG seed for the sampled screen *)
+  odc_threshold : float;
+      (** odc: observability cutoff reported as the low-observability
+          site count and consumed by the optimizer's ODC-seeded
+          downsizing; in [0, 1] *)
 }
 
 val default_vectors : op -> int
-(** 10 000 for analyze, 4 000 for optimize and rate — the historical
-    per-command CLI defaults. *)
+(** 10 000 for analyze, 4 000 for optimize, rate and odc — the
+    historical per-command CLI defaults. *)
 
 val make :
   ?id:string ->
@@ -87,12 +96,16 @@ val make :
   ?deadline_s:float ->
   ?isolate:bool ->
   ?fault:string ->
+  ?odc_mode:string ->
+  ?odc_seed:int ->
+  ?odc_threshold:float ->
   op ->
   source ->
   t
 (** Omitted fields take the per-op defaults ([default_vectors],
     backend aserta, 16 fC, top 10, evals 120, greedy 2, eval tier
-    exact with k 6, q-slope 6). *)
+    exact with k 6, q-slope 6, odc mode exhaustive with seed 1 and
+    threshold 0.05). *)
 
 val to_json : t -> Ser_util.Json.t
 

@@ -246,6 +246,86 @@ let analysis_scenarios () =
         { c with Aserta.Analysis.max_sample_width = Float.neg_infinity });
   ]
 
+(* -------------------- odc report corruption -------------------- *)
+
+module Odc = Ser_odc.Odc
+
+let odc_c17_report =
+  lazy (Odc.analyze ~config:{ Odc.default with Odc.vectors = 200 }
+          (Lazy.force c17))
+
+let odc_scenarios () =
+  [
+    {
+      name = "zero-vector screen budget";
+      group = "odc";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Odc.analyze_checked
+               ~config:{ Odc.default with Odc.vectors = 0 }
+               (Lazy.force c17)));
+    };
+    {
+      name = "pi_cap beyond the proof limit";
+      group = "odc";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Odc.analyze_checked
+               ~config:{ Odc.default with Odc.pi_cap = 21 }
+               (Lazy.force c17)));
+    };
+    {
+      name = "report minted for a different netlist";
+      group = "odc";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Odc.prune_set
+               (Ser_circuits.Iscas.load "c432")
+               (Lazy.force odc_c17_report)));
+    };
+    {
+      name = "report referencing a nonexistent gate";
+      group = "odc";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          let r = Lazy.force odc_c17_report in
+          let r =
+            {
+              r with
+              Odc.sites =
+                Array.map
+                  (fun s -> { s with Odc.gate = s.Odc.gate ^ "_ghost" })
+                  r.Odc.sites;
+            }
+          in
+          of_result (Odc.obs_array (Lazy.force c17) r));
+    };
+    {
+      name = "non-object report document";
+      group = "odc";
+      expect = Must_reject;
+      run = (fun () -> of_result (Odc.of_json (Ser_util.Json.Str "nope")));
+    };
+    {
+      name = "report missing its sites";
+      group = "odc";
+      expect = Must_reject;
+      run =
+        (fun () ->
+          of_result
+            (Odc.of_json
+               (Ser_util.Json.Obj
+                  [ ("format", Ser_util.Json.Str "odc-report-v1") ])));
+    };
+  ]
+
 (* -------------------- optimizer / checkpoint corruption ------------ *)
 
 let restore text =
@@ -1163,8 +1243,9 @@ let serve_scenarios () =
 
 let scenarios () =
   parser_scenarios () @ engine_scenarios () @ analysis_scenarios ()
-  @ optimizer_scenarios () @ util_scenarios () @ obs_scenarios ()
-  @ jobs_scenarios () @ shard_scenarios () @ serve_scenarios ()
+  @ odc_scenarios () @ optimizer_scenarios () @ util_scenarios ()
+  @ obs_scenarios () @ jobs_scenarios () @ shard_scenarios ()
+  @ serve_scenarios ()
 
 let run_all () =
   (* force the shared fixtures before fanning out: Lazy.force is not

@@ -126,13 +126,17 @@ type fault_scratch = {
 
 let fresh_scratch n = { faulty = Array.make n 0; stamp = Array.make n (-1); gen = 0 }
 
-let propagate_gate (c : Circuit.t) ~cones ~is_po ~good ~mask ~detect ws i =
+(* Core flip propagation: invert gate [i]'s output word and walk its
+   (topologically ordered) fan-out [cone], calling [on_diff t diff] for
+   every cone node whose word actually changed ([diff] is the nonzero
+   masked xor against the good value). Shared by the per-PO detection
+   counters below and by lib/odc's any-PO observability kernel. *)
+let propagate_flip (c : Circuit.t) ~cone ~good ~mask ws i ~on_diff =
   ws.gen <- ws.gen + 1;
   let g = ws.gen in
   let faulty = ws.faulty and stamp = ws.stamp in
   faulty.(i) <- lnot good.(i);
   stamp.(i) <- g;
-  let cone : int array = cones.(i) in
   for idx = 0 to Array.length cone - 1 do
     let t = cone.(idx) in
     if t <> i then begin
@@ -178,28 +182,52 @@ let propagate_gate (c : Circuit.t) ~cones ~is_po ~good ~mask ~detect ws i =
       end
     end;
     if stamp.(t) = g then begin
-      let pos = is_po.(t) in
-      if pos >= 0 then begin
-        let diff = (faulty.(t) lxor good.(t)) land mask in
-        if diff <> 0 then
-          detect.(i).(pos) <- detect.(i).(pos) + Bitsim.popcount diff
-      end
+      let diff = (faulty.(t) lxor good.(t)) land mask in
+      if diff <> 0 then on_diff t diff
     end
   done
 
-let path_probabilities ?(domains = 0) ?pi_probs ~rng ~vectors (c : Circuit.t) =
+let propagate_gate (c : Circuit.t) ~cones ~is_po ~good ~mask ~detect ws i =
+  propagate_flip c ~cone:cones.(i) ~good ~mask ws i ~on_diff:(fun t diff ->
+      let pos = is_po.(t) in
+      if pos >= 0 then
+        detect.(i).(pos) <- detect.(i).(pos) + Bitsim.popcount diff)
+
+let flip_observed_word (c : Circuit.t) ~cone ~is_po ~good ~mask ws i =
+  let acc = ref 0 in
+  propagate_flip c ~cone ~good ~mask ws i ~on_diff:(fun t diff ->
+      if is_po.(t) >= 0 then acc := !acc lor diff);
+  !acc
+
+let path_probabilities ?(domains = 0) ?pi_probs ?prune ~rng ~vectors (c : Circuit.t) =
   let n = Circuit.node_count c in
   let n_pos = Array.length c.outputs in
+  (* Pruned sites (ODC-proven masked) are dropped before the cone
+     precomputation and the gate deal: their detect rows stay all-zero,
+     which is exactly what an exhaustive no-PO-difference witness
+     guarantees simulation would produce, so surviving rows are
+     bit-identical to the unpruned run. *)
+  let pruned =
+    match prune with
+    | None -> fun _ -> false
+    | Some p ->
+      if Array.length p <> n then
+        invalid_arg "Probs.path_probabilities: prune length mismatch";
+      fun i -> p.(i)
+  in
   let cones =
     Array.init n (fun id ->
-        if Circuit.is_input c id then [||] else Circuit.fanout_cone c id)
+        if Circuit.is_input c id || pruned id then [||]
+        else Circuit.fanout_cone c id)
   in
   let is_po = Array.make n (-1) in
   Array.iteri (fun pos id -> is_po.(id) <- pos) c.outputs;
   let detect = Array.make_matrix n n_pos 0 in
   let gates =
     Array.of_list
-      (List.filter (fun i -> not (Circuit.is_input c i)) (List.init n Fun.id))
+      (List.filter
+         (fun i -> (not (Circuit.is_input c i)) && not (pruned i))
+         (List.init n Fun.id))
   in
   (* Per-gate cost is the fanout-cone size, and cones are heavily
      skewed: gates near the primary inputs drag cones of thousands of

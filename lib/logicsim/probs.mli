@@ -47,6 +47,7 @@ type path_probs = {
 val path_probabilities :
   ?domains:int ->
   ?pi_probs:float array ->
+  ?prune:bool array ->
   rng:Ser_rng.Rng.t ->
   vectors:int ->
   Ser_netlist.Circuit.t ->
@@ -56,6 +57,14 @@ val path_probabilities :
     which flipping the output of [i] changes output [j]. Rows of
     primary-input nodes are all zero. A primary-output gate [j] has
     [P_jj = 1].
+
+    [prune.(id) = true] (indexed by node id, length [node_count])
+    skips fault injection for node [id] entirely — no cone walk, row
+    left all-zero. Sound only for sites holding an exhaustive
+    no-PO-difference witness (an ODC [Proven_masked] classification),
+    where simulation would count zero detections anyway; surviving
+    rows are bit-identical to the unpruned run because each row is
+    owned by exactly one gate and patterns are index-keyed per batch.
 
     The per-gate fault propagation of each batch fans out over the
     shared {!Ser_par.Par} pool. [domains = 1] forces inline sequential
@@ -87,3 +96,34 @@ val detection_counts_for_vector :
 (** Single-vector variant: which primary outputs flip when the output
     of [strike] is inverted under the given input vector. Used by the
     measured-unreliability mode and by tests as a brute-force oracle. *)
+
+(** {1 Raw injection kernel}
+
+    Exposed for {!module:Ser_odc}'s observability analysis, which runs
+    the same bit-parallel flip propagation but only needs "did any
+    primary output change" per pattern, not per-output counts. *)
+
+type fault_scratch
+(** Domain-local propagation scratch (faulty words + generation
+    stamps). One per worker; reusable across gates and batches. *)
+
+val fresh_scratch : int -> fault_scratch
+(** [fresh_scratch n] for a circuit with [n] nodes. *)
+
+val flip_observed_word :
+  Ser_netlist.Circuit.t ->
+  cone:int array ->
+  is_po:int array ->
+  good:int array ->
+  mask:int ->
+  fault_scratch ->
+  int ->
+  int
+(** [flip_observed_word c ~cone ~is_po ~good ~mask ws i] inverts gate
+    [i]'s output word, propagates through [cone] (its topologically
+    ordered fanout cone, as from {!Ser_netlist.Circuit.fanout_cone}),
+    and returns the OR over primary outputs of the masked difference
+    words: bit [k] is set iff pattern [k] propagates the flip to at
+    least one primary output. [is_po.(id)] is the output position of
+    node [id] or [-1]; [good] is the fault-free batch
+    ({!Bitsim.batch} values); [mask] covers the live patterns. *)

@@ -114,6 +114,54 @@ let reachable_outputs c id =
   Array.iteri (fun pos o -> if in_cone.(o) then hits := pos :: !hits) c.outputs;
   Array.of_list (List.rev !hits)
 
+(* The bench parser accepts declarations in any order, so the digest
+   must too: render inputs, outputs and gates as sorted lines. Fanin
+   pin order stays as-built — it is semantically significant for the
+   electrical model even on symmetric gates. *)
+let digest c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "name ";
+  Buffer.add_string b c.name;
+  Buffer.add_char b '\n';
+  let names ids =
+    Array.to_list ids
+    |> List.map (fun id -> (node c id).name)
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun n ->
+      Buffer.add_string b "I ";
+      Buffer.add_string b n;
+      Buffer.add_char b '\n')
+    (names c.inputs);
+  List.iter
+    (fun n ->
+      Buffer.add_string b "O ";
+      Buffer.add_string b n;
+      Buffer.add_char b '\n')
+    (names c.outputs);
+  let gate_lines =
+    Array.to_list c.nodes
+    |> List.filter_map (fun (n : node) ->
+           if n.kind = Gate.Input then None
+           else
+             let fanin =
+               Array.to_list n.fanin
+               |> List.map (fun id -> (node c id).name)
+             in
+             Some
+               (Printf.sprintf "G %s = %s(%s)" n.name
+                  (Gate.to_string n.kind)
+                  (String.concat "," fanin)))
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    gate_lines;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 type stats = {
   n_inputs : int;
   n_outputs : int;

@@ -66,6 +66,17 @@ val reachable_outputs : t -> int -> int array
 (** Primary-output {e positions} (indices into [outputs]) reachable from
     a node, ascending. *)
 
+(** {1 Identity} *)
+
+val digest : t -> string
+(** Canonical MD5 (hex) of the circuit structure: name, sorted
+    input/output/gate lines with fanin in pin order. Order-invariant
+    over declaration order (the bench parser accepts declarations in
+    any order), but sensitive to anything semantically significant —
+    gate kinds, fanin pin order, names. Shared by the serve daemon's
+    content-addressed cache keys and the ODC report binding, so a
+    report can never be replayed against a different netlist. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -1,0 +1,122 @@
+(** Observability-don't-care discovery by bit-parallel error injection.
+
+    For every candidate fault site (non-input gate) the analysis flips
+    the gate's output and asks whether {e any} primary output changes,
+    over two kinds of stimulus:
+
+    - a {b sampled screen}: packed random-vector batches on
+      {!Ser_logicsim.Bitsim} ([Ser_rng.Rng.stream]-keyed per batch, so
+      the counts are bit-identical for any [-j]). A site observed here
+      is cheaply refuted as a don't-care.
+    - a {b per-site exhaustive proof} (mode {!Exhaustive} only): for
+      screen survivors, the set of primary inputs that can influence
+      the flip's propagation — the fanin closure of the site's fanout
+      cone — is computed; when it has at most [pi_cap] members, all
+      [2^|S|] assignments of that support are enumerated (packed
+      {!Ser_logicsim.Bitsim.bits_per_word} per word). Zero detections
+      over the full enumeration is a proof that no input vector
+      whatsoever propagates the flip, because the PO-difference
+      function depends only on the support.
+
+    Classifications:
+
+    - {!Proven_masked}: exhaustive witness, the flip can never reach a
+      primary output. Sound to prune from fault-injection loops (the
+      pruned contribution is exactly zero).
+    - {!Observed}: at least one stimulus propagated the flip; [obs] is
+      the detection fraction (exact over the enumeration when the
+      proof phase observed it, a Monte-Carlo estimate otherwise).
+    - {!Sampled_unobserved}: never observed, but no proof (support
+      above [pi_cap], or mode {!Sampled}); [obs_ub] is the
+      rule-of-three 95% upper bound [3/tested].
+
+    Reports are bound to the circuit by the canonical structural
+    digest ({!Ser_netlist.Circuit.digest}); {!prune_set} and
+    {!obs_array} refuse a report minted for a different netlist. *)
+
+type mode = Exhaustive | Sampled
+
+val mode_to_string : mode -> string
+(** ["exhaustive"] / ["sampled"]. *)
+
+val mode_of_string : string -> mode option
+
+type config = {
+  mode : mode;
+  vectors : int;  (** random patterns for the sampled screen, >= 1 *)
+  seed : int;     (** RNG seed for the screen batches *)
+  pi_cap : int;   (** support-size cap for exhaustive proofs, 0..20 *)
+}
+
+val default : config
+(** [Exhaustive], 4000 vectors, seed 1, [pi_cap] 16. *)
+
+type classification = Proven_masked | Observed | Sampled_unobserved
+
+val classification_to_string : classification -> string
+(** ["proven-masked"] / ["observed"] / ["sampled-unobserved"]. *)
+
+val classification_of_string : string -> classification option
+
+type site = {
+  gate : string;            (** gate name *)
+  cls : classification;
+  detected : int;           (** patterns that flipped at least one PO *)
+  tested : int;             (** patterns simulated against this site *)
+  support : int;            (** influence-support size, -1 if not computed *)
+  obs : float;              (** detected / tested *)
+  obs_ub : float;           (** 95% upper bound on the observability *)
+}
+
+type t = {
+  circuit : string;
+  digest : string;  (** {!Ser_netlist.Circuit.digest} of the analyzed netlist *)
+  config : config;
+  sites : site array;  (** one per non-input gate, sorted by gate name *)
+}
+
+val analyze : ?config:config -> Ser_netlist.Circuit.t -> t
+(** Run the analysis. Deterministic for a fixed config: the screen
+    draws batch [b] from [Rng.stream base b] and reduces in chunk
+    order, the proof phase is RNG-free, and sites are emitted sorted
+    by name — so the report (and its JSON rendering) is bit-identical
+    for any worker count. Raises {!Ser_util.Diag.Diag_error} on an
+    invalid config (vectors < 1, pi_cap outside 0..20). *)
+
+val analyze_checked :
+  ?config:config -> Ser_netlist.Circuit.t -> (t, Ser_util.Diag.t) result
+(** {!analyze} with invalid configs returned as [Error]. *)
+
+val n_proven : t -> int
+val n_observed : t -> int
+val n_sampled : t -> int
+
+val to_json : t -> Ser_util.Json.t
+(** ["odc-report-v1"] document; see DESIGN.md section 14. *)
+
+val of_json : Ser_util.Json.t -> (t, Ser_util.Diag.t) result
+(** Parse a report document. Total; malformed documents come back as
+    typed diagnostics (subsystem ["odc"]). Sites are re-sorted by gate
+    name so a round-trip is canonical. *)
+
+val prune_set :
+  Ser_netlist.Circuit.t -> t -> (bool array, Ser_util.Diag.t) result
+(** Node-id-indexed prune mask for
+    {!Ser_logicsim.Probs.path_probabilities}: [true] exactly for the
+    report's {!Proven_masked} sites. Fails when the report's digest
+    does not match the circuit, when a site names a gate the circuit
+    does not have, or when a proven site resolves to a primary
+    input — a report can never be replayed against the wrong
+    netlist. *)
+
+val obs_array :
+  Ser_netlist.Circuit.t -> t -> (float array, Ser_util.Diag.t) result
+(** Node-id-indexed conservative observability: 0 for proven-masked
+    sites, [obs] for observed sites, [obs_ub] for sampled-unobserved
+    sites, and 1.0 for nodes the report does not cover (primary
+    inputs). Same digest/name validation as {!prune_set}. Feeds the
+    optimizer's ODC-seeded downsizing moves. *)
+
+val render : t -> string
+(** Human-readable summary table (counts per class and the
+    lowest-observability sites). *)

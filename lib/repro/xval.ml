@@ -34,9 +34,8 @@ let top_ids values ids top_n =
     ids;
   Array.to_list ids |> List.filteri (fun i _ -> i < top_n)
 
-let run ?(circuit = "c432") ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10) ()
-    =
-  let c = Ser_circuits.Iscas.load circuit in
+let run_circuit ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10)
+    (c : Circuit.t) =
   let lib = Library.create () in
   let asg = Sertopt.Optimizer.size_for_speed lib c in
   let t0 = Ser_util.Mono.now () in
@@ -75,7 +74,7 @@ let run ?(circuit = "c432") ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10) ()
     List.length (List.filter (fun id -> List.mem id top_s) top_a)
   in
   {
-    circuit;
+    circuit = c.Circuit.name;
     vectors;
     n_gates = Array.length ids;
     top_n;
@@ -86,6 +85,10 @@ let run ?(circuit = "c432") ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10) ()
     serpp_s;
     points;
   }
+
+let run ?(circuit = "c432") ?(vectors = 2000) ?(charge = 16.) ?(top_n = 10) ()
+    =
+  run_circuit ~vectors ~charge ~top_n (Ser_circuits.Iscas.load circuit)
 
 let render t =
   let buf = Buffer.create 2048 in
@@ -141,4 +144,62 @@ let to_json t =
       ("spearman", Json.Num t.spearman);
       ("top_n", Json.int t.top_n);
       ("top_overlap", Json.int t.top_overlap);
+    ]
+
+(* Unweighted means: a corpus row is one benchmark, however large. *)
+let corpus_means rs =
+  let n = float_of_int (max 1 (List.length rs)) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rs in
+  ( sum (fun r -> r.pearson) /. n,
+    sum (fun r -> r.spearman) /. n,
+    sum (fun r ->
+        if r.top_n > 0 then
+          float_of_int r.top_overlap /. float_of_int r.top_n
+        else 0.)
+    /. n )
+
+let render_corpus rs =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "xval corpus: serpp vs ASERTA agreement over %d circuits\n"
+    (List.length rs);
+  let tbl =
+    Ser_util.Ascii_table.create
+      ~aligns:[ Ser_util.Ascii_table.Left ]
+      [ "circuit"; "gates"; "pearson"; "spearman"; "overlap"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Ser_util.Ascii_table.add_row tbl
+        [
+          r.circuit;
+          string_of_int r.n_gates;
+          Printf.sprintf "%.3f" r.pearson;
+          Printf.sprintf "%.3f" r.spearman;
+          Printf.sprintf "%d/%d" r.top_overlap r.top_n;
+          Printf.sprintf "%.0fx" (r.aserta_s /. Float.max 1e-9 r.serpp_s);
+        ])
+    rs;
+  let mp, ms, mo = corpus_means rs in
+  Ser_util.Ascii_table.add_row tbl
+    [
+      "mean";
+      "";
+      Printf.sprintf "%.3f" mp;
+      Printf.sprintf "%.3f" ms;
+      Printf.sprintf "%.0f%%" (100. *. mo);
+      "";
+    ];
+  Buffer.add_string buf (Ser_util.Ascii_table.render tbl);
+  Buffer.contents buf
+
+let corpus_to_json rs =
+  let mp, ms, mo = corpus_means rs in
+  Json.Obj
+    [
+      ("cmd", Json.Str "xval-corpus");
+      ("circuits", Json.List (List.map to_json rs));
+      ("mean_pearson", Json.Num mp);
+      ("mean_spearman", Json.Num ms);
+      ("mean_top_overlap", Json.Num mo);
     ]

@@ -41,6 +41,23 @@ val run :
     2000) drives only ASERTA's path-probability estimation; serpp is
     vectorless. *)
 
+val run_circuit :
+  ?vectors:int ->
+  ?charge:float ->
+  ?top_n:int ->
+  Ser_netlist.Circuit.t ->
+  t
+(** Same study on an already loaded netlist — how [sertool xval
+    --corpus] sweeps a directory of .bench files. *)
+
+val render_corpus : t list -> string
+(** One row per circuit plus an unweighted mean row — the aggregate
+    agreement table of a corpus sweep. *)
+
+val corpus_to_json : t list -> Ser_util.Json.t
+(** Deterministic aggregate document: each circuit's {!to_json} plus
+    mean Pearson/Spearman and mean top-N overlap fraction. *)
+
 val render : t -> string
 (** Human-readable report: the agreement statistics and a table of the
     top-N gates by ASERTA with both backends' estimates and ranks. *)

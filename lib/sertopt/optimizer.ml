@@ -16,6 +16,8 @@ let m_menu_evals = Obs.Metrics.counter "sertopt.menu_evals"
 let m_accepts = Obs.Metrics.counter "sertopt.greedy_accepts"
 let m_tier_ranks = Obs.Metrics.counter "sertopt.tier_rank_evals"
 let m_exact_saved = Obs.Metrics.counter "sertopt.exact_evals_saved"
+let m_odc_moves = Obs.Metrics.counter "sertopt.odc_moves"
+let m_odc_accepts = Obs.Metrics.counter "sertopt.odc_accepts"
 
 type eval_mode = Full_recompute | Incremental
 
@@ -49,6 +51,8 @@ type config = {
   greedy_passes : int;
   greedy_gates : int;
   replay_guard : int;
+  odc_obs : float array option;
+  odc_threshold : float;
 }
 
 let default_config =
@@ -70,6 +74,8 @@ let default_config =
     greedy_passes = 2;
     greedy_gates = 160;
     replay_guard = 0;
+    odc_obs = None;
+    odc_threshold = 0.05;
   }
 
 type result = {
@@ -222,6 +228,10 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
     match budget with None -> () | Some b -> Ser_util.Budget.tick b
   in
   let n = Circuit.node_count c in
+  (match config.odc_obs with
+  | Some o when Array.length o <> n ->
+    invalid_arg "Optimizer.optimize: odc_obs length mismatch"
+  | _ -> ());
   let rng = Ser_rng.Rng.create config.seed in
   let masking =
     match masking with
@@ -651,6 +661,121 @@ let optimize ?(config = default_config) ?masking ?budget ?initial lib baseline =
       Obs.Trace.finish greedy_sp;
       asg
     end
+  in
+  (* ODC-seeded downsizing: gates the ODC report proves or estimates
+     (near-)unobservable contribute (near-)zero unreliability whatever
+     their drive strength, so shrinking them recovers energy and area
+     essentially for free. The report only seeds the move list — every
+     move is measured with the exact engine and accepted on the same
+     Eq. 5 cost as any greedy move, so a misleading observability
+     estimate can waste evaluations but never degrade the result. *)
+  let optimized =
+    match config.odc_obs with
+    | None -> optimized
+    | Some _ when budget_spent () -> optimized
+    | Some obs ->
+      let asg = Assignment.copy optimized in
+      (match engine with Some e -> Ser_incr.Incr.sync e asg | None -> ());
+      let odc_sp = Obs.Trace.start "sertopt.odc" in
+      budget_tick ();
+      let metrics =
+        match engine with
+        | Some e -> metrics_of_incr (Ser_incr.Incr.metrics e)
+        | None -> fst (measure asg)
+      in
+      let cur_cost =
+        ref
+          (Cost.eval ~weights:config.weights ~delay_slack:config.delay_slack
+             ~baseline:baseline_metrics metrics)
+      in
+      if !cur_cost < !best_cost then best_cost := !cur_cost;
+      let order =
+        Array.to_list (Array.init n Fun.id)
+        |> List.filter (fun id ->
+               (not (Circuit.is_input c id))
+               && obs.(id) <= config.odc_threshold)
+        |> List.sort (fun a b ->
+               match compare obs.(a) obs.(b) with
+               | 0 -> compare a b
+               | r -> r)
+      in
+      List.iter
+        (fun g ->
+          let nd = Circuit.node c g in
+          let current = Assignment.get asg g in
+          let max_succ_vdd =
+            Array.fold_left
+              (fun acc s -> Float.max acc (Assignment.get asg s).Cell_params.vdd)
+              0. nd.fanout
+          in
+          let min_driver_vdd =
+            Array.fold_left
+              (fun acc f ->
+                if Circuit.is_input c f then acc
+                else Float.min acc (Assignment.get asg f).Cell_params.vdd)
+              Float.max_float nd.fanin
+          in
+          let cands =
+            Library.variants lib nd.kind (Array.length nd.fanin)
+            |> List.filter (fun (p : Cell_params.t) ->
+                   p.size < current.Cell_params.size -. 1e-9
+                   && p.vdd >= max_succ_vdd -. 1e-9
+                   && p.vdd <= min_driver_vdd +. 1e-9)
+          in
+          let cands = Array.of_list (sample_menu ~cap:12 cands) in
+          if Array.length cands > 0 then begin
+            Obs.Metrics.add m_odc_moves (Array.length cands);
+            let try_cand cand =
+              budget_tick ();
+              match engine with
+              | Some e ->
+                let probe = Ser_incr.Incr.fork e in
+                Ser_incr.Incr.set_cell probe g cand;
+                let m = metrics_of_incr (Ser_incr.Incr.metrics probe) in
+                Cost.eval ~weights:config.weights
+                  ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
+              | None ->
+                let trial = Assignment.copy asg in
+                Assignment.set trial g cand;
+                let m, _ = measure trial in
+                Cost.eval ~weights:config.weights
+                  ~delay_slack:config.delay_slack ~baseline:baseline_metrics m
+            in
+            let measured =
+              match budget with
+              | None ->
+                Array.map Option.some
+                  (Ser_par.Par.parallel_map ~chunk:1 try_cand cands)
+              | Some b ->
+                Ser_par.Par.parallel_map_budgeted ~budget:b ~chunk:1 try_cand
+                  cands
+            in
+            let best = ref None in
+            Array.iteri
+              (fun i r ->
+                match r with
+                | None -> ()
+                | Some cost -> (
+                  incr evals;
+                  Obs.Metrics.incr m_evals;
+                  match !best with
+                  | Some (_, bc) when bc <= cost -> ()
+                  | _ -> best := Some (i, cost)))
+              measured;
+            match !best with
+            | Some (i, cost) when cost < !cur_cost ->
+              cur_cost := cost;
+              Obs.Metrics.incr m_odc_accepts;
+              Assignment.set asg g cands.(i);
+              (match engine with
+              | Some e -> Ser_incr.Incr.set_cell e g cands.(i)
+              | None -> ())
+            | _ -> ()
+          end)
+        order;
+      if !cur_cost < !best_cost then best_cost := !cur_cost;
+      Obs.Trace.finish odc_sp;
+      asg
   in
   (* Optional replay gate: the probabilistic objective can be gamed by
      the independence approximations on large reconvergent circuits, so

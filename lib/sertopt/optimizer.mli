@@ -75,6 +75,22 @@ type config = {
           approximations of Eq. 2 on large reconvergent circuits (the
           probabilistic U can improve while actual-vector behaviour
           worsens). *)
+  odc_obs : float array option;
+      (** node-id-indexed observability upper bounds from an ODC report
+          ([Ser_odc.Odc.obs_array]; must match the circuit's node
+          count). When present, a downsizing stage runs after the
+          greedy refinement: gates with [obs <= odc_threshold]
+          contribute (near-)zero unreliability whatever their drive
+          strength, so their smaller variants are proposed
+          (lowest-observability gates first) and measured with the
+          exact engine. The report seeds moves only — acceptance is on
+          the exact Eq. 5 cost, so a wrong estimate can waste
+          evaluations but never degrade the result. Proposed and
+          accepted moves are counted in [sertopt.odc_moves] /
+          [sertopt.odc_accepts]. *)
+  odc_threshold : float;
+      (** observability cutoff for the ODC-seeded stage (default
+          0.05) *)
 }
 
 val default_config : config

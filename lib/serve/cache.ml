@@ -6,53 +6,11 @@ let subsystem = "serve"
 
 (* --------------------------- content keys -------------------------- *)
 
-(* The bench parser accepts declarations in any order, so the digest
-   must too: render inputs, outputs and gates as sorted lines. Fanin
-   pin order stays as-built — it is semantically significant for the
-   electrical model even on symmetric gates. *)
-let circuit_digest (c : Circuit.t) =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "name ";
-  Buffer.add_string b c.Circuit.name;
-  Buffer.add_char b '\n';
-  let names ids =
-    Array.to_list ids
-    |> List.map (fun id -> (Circuit.node c id).Circuit.name)
-    |> List.sort String.compare
-  in
-  List.iter
-    (fun n ->
-      Buffer.add_string b "I ";
-      Buffer.add_string b n;
-      Buffer.add_char b '\n')
-    (names c.Circuit.inputs);
-  List.iter
-    (fun n ->
-      Buffer.add_string b "O ";
-      Buffer.add_string b n;
-      Buffer.add_char b '\n')
-    (names c.Circuit.outputs);
-  let gate_lines =
-    Array.to_list c.Circuit.nodes
-    |> List.filter_map (fun (n : Circuit.node) ->
-           if n.Circuit.kind = Ser_netlist.Gate.Input then None
-           else
-             let fanin =
-               Array.to_list n.Circuit.fanin
-               |> List.map (fun id -> (Circuit.node c id).Circuit.name)
-             in
-             Some
-               (Printf.sprintf "G %s = %s(%s)" n.Circuit.name
-                  (Ser_netlist.Gate.to_string n.Circuit.kind)
-                  (String.concat "," fanin)))
-    |> List.sort String.compare
-  in
-  List.iter
-    (fun l ->
-      Buffer.add_string b l;
-      Buffer.add_char b '\n')
-    gate_lines;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+(* The canonical structural digest lives with the netlist now
+   ({!Ser_netlist.Circuit.digest}) so the ODC report binding and the
+   cache keys can never drift apart; this alias keeps existing call
+   sites and the persisted key format byte-identical. *)
+let circuit_digest (c : Circuit.t) = Circuit.digest c
 
 let key ~circuit ~library ~params =
   Digest.to_hex

@@ -330,6 +330,29 @@ let run_inline st (req : Request.t) c lib ~pool_key ~deadline_left =
               }
         in
         (payload, warm)
+      | Request.Odc ->
+        (* backend-free: one bit-parallel injection pass over the
+           already parsed netlist; the warm pool's library + masking
+           state cannot help it, so it runs direct like serpp analyze *)
+        let mode =
+          match Ser_odc.Odc.mode_of_string req.Request.odc_mode with
+          | Some m -> m
+          | None -> raise (Diag.Diag_error (diagf "unknown odc mode %S" req.Request.odc_mode))
+        in
+        let config =
+          {
+            Ser_odc.Odc.default with
+            Ser_odc.Odc.mode;
+            vectors = req.Request.vectors;
+            seed = req.Request.odc_seed;
+          }
+        in
+        let r =
+          match Ser_odc.Odc.analyze_checked ~config c with
+          | Ok r -> r
+          | Error d -> raise (Diag.Diag_error d)
+        in
+        (Handlers.odc_payload req r, false)
       | Request.Optimize ->
         let budget =
           match (req.Request.budget_evals, deadline_left) with
